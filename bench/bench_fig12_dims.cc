@@ -1,0 +1,127 @@
+// Reproduces Fig. 12: multi-dimensional range query cost varying the number
+// of dimensions 1..7 (fixed table, 2% selectivity/dimension, static
+// 250-partition PRKBs): PRKB(SD+) vs PRKB(MD) vs Logarithmic-SRC-i
+// (Sec. 8.2.5).
+
+#include <unordered_set>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "common/histogram.h"
+#include "common/stopwatch.h"
+#include "common/table_printer.h"
+#include "srci/srci.h"
+#include "workload/query_gen.h"
+#include "workload/synthetic_table.h"
+
+namespace prkb::bench {
+namespace {
+
+using edbms::TupleId;
+using edbms::Value;
+
+int Main(int argc, char** argv) {
+  const BenchArgs args = BenchArgs::Parse(argc, argv, /*default_scale=*/0.02);
+  const size_t rows = ScaledRows(5'000'000, args.scale);
+  const int runs = args.queries > 0 ? args.queries : 15;
+  constexpr int kMaxDims = 7;
+  PrintBanner("Fig. 12: MD query cost vs dimensionality (2%/dim)",
+              "EDBT'18 Fig. 12", args,
+              "PRKB(SD+) cost grows with d (each dimension processed "
+              "separately); PRKB(MD) cost *decreases* with d (more "
+              "predicates filter more NS candidates for free)");
+
+  workload::SyntheticSpec spec;
+  spec.rows = rows;
+  spec.attrs = kMaxDims;
+  spec.seed = args.seed;
+  const auto plain = workload::MakeSyntheticTable(spec);
+  auto db = edbms::CipherbaseEdbms::FromPlainTable(args.seed, plain);
+  db.trusted_machine().set_call_latency_ns(args.tm_latency_ns);
+
+  core::PrkbIndex sdp(&db, core::PrkbOptions{.seed = args.seed});
+  core::PrkbIndex md(&db, core::PrkbOptions{.seed = args.seed + 1});
+  std::vector<srci::LogSrcI> srci_indexes;
+  for (edbms::AttrId a = 0; a < kMaxDims; ++a) {
+    sdp.EnableAttr(a);
+    md.EnableAttr(a);
+    workload::QueryGen warm1(spec.domain_lo, spec.domain_hi,
+                             args.seed + 13 + a);
+    WarmToPartitions(&sdp, &db, a, &warm1, 250);
+    workload::QueryGen warm2(spec.domain_lo, spec.domain_hi,
+                             args.seed + 13 + a);
+    WarmToPartitions(&md, &db, a, &warm2, 250);
+    srci_indexes.emplace_back(&db, a, spec.domain_lo, spec.domain_hi);
+    if (auto s = srci_indexes.back().Build(); !s.ok()) return 1;
+  }
+
+  TablePrinter tp("average of " + std::to_string(runs) + " queries, " +
+                  std::to_string(rows) + " rows");
+  tp.SetHeader({"d", "SD+ #QPF", "SD+ ms", "MD #QPF", "MD ms", "SRC-i ms"});
+
+  for (int d = 1; d <= kMaxDims; ++d) {
+    std::vector<edbms::AttrId> attrs;
+    for (int a = 0; a < d; ++a) attrs.push_back(static_cast<edbms::AttrId>(a));
+    workload::QueryGen gen(spec.domain_lo, spec.domain_hi,
+                           args.seed + 200 + d);
+    Histogram sdp_qpf, sdp_ms, md_qpf, md_ms, srci_ms;
+    for (int r = 0; r < runs; ++r) {
+      const auto box = gen.RandomBox(attrs, 0.02);
+      std::vector<edbms::Trapdoor> tds, tds2;
+      std::vector<std::pair<Value, Value>> ranges;
+      for (size_t i = 0; i < box.size(); i += 2) {
+        tds.push_back(db.MakeComparison(box[i].attr, box[i].op, box[i].lo));
+        tds.push_back(
+            db.MakeComparison(box[i + 1].attr, box[i + 1].op, box[i + 1].lo));
+        ranges.emplace_back(box[i].lo + 1, box[i + 1].lo - 1);
+      }
+      for (const auto& p : box) {
+        tds2.push_back(db.MakeComparison(p.attr, p.op, p.lo));
+      }
+      edbms::SelectionStats st;
+      sdp.SelectRangeSdPlus(tds, &st);
+      sdp_qpf.Add(static_cast<double>(st.qpf_uses));
+      sdp_ms.Add(st.millis);
+      md.SelectRangeMd(tds2, &st);
+      md_qpf.Add(static_cast<double>(st.qpf_uses));
+      md_ms.Add(st.millis);
+
+      // SRC-i: intersect candidates from the d per-attribute indexes, then
+      // confirm all dimensions in the TM.
+      Stopwatch watch;
+      std::vector<TupleId> cand =
+          srci_indexes[0].QueryCandidates(ranges[0].first, ranges[0].second);
+      for (int dim = 1; dim < d && !cand.empty(); ++dim) {
+        const auto next = srci_indexes[dim].QueryCandidates(
+            ranges[dim].first, ranges[dim].second);
+        std::unordered_set<TupleId> keep(next.begin(), next.end());
+        std::vector<TupleId> merged;
+        for (TupleId tid : cand) {
+          if (keep.contains(tid)) merged.push_back(tid);
+        }
+        cand = std::move(merged);
+      }
+      auto& tm = db.trusted_machine();
+      for (TupleId tid : cand) {
+        for (int dim = 0; dim < d; ++dim) {
+          const Value v = tm.DecryptValue(
+              db.table().at(static_cast<edbms::AttrId>(dim), tid));
+          if (v < ranges[dim].first || v > ranges[dim].second) break;
+        }
+      }
+      srci_ms.Add(watch.ElapsedMillis());
+    }
+    tp.AddRow({std::to_string(d), TablePrinter::Fmt(sdp_qpf.Mean(), 0),
+               TablePrinter::Fmt(sdp_ms.Mean(), 2),
+               TablePrinter::Fmt(md_qpf.Mean(), 0),
+               TablePrinter::Fmt(md_ms.Mean(), 2),
+               TablePrinter::Fmt(srci_ms.Mean(), 2)});
+  }
+  tp.Print();
+  return 0;
+}
+
+}  // namespace
+}  // namespace prkb::bench
+
+int main(int argc, char** argv) { return prkb::bench::Main(argc, argv); }

@@ -1,0 +1,135 @@
+// Google-benchmark microbenchmarks for the primitive operations underneath
+// the experiments: crypto blocks, QPF evaluation, QFilter, insert placement.
+// These quantify the constant factors the paper's cost model rests on
+// (one QPF use >> one plain comparison).
+
+#include <benchmark/benchmark.h>
+
+#include "crypto/aes128.h"
+#include "crypto/hmac.h"
+#include "edbms/cipherbase_qpf.h"
+#include "prkb/qfilter.h"
+#include "prkb/selection.h"
+#include "workload/query_gen.h"
+#include "workload/synthetic_table.h"
+
+namespace prkb::bench {
+namespace {
+
+void BM_AesEncryptBlock(benchmark::State& state) {
+  crypto::Aes128 aes(crypto::Aes128::Key{1, 2, 3, 4});
+  uint8_t block[16] = {0};
+  for (auto _ : state) {
+    aes.EncryptBlock(block, block);
+    benchmark::DoNotOptimize(block);
+  }
+}
+BENCHMARK(BM_AesEncryptBlock);
+
+void BM_HmacSha256(benchmark::State& state) {
+  crypto::HmacSha256 mac(std::vector<uint8_t>{1, 2, 3});
+  uint8_t msg[8] = {7};
+  for (auto _ : state) {
+    auto tag = mac.Compute(msg, sizeof(msg));
+    benchmark::DoNotOptimize(tag);
+  }
+}
+BENCHMARK(BM_HmacSha256);
+
+struct QpfFixtureState {
+  edbms::CipherbaseEdbms db;
+  edbms::Trapdoor td;
+
+  QpfFixtureState()
+      : db(edbms::CipherbaseEdbms(1, 1)),
+        td() {
+    for (int i = 0; i < 1000; ++i) db.Insert({i});
+    td = db.MakeComparison(0, edbms::CompareOp::kLt, 500);
+  }
+};
+
+void BM_QpfEval(benchmark::State& state) {
+  static QpfFixtureState* fixture = new QpfFixtureState();
+  edbms::TupleId tid = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(fixture->db.Eval(fixture->td, tid));
+    tid = (tid + 1) % 1000;
+  }
+}
+BENCHMARK(BM_QpfEval);
+
+void BM_PlainComparison(benchmark::State& state) {
+  // The cost QPF evaluation replaces — the paper's "one cycle" reference.
+  volatile int64_t c = 500;
+  int64_t v = 123;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(v < c);
+    v = (v + 7) % 1000;
+  }
+}
+BENCHMARK(BM_PlainComparison);
+
+struct WarmIndexState {
+  edbms::CipherbaseEdbms db;
+  core::PrkbIndex index;
+  workload::QueryGen gen;
+
+  WarmIndexState()
+      : db(MakeDb()), index(&db, core::PrkbOptions{.seed = 3}),
+        gen(1, 30'000'000, 5) {
+    index.EnableAttr(0);
+    for (int i = 0; i < 400; ++i) {
+      const auto p = gen.RandomComparison(0);
+      index.Select(db.MakeComparison(p.attr, p.op, p.lo));
+    }
+  }
+
+  static edbms::CipherbaseEdbms MakeDb() {
+    workload::SyntheticSpec spec;
+    spec.rows = 100000;
+    spec.seed = 2;
+    return edbms::CipherbaseEdbms::FromPlainTable(
+        1, workload::MakeSyntheticTable(spec));
+  }
+};
+
+WarmIndexState* WarmIndex() {
+  static WarmIndexState* state = new WarmIndexState();
+  return state;
+}
+
+void BM_QFilterOnWarmChain(benchmark::State& state) {
+  auto* s = WarmIndex();
+  Rng rng(9);
+  for (auto _ : state) {
+    const auto p = s->gen.RandomComparison(0);
+    const auto td = s->db.MakeComparison(p.attr, p.op, p.lo);
+    benchmark::DoNotOptimize(core::QFilter(s->index.pop(0), td, &s->db, &rng));
+  }
+}
+BENCHMARK(BM_QFilterOnWarmChain);
+
+void BM_WarmSelect(benchmark::State& state) {
+  auto* s = WarmIndex();
+  for (auto _ : state) {
+    const auto p = s->gen.RandomComparison(0);
+    benchmark::DoNotOptimize(
+        s->index.Select(s->db.MakeComparison(p.attr, p.op, p.lo)));
+  }
+}
+BENCHMARK(BM_WarmSelect);
+
+void BM_InsertPlacement(benchmark::State& state) {
+  auto* s = WarmIndex();
+  Rng rng(11);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        s->index.Insert({rng.UniformInt64(1, 30'000'000)}));
+  }
+}
+BENCHMARK(BM_InsertPlacement);
+
+}  // namespace
+}  // namespace prkb::bench
+
+BENCHMARK_MAIN();

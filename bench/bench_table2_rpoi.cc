@@ -1,0 +1,71 @@
+// Reproduces Table 2: recovered portion of ordering information (RPOI) on
+// the four victim attributes, varying the number of queries the attacker
+// observes (Sec. 8.1).
+
+#include <vector>
+
+#include "attack/order_recovery.h"
+#include "bench/bench_util.h"
+#include "common/table_printer.h"
+#include "workload/query_gen.h"
+#include "workload/real_emulators.h"
+
+namespace prkb::bench {
+namespace {
+
+struct Victim {
+  std::string name;
+  std::vector<edbms::Value> column;
+  edbms::Value domain_lo, domain_hi;
+};
+
+int Main(int argc, char** argv) {
+  const BenchArgs args = BenchArgs::Parse(argc, argv, /*default_scale=*/0.05);
+  PrintBanner("Table 2: RPOI on real-data emulators", "EDBT'18 Table 2", args,
+              "RPOI grows with queries but with sharply decreasing returns. "
+              "NOTE: absolute RPOI inflates by ~1/scale (the denominator is "
+              "the scaled dataset's distinct count while query counts stay "
+              "at paper values); --scale=1.0 reproduces paper magnitudes");
+
+  std::vector<Victim> victims;
+  {
+    auto h = workload::MakeHospitalCharges(args.scale, args.seed + 1);
+    victims.push_back(Victim{"Hospital", h.table.column(0), h.domain_lo[0],
+                             h.domain_hi[0]});
+    auto l = workload::MakeLaborSalary(args.scale, args.seed + 2);
+    victims.push_back(
+        Victim{"Labor", l.table.column(0), l.domain_lo[0], l.domain_hi[0]});
+    auto b = workload::MakeUsBuildings(args.scale, args.seed + 3);
+    victims.push_back(Victim{"Latitude", b.table.column(0), b.domain_lo[0],
+                             b.domain_hi[0]});
+    victims.push_back(Victim{"Longitude", b.table.column(1), b.domain_lo[1],
+                             b.domain_hi[1]});
+  }
+
+  const std::vector<int> checkpoints = {250, 1000, 10000, 100000, 1000000};
+  TablePrinter tp("RPOI (%) vs number of observed queries");
+  tp.SetHeader({"Victim", "Size", "250", "1K", "10K", "100K", "1M"});
+
+  for (const Victim& v : victims) {
+    attack::OrderRecovery rec(v.column);
+    workload::QueryGen gen(v.domain_lo, v.domain_hi, args.seed * 7 + 1);
+    std::vector<std::string> row = {v.name, std::to_string(v.column.size())};
+    int q = 0;
+    for (int cp : checkpoints) {
+      for (; q < cp; ++q) rec.Observe(gen.RandomComparison(0));
+      row.push_back(TablePrinter::Fmt(rec.Rpoi() * 100.0, 3));
+    }
+    tp.AddRow(row);
+  }
+  tp.Print();
+  std::printf(
+      "\nPaper reference (paper-scale data): Hospital 0.007..2.846%%, "
+      "Labor 0.042..5.807%%, Latitude 0.008..11.167%%, "
+      "Longitude 0.011..13.592%%\n");
+  return 0;
+}
+
+}  // namespace
+}  // namespace prkb::bench
+
+int main(int argc, char** argv) { return prkb::bench::Main(argc, argv); }

@@ -1,0 +1,56 @@
+#include "bench/bench_util.h"
+
+#include <cstdlib>
+#include <cstring>
+
+namespace prkb::bench {
+
+BenchArgs BenchArgs::Parse(int argc, char** argv, double default_scale) {
+  BenchArgs args;
+  args.scale = default_scale;
+  for (int i = 1; i < argc; ++i) {
+    const char* a = argv[i];
+    if (std::strncmp(a, "--scale=", 8) == 0) {
+      args.scale = std::atof(a + 8);
+    } else if (std::strncmp(a, "--seed=", 7) == 0) {
+      args.seed = std::strtoull(a + 7, nullptr, 10);
+    } else if (std::strncmp(a, "--queries=", 10) == 0) {
+      args.queries = std::atoi(a + 10);
+    } else if (std::strncmp(a, "--tmlat=", 8) == 0) {
+      args.tm_latency_ns = std::strtoull(a + 8, nullptr, 10);
+    } else {
+      std::fprintf(stderr, "unknown flag: %s\n", a);
+    }
+  }
+  return args;
+}
+
+void PrintBanner(const std::string& experiment, const std::string& paper_ref,
+                 const BenchArgs& args, const std::string& shape_note) {
+  std::printf("#\n# %s  (reproduces %s)\n", experiment.c_str(),
+              paper_ref.c_str());
+  std::printf("# scale=%.4g seed=%llu  (--scale=1.0 reruns paper-size inputs)\n",
+              args.scale, static_cast<unsigned long long>(args.seed));
+  if (!shape_note.empty()) std::printf("# expected shape: %s\n", shape_note.c_str());
+  std::printf("#\n");
+  std::fflush(stdout);
+}
+
+size_t ScaledRows(size_t paper_rows, double scale) {
+  const double rows = static_cast<double>(paper_rows) * scale;
+  return rows < 1.0 ? 1 : static_cast<size_t>(rows);
+}
+
+int WarmToPartitions(core::PrkbIndex* index, edbms::Edbms* db,
+                     edbms::AttrId attr, workload::QueryGen* gen,
+                     size_t target_partitions, int max_queries) {
+  int used = 0;
+  while (index->pop(attr).k() < target_partitions && used < max_queries) {
+    const auto p = gen->RandomComparison(attr);
+    index->Select(db->MakeComparison(p.attr, p.op, p.lo));
+    ++used;
+  }
+  return used;
+}
+
+}  // namespace prkb::bench

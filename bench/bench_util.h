@@ -1,0 +1,52 @@
+#ifndef PRKB_BENCH_BENCH_UTIL_H_
+#define PRKB_BENCH_BENCH_UTIL_H_
+
+#include <cstdint>
+#include <cstdio>
+#include <string>
+
+#include "edbms/cipherbase_qpf.h"
+#include "prkb/selection.h"
+#include "workload/query_gen.h"
+
+namespace prkb::bench {
+
+/// Command-line knobs shared by every experiment binary.
+///
+///   --scale=<f>    multiplies the paper's dataset sizes (each binary has a
+///                  default small enough for a laptop-class single core;
+///                  --scale matching the binary's `paper_scale` reruns the
+///                  paper's exact sizes)
+///   --seed=<n>     master seed
+///   --queries=<n>  overrides the query count where applicable
+///   --tmlat=<ns>   artificial per-call trusted-machine latency (default 0;
+///                  a few microseconds emulates FPGA/coprocessor round trips
+///                  and reproduces the paper's absolute-time regime)
+struct BenchArgs {
+  double scale;
+  uint64_t seed = 42;
+  int queries = -1;  // -1 = binary default
+  uint64_t tm_latency_ns = 0;
+
+  /// Parses argv; `default_scale` is the binary's laptop default.
+  static BenchArgs Parse(int argc, char** argv, double default_scale);
+};
+
+/// Prints the standard experiment banner so every binary's output starts
+/// with what it reproduces and at which scale.
+void PrintBanner(const std::string& experiment, const std::string& paper_ref,
+                 const BenchArgs& args, const std::string& shape_note);
+
+/// Rows after scaling (at least 1).
+size_t ScaledRows(size_t paper_rows, double scale);
+
+/// Issues random distinct comparison queries until the chain reaches
+/// `target_partitions` (the paper's "static PRKB with k partitions" setup,
+/// Sec. 8.2.4). Returns the number of queries used.
+int WarmToPartitions(core::PrkbIndex* index, edbms::Edbms* db,
+                     edbms::AttrId attr, workload::QueryGen* gen,
+                     size_t target_partitions, int max_queries = 100000);
+
+}  // namespace prkb::bench
+
+#endif  // PRKB_BENCH_BENCH_UTIL_H_

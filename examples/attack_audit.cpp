@@ -1,0 +1,84 @@
+// Attack audit: quantifies what a compromised service provider learns from
+// watching selection results (the paper's Sec. 8.1 security analysis) — run
+// this against your own column profile before deciding whether revealing
+// selection results is acceptable.
+//
+//   $ ./examples/attack_audit
+
+#include <cstdio>
+
+#include "attack/order_recovery.h"
+#include "edbms/ope.h"
+#include "workload/query_gen.h"
+#include "workload/real_emulators.h"
+#include "workload/synthetic_table.h"
+
+int main() {
+  using namespace prkb;
+
+  struct Profile {
+    const char* name;
+    std::vector<edbms::Value> column;
+    edbms::Value lo, hi;
+  };
+  std::vector<Profile> profiles;
+
+  // A high-risk profile: tiny domain (e.g. ages). The paper's point: for
+  // small domains an attacker recovers the total order quickly.
+  {
+    workload::SyntheticSpec spec;
+    spec.rows = 50000;
+    spec.domain_lo = 0;
+    spec.domain_hi = 120;
+    spec.seed = 1;
+    profiles.push_back(
+        {"ages (domain 120)", workload::MakeSyntheticTable(spec).column(0), 0,
+         120});
+  }
+  // A low-risk profile: large skewed domain (emulated hospital charges).
+  {
+    auto ds = workload::MakeHospitalCharges(0.02, 2);
+    profiles.push_back({"hospital charges (domain 10M)", ds.table.column(0),
+                        ds.domain_lo[0], ds.domain_hi[0]});
+  }
+
+  std::printf(
+      "How much of the hidden ordering can a compromised server recover?\n"
+      "(RPOI = recovered / total order length; 100%% = inference attacks "
+      "like Naveed et al. become fully effective)\n");
+
+  for (auto& p : profiles) {
+    attack::OrderRecovery rec(p.column);
+    workload::QueryGen gen(p.lo, p.hi, 7);
+    std::printf("\n%s — %zu rows, %zu distinct values\n", p.name,
+                p.column.size(), rec.TotalOrderLength());
+    int q = 0;
+    for (int checkpoint : {100, 1000, 10000, 100000}) {
+      for (; q < checkpoint; ++q) rec.Observe(gen.RandomComparison(0));
+      std::printf("  after %6d observed queries: RPOI %6.2f%%  (%zu of %zu "
+                  "chain steps)\n",
+                  checkpoint, rec.Rpoi() * 100.0, rec.RecoveredOrderLength(),
+                  rec.TotalOrderLength());
+    }
+  }
+
+  // The CryptDB/OPE contrast (paper Sec. 8.1, closing remark): with
+  // order-preserving encryption the server holds the full order before a
+  // single query is answered.
+  {
+    const auto& column = profiles[1].column;
+    const auto ope = edbms::OpeColumn::Build(column, 13);
+    const auto recovered = ope.RecoverTotalOrder();
+    std::printf(
+        "\nContrast — the same column under OPE (CryptDB-style): the server "
+        "reads the total order of all %zu tuples from the codes alone, "
+        "RPOI 100.00%% after 0 queries.\n",
+        recovered.size());
+  }
+
+  std::printf(
+      "\nReading: small domains are a liability under result-revealing "
+      "EDBMSs — the PRKB itself adds nothing to this leakage (it stores "
+      "only what the server already saw), but the underlying model does.\n");
+  return 0;
+}

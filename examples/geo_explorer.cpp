@@ -1,0 +1,78 @@
+// Geo explorer: the paper's Sec. 8.2.6 use case as an application. A tourist
+// service stores an encrypted buildings table (latitude/longitude) in the
+// cloud and answers "what is within this 1km x 1km window?" using the
+// multi-dimensional PRKB processing, with a mini-SQL front end.
+//
+//   $ ./examples/geo_explorer
+
+#include <cstdio>
+#include <string>
+
+#include "edbms/cipherbase_qpf.h"
+#include "prkb/selection.h"
+#include "query/planner.h"
+#include "workload/real_emulators.h"
+
+int main() {
+  using namespace prkb;
+
+  // Emulated US buildings dataset (see DESIGN.md on the substitution for the
+  // GeoNames data): ~112k buildings at 1/10 scale, clustered like cities.
+  const auto ds = workload::MakeUsBuildings(/*scale=*/0.1, /*seed=*/3);
+  auto db = edbms::CipherbaseEdbms::FromPlainTable(/*master_seed=*/11,
+                                                   ds.table);
+  std::printf("geo service online: %zu encrypted buildings\n", db.num_rows());
+
+  core::PrkbIndex index(&db);
+  index.EnableAttr(0);  // latitude
+  index.EnableAttr(1);  // longitude
+
+  query::Catalog catalog;
+  catalog.RegisterTable("buildings", {"lat", "lon"});
+  query::Planner planner(&catalog, &db, &index);
+
+  // A tourist walks through three cities; each stop issues the same window
+  // shape at a different location. Coordinates in micro-degrees.
+  struct Stop {
+    const char* city;
+    edbms::Value lat, lon;
+  };
+  const Stop trip[] = {
+      {"stop A", 40'700'000, -74'000'000},
+      {"stop B", 34'050'000, -118'250'000},
+      {"stop C", 41'880'000, -87'630'000},
+  };
+  const edbms::Value half = workload::kMicroDegPerKm / 2;
+
+  for (int round = 1; round <= 3; ++round) {
+    std::printf("\n--- sightseeing round %d ---\n", round);
+    for (const Stop& stop : trip) {
+      char sql[256];
+      std::snprintf(sql, sizeof(sql),
+                    "SELECT * FROM buildings WHERE lat > %lld AND lat < %lld "
+                    "AND lon > %lld AND lon < %lld",
+                    static_cast<long long>(stop.lat - half),
+                    static_cast<long long>(stop.lat + half),
+                    static_cast<long long>(stop.lon - half),
+                    static_cast<long long>(stop.lon + half));
+      auto res = planner.ExecuteSql(sql);
+      if (!res.ok()) {
+        std::printf("query failed: %s\n", res.status().ToString().c_str());
+        return 1;
+      }
+      std::printf(
+          "  %s: %4zu buildings in 1km^2   [%s, qpf_uses=%7llu, %.2f ms]\n",
+          stop.city, res->rows.size(), res->plan.c_str(),
+          static_cast<unsigned long long>(res->stats.qpf_uses),
+          res->stats.millis);
+    }
+    std::printf("  chain sizes now: lat k=%zu, lon k=%zu\n",
+                index.pop(0).k(), index.pop(1).k());
+  }
+
+  std::printf(
+      "\nEach revisit reuses the knowledge the earlier windows revealed: the "
+      "same query shape costs orders of magnitude fewer QPF uses by round "
+      "3.\n");
+  return 0;
+}

@@ -1,0 +1,35 @@
+#!/usr/bin/env bash
+# Reruns every experiment at the paper's dataset sizes (--scale=1.0).
+#
+# WARNING: paper scale means 10M-20M tuples and Logarithmic-SRC-i indexes of
+# several GB; budget tens of GB of RAM and multiple hours on one core. The
+# default-scale run (`for b in build/bench/bench_*; do $b; done`) reproduces
+# every qualitative result in minutes; this script exists for full-size
+# validation runs on a big machine.
+#
+# Usage: scripts/run_paper_scale.sh [output-file]
+
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+out="${1:-bench_output_paper_scale.txt}"
+build_dir="build"
+
+if [ ! -d "$build_dir/bench" ]; then
+  echo "build first: cmake -B build -G Ninja && cmake --build build" >&2
+  exit 1
+fi
+
+{
+  for b in "$build_dir"/bench/bench_*; do
+    [ -x "$b" ] && [ -f "$b" ] || continue
+    name="$(basename "$b")"
+    echo "===== $name (--scale=1.0) ====="
+    start=$SECONDS
+    "$b" --scale=1.0
+    echo "[elapsed $((SECONDS - start))s]"
+    echo
+  done
+} | tee "$out"
+
+echo "wrote $out"

@@ -1,0 +1,60 @@
+#include "attack/order_recovery.h"
+
+#include <algorithm>
+
+namespace prkb::attack {
+
+using edbms::CompareOp;
+using edbms::PlainPredicate;
+using edbms::Value;
+
+OrderRecovery::OrderRecovery(std::vector<Value> column)
+    : distinct_(std::move(column)) {
+  std::sort(distinct_.begin(), distinct_.end());
+  distinct_.erase(std::unique(distinct_.begin(), distinct_.end()),
+                  distinct_.end());
+}
+
+void OrderRecovery::AddCut(Value threshold, bool strict_less) {
+  // Rank r such that the cut separates distinct_[0..r-1] from
+  // distinct_[r..]: values v with (v < threshold) (strict) or
+  // (v <= threshold) (non-strict) are below the cut.
+  size_t r;
+  if (strict_less) {
+    r = static_cast<size_t>(
+        std::lower_bound(distinct_.begin(), distinct_.end(), threshold) -
+        distinct_.begin());
+  } else {
+    r = static_cast<size_t>(
+        std::upper_bound(distinct_.begin(), distinct_.end(), threshold) -
+        distinct_.begin());
+  }
+  // Cuts at the extremes split nothing.
+  if (r == 0 || r >= distinct_.size()) return;
+  cut_ranks_.insert(r);
+}
+
+void OrderRecovery::Observe(const PlainPredicate& pred) {
+  if (pred.kind == edbms::PredicateKind::kBetween) {
+    ObserveRange(pred.lo, pred.hi);
+    return;
+  }
+  switch (pred.op) {
+    case CompareOp::kLt:   // below side: v < c
+    case CompareOp::kGe:   // same split point
+      AddCut(pred.lo, /*strict_less=*/true);
+      break;
+    case CompareOp::kLe:   // below side: v <= c
+    case CompareOp::kGt:
+      AddCut(pred.lo, /*strict_less=*/false);
+      break;
+  }
+}
+
+void OrderRecovery::ObserveRange(Value lo, Value hi) {
+  // 'lo <= X <= hi' splits at both band edges (Appendix A general case).
+  AddCut(lo, /*strict_less=*/true);
+  AddCut(hi, /*strict_less=*/false);
+}
+
+}  // namespace prkb::attack

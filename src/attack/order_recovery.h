@@ -1,0 +1,69 @@
+#ifndef PRKB_ATTACK_ORDER_RECOVERY_H_
+#define PRKB_ATTACK_ORDER_RECOVERY_H_
+
+#include <cstdint>
+#include <set>
+#include <vector>
+
+#include "edbms/types.h"
+
+namespace prkb::attack {
+
+/// Measures how much ordering information a compromised service provider can
+/// accumulate from observed selection results (Sec. 3.3 / Sec. 8.1, after
+/// Kellaris et al. CCS'16).
+///
+/// Every comparison predicate an attacker observes splits the (hidden) sorted
+/// order of the column at one point. The union of all observed split points
+/// is exactly the partial order partitions PRKB would hold, so the recovered
+/// knowledge can be computed directly on ground truth without running the
+/// cryptographic machinery: this class is an *information* meter, not a
+/// processing-cost meter. `order_recovery_test.cc` cross-checks it against a
+/// real PRKB run.
+///
+/// RPOI (recovered portion of ordering information) is defined in the paper
+/// as (recovered partial order length) / (total order length), where a
+/// partial order's length is its longest chain. One tuple per partition can
+/// be chained, so the recovered length equals the partition count; the total
+/// order length is the number of distinct values.
+class OrderRecovery {
+ public:
+  /// `column` is the victim attribute's plain values (ground truth).
+  explicit OrderRecovery(std::vector<edbms::Value> column);
+
+  /// Feeds one observed comparison predicate. Only the induced split point
+  /// matters; equivalent predicates add nothing (Def. 4.3).
+  void Observe(const edbms::PlainPredicate& pred);
+
+  /// Feeds a BETWEEN predicate (two split points, Appendix A general case).
+  void ObserveRange(edbms::Value lo, edbms::Value hi);
+
+  /// Number of partitions the attacker's knowledge currently induces.
+  size_t partitions() const { return cut_ranks_.size() + 1; }
+
+  /// Longest chain of the recovered partial order = partitions().
+  size_t RecoveredOrderLength() const { return partitions(); }
+
+  /// Total order length = number of distinct values.
+  size_t TotalOrderLength() const { return distinct_.size(); }
+
+  /// RPOI in [0, 1].
+  double Rpoi() const {
+    return TotalOrderLength() == 0
+               ? 0.0
+               : static_cast<double>(RecoveredOrderLength()) /
+                     static_cast<double>(TotalOrderLength());
+  }
+
+ private:
+  /// Registers the cut that places values < `threshold` on one side
+  /// (strict) or values <= `threshold` (non-strict).
+  void AddCut(edbms::Value threshold, bool strict_less);
+
+  std::vector<edbms::Value> distinct_;  // sorted distinct values
+  std::set<size_t> cut_ranks_;  // cut between distinct_[r-1] and distinct_[r]
+};
+
+}  // namespace prkb::attack
+
+#endif  // PRKB_ATTACK_ORDER_RECOVERY_H_

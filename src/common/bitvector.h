@@ -1,0 +1,63 @@
+#ifndef PRKB_COMMON_BITVECTOR_H_
+#define PRKB_COMMON_BITVECTOR_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace prkb {
+
+/// Compact dynamic bit set. Used for selection result sets and grid masks,
+/// where `std::vector<bool>` lacks a popcount and word-level access.
+class BitVector {
+ public:
+  BitVector() = default;
+  /// Creates `n` bits, all set to `value`.
+  explicit BitVector(size_t n, bool value = false);
+
+  size_t size() const { return size_; }
+
+  /// Grows/shrinks to `n` bits; new bits are `value`.
+  void Resize(size_t n, bool value = false);
+
+  bool Get(size_t i) const {
+    return (words_[i >> 6] >> (i & 63)) & 1ULL;
+  }
+  void Set(size_t i) { words_[i >> 6] |= 1ULL << (i & 63); }
+  void Clear(size_t i) { words_[i >> 6] &= ~(1ULL << (i & 63)); }
+  void Assign(size_t i, bool value) {
+    if (value) {
+      Set(i);
+    } else {
+      Clear(i);
+    }
+  }
+
+  /// Number of set bits.
+  size_t Count() const;
+
+  /// Sets every bit to false without changing the size.
+  void Reset();
+
+  /// Indices of all set bits, in increasing order.
+  std::vector<uint32_t> ToIndices() const;
+
+  /// In-place intersection; both vectors must have equal size.
+  void And(const BitVector& other);
+  /// In-place union; both vectors must have equal size.
+  void Or(const BitVector& other);
+
+  bool operator==(const BitVector& other) const {
+    return size_ == other.size_ && words_ == other.words_;
+  }
+
+ private:
+  void ZeroTail();
+
+  size_t size_ = 0;
+  std::vector<uint64_t> words_;
+};
+
+}  // namespace prkb
+
+#endif  // PRKB_COMMON_BITVECTOR_H_

@@ -1,0 +1,60 @@
+#include "common/histogram.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <cstdio>
+
+namespace prkb {
+
+void Histogram::Add(double v) {
+  samples_.push_back(v);
+  sum_ += v;
+  sorted_ = false;
+}
+
+double Histogram::Mean() const {
+  return samples_.empty() ? 0.0 : sum_ / static_cast<double>(samples_.size());
+}
+
+double Histogram::Min() const {
+  assert(!samples_.empty());
+  return *std::min_element(samples_.begin(), samples_.end());
+}
+
+double Histogram::Max() const {
+  assert(!samples_.empty());
+  return *std::max_element(samples_.begin(), samples_.end());
+}
+
+double Histogram::Percentile(double q) const {
+  assert(!samples_.empty());
+  if (!sorted_) {
+    std::sort(samples_.begin(), samples_.end());
+    sorted_ = true;
+  }
+  const double rank = q / 100.0 * static_cast<double>(samples_.size() - 1);
+  const size_t lo = static_cast<size_t>(rank);
+  const size_t hi = std::min(lo + 1, samples_.size() - 1);
+  const double frac = rank - static_cast<double>(lo);
+  return samples_[lo] * (1.0 - frac) + samples_[hi] * frac;
+}
+
+double Histogram::Stddev() const {
+  if (samples_.size() < 2) return 0.0;
+  const double mean = Mean();
+  double acc = 0.0;
+  for (double v : samples_) acc += (v - mean) * (v - mean);
+  return std::sqrt(acc / static_cast<double>(samples_.size() - 1));
+}
+
+std::string Histogram::ToString() const {
+  if (samples_.empty()) return "n=0";
+  char buf[160];
+  std::snprintf(buf, sizeof(buf),
+                "n=%zu mean=%.3g p50=%.3g p99=%.3g max=%.3g", count(), Mean(),
+                Percentile(50.0), Percentile(99.0), Max());
+  return buf;
+}
+
+}  // namespace prkb

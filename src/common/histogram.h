@@ -1,0 +1,38 @@
+#ifndef PRKB_COMMON_HISTOGRAM_H_
+#define PRKB_COMMON_HISTOGRAM_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace prkb {
+
+/// Streaming summary of a series of measurements (QPF counts, latencies).
+/// Keeps every sample so exact percentiles are available; experiment series
+/// are small (hundreds to thousands of points).
+class Histogram {
+ public:
+  void Add(double v);
+
+  size_t count() const { return samples_.size(); }
+  double sum() const { return sum_; }
+  double Mean() const;
+  double Min() const;
+  double Max() const;
+  /// Exact percentile, q in [0, 100]. Requires at least one sample.
+  double Percentile(double q) const;
+  double Median() const { return Percentile(50.0); }
+  double Stddev() const;
+
+  /// One-line summary, e.g. "n=20 mean=1.2 p50=1.1 p99=3.0 max=3.2".
+  std::string ToString() const;
+
+ private:
+  mutable std::vector<double> samples_;
+  mutable bool sorted_ = true;
+  double sum_ = 0.0;
+};
+
+}  // namespace prkb
+
+#endif  // PRKB_COMMON_HISTOGRAM_H_

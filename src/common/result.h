@@ -1,0 +1,66 @@
+#ifndef PRKB_COMMON_RESULT_H_
+#define PRKB_COMMON_RESULT_H_
+
+#include <cassert>
+#include <optional>
+#include <utility>
+
+#include "common/status.h"
+
+namespace prkb {
+
+/// Value-or-error carrier in the style of `arrow::Result`. Holds either a `T`
+/// or a non-OK `Status`. Accessing the value of an errored result is a
+/// programming error (checked by assert in debug builds).
+template <typename T>
+class Result {
+ public:
+  /// Implicit construction from a value makes `return value;` work.
+  Result(T value) : value_(std::move(value)) {}  // NOLINT(runtime/explicit)
+
+  /// Implicit construction from a (non-OK) status makes
+  /// `return Status::InvalidArgument(...);` work.
+  Result(Status status) : status_(std::move(status)) {  // NOLINT
+    assert(!status_.ok());
+  }
+
+  bool ok() const { return status_.ok(); }
+  const Status& status() const { return status_; }
+
+  const T& value() const& {
+    assert(ok());
+    return *value_;
+  }
+  T& value() & {
+    assert(ok());
+    return *value_;
+  }
+  T&& value() && {
+    assert(ok());
+    return std::move(*value_);
+  }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+ private:
+  Status status_;
+  std::optional<T> value_;
+};
+
+/// Assigns the value of a `Result<T>` expression to `lhs`, early-returning the
+/// status on failure.
+#define PRKB_ASSIGN_OR_RETURN(lhs, expr)          \
+  auto PRKB_CONCAT_(_res_, __LINE__) = (expr);    \
+  if (!PRKB_CONCAT_(_res_, __LINE__).ok())        \
+    return PRKB_CONCAT_(_res_, __LINE__).status(); \
+  lhs = std::move(PRKB_CONCAT_(_res_, __LINE__)).value()
+
+#define PRKB_CONCAT_(a, b) PRKB_CONCAT_IMPL_(a, b)
+#define PRKB_CONCAT_IMPL_(a, b) a##b
+
+}  // namespace prkb
+
+#endif  // PRKB_COMMON_RESULT_H_

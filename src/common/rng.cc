@@ -1,0 +1,83 @@
+#include "common/rng.h"
+
+#include <cassert>
+#include <cmath>
+
+namespace prkb {
+namespace {
+
+uint64_t SplitMix64(uint64_t* state) {
+  uint64_t z = (*state += 0x9E3779B97F4A7C15ULL);
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+  return z ^ (z >> 31);
+}
+
+uint64_t Rotl(uint64_t x, int k) { return (x << k) | (x >> (64 - k)); }
+
+}  // namespace
+
+Rng::Rng(uint64_t seed) {
+  uint64_t sm = seed;
+  for (auto& lane : s_) lane = SplitMix64(&sm);
+  // xoshiro256** must not start from the all-zero state.
+  if ((s_[0] | s_[1] | s_[2] | s_[3]) == 0) s_[0] = 1;
+}
+
+uint64_t Rng::Next() {
+  const uint64_t result = Rotl(s_[1] * 5, 7) * 9;
+  const uint64_t t = s_[1] << 17;
+  s_[2] ^= s_[0];
+  s_[3] ^= s_[1];
+  s_[1] ^= s_[2];
+  s_[0] ^= s_[3];
+  s_[2] ^= t;
+  s_[3] = Rotl(s_[3], 45);
+  return result;
+}
+
+uint64_t Rng::UniformInt(uint64_t lo, uint64_t hi) {
+  assert(lo <= hi);
+  const uint64_t span = hi - lo;
+  if (span == UINT64_MAX) return Next();
+  // Rejection sampling to avoid modulo bias.
+  const uint64_t bound = span + 1;
+  const uint64_t limit = UINT64_MAX - UINT64_MAX % bound;
+  uint64_t x;
+  do {
+    x = Next();
+  } while (x >= limit);
+  return lo + x % bound;
+}
+
+int64_t Rng::UniformInt64(int64_t lo, int64_t hi) {
+  assert(lo <= hi);
+  const uint64_t span =
+      static_cast<uint64_t>(hi) - static_cast<uint64_t>(lo);
+  uint64_t off = (span == UINT64_MAX) ? Next() : UniformInt(0, span);
+  return static_cast<int64_t>(static_cast<uint64_t>(lo) + off);
+}
+
+double Rng::UniformDouble() {
+  // 53 high bits -> double in [0,1).
+  return static_cast<double>(Next() >> 11) * 0x1.0p-53;
+}
+
+double Rng::Normal() {
+  if (have_cached_normal_) {
+    have_cached_normal_ = false;
+    return cached_normal_;
+  }
+  double u1;
+  do {
+    u1 = UniformDouble();
+  } while (u1 <= 0.0);
+  const double u2 = UniformDouble();
+  const double r = std::sqrt(-2.0 * std::log(u1));
+  const double theta = 2.0 * M_PI * u2;
+  cached_normal_ = r * std::sin(theta);
+  have_cached_normal_ = true;
+  return r * std::cos(theta);
+}
+
+}  // namespace prkb

@@ -1,0 +1,66 @@
+#ifndef PRKB_COMMON_RNG_H_
+#define PRKB_COMMON_RNG_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+namespace prkb {
+
+/// Deterministic pseudo-random number generator (xoshiro256**), seeded via
+/// splitmix64. Every source of randomness in the library flows through an
+/// `Rng` instance so that experiments are reproducible bit-for-bit.
+///
+/// Not cryptographically secure — cryptographic keys use crypto/prf.h.
+class Rng {
+ public:
+  /// Seeds the four 64-bit lanes from `seed` using splitmix64.
+  explicit Rng(uint64_t seed = 0x9E3779B97F4A7C15ULL);
+
+  /// Next raw 64-bit output.
+  uint64_t Next();
+
+  /// Uniform integer in [lo, hi] (inclusive). Requires lo <= hi.
+  uint64_t UniformInt(uint64_t lo, uint64_t hi);
+
+  /// Uniform signed integer in [lo, hi] (inclusive). Requires lo <= hi.
+  int64_t UniformInt64(int64_t lo, int64_t hi);
+
+  /// Uniform double in [0, 1).
+  double UniformDouble();
+
+  /// Standard normal via Box-Muller.
+  double Normal();
+
+  /// Normal with the given mean / stddev.
+  double Normal(double mean, double stddev) { return mean + stddev * Normal(); }
+
+  /// Bernoulli trial with success probability p.
+  bool Bernoulli(double p) { return UniformDouble() < p; }
+
+  /// Fisher-Yates shuffle.
+  template <typename T>
+  void Shuffle(std::vector<T>* v) {
+    for (size_t i = v->size(); i > 1; --i) {
+      size_t j = static_cast<size_t>(UniformInt(0, i - 1));
+      using std::swap;
+      swap((*v)[i - 1], (*v)[j]);
+    }
+  }
+
+  /// Picks a uniformly random element; requires a non-empty vector.
+  template <typename T>
+  const T& Pick(const std::vector<T>& v) {
+    return v[static_cast<size_t>(UniformInt(0, v.size() - 1))];
+  }
+
+ private:
+  uint64_t s_[4];
+  bool have_cached_normal_ = false;
+  double cached_normal_ = 0.0;
+};
+
+}  // namespace prkb
+
+#endif  // PRKB_COMMON_RNG_H_

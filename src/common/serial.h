@@ -1,0 +1,57 @@
+#ifndef PRKB_COMMON_SERIAL_H_
+#define PRKB_COMMON_SERIAL_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+
+namespace prkb {
+
+/// Little binary encoder used by PRKB persistence (prkb/prkb_io.h).
+/// Fixed-width little-endian integers plus LEB128 varints and
+/// length-prefixed byte strings.
+class Encoder {
+ public:
+  void PutU8(uint8_t v) { buf_.push_back(v); }
+  void PutU32(uint32_t v);
+  void PutU64(uint64_t v);
+  void PutVarint(uint64_t v);
+  void PutBytes(const std::vector<uint8_t>& bytes);
+  void PutString(const std::string& s);
+
+  const std::vector<uint8_t>& buffer() const { return buf_; }
+  std::vector<uint8_t> Release() { return std::move(buf_); }
+
+ private:
+  std::vector<uint8_t> buf_;
+};
+
+/// Counterpart decoder. All getters return Corruption on truncated input.
+class Decoder {
+ public:
+  Decoder(const uint8_t* data, size_t size) : data_(data), size_(size) {}
+  explicit Decoder(const std::vector<uint8_t>& buf)
+      : Decoder(buf.data(), buf.size()) {}
+
+  Status GetU8(uint8_t* out);
+  Status GetU32(uint32_t* out);
+  Status GetU64(uint64_t* out);
+  Status GetVarint(uint64_t* out);
+  Status GetBytes(std::vector<uint8_t>* out);
+  Status GetString(std::string* out);
+
+  /// True when all bytes have been consumed.
+  bool Done() const { return pos_ == size_; }
+  size_t remaining() const { return size_ - pos_; }
+
+ private:
+  const uint8_t* data_;
+  size_t size_;
+  size_t pos_ = 0;
+};
+
+}  // namespace prkb
+
+#endif  // PRKB_COMMON_SERIAL_H_

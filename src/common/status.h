@@ -1,0 +1,80 @@
+#ifndef PRKB_COMMON_STATUS_H_
+#define PRKB_COMMON_STATUS_H_
+
+#include <string>
+#include <utility>
+
+namespace prkb {
+
+/// Error handling follows the RocksDB/Arrow convention: library code never
+/// throws; fallible operations return a `Status` (or a `Result<T>`, see
+/// result.h) that the caller must inspect.
+class Status {
+ public:
+  /// Machine-readable error category.
+  enum class Code {
+    kOk = 0,
+    kInvalidArgument,
+    kNotFound,
+    kCorruption,
+    kNotSupported,
+    kOutOfRange,
+    kIoError,
+    kInternal,
+  };
+
+  /// Default-constructed status is success.
+  Status() = default;
+
+  /// Factory functions — the only way to build non-OK statuses.
+  static Status Ok() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(Code::kInvalidArgument, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(Code::kNotFound, std::move(msg));
+  }
+  static Status Corruption(std::string msg) {
+    return Status(Code::kCorruption, std::move(msg));
+  }
+  static Status NotSupported(std::string msg) {
+    return Status(Code::kNotSupported, std::move(msg));
+  }
+  static Status OutOfRange(std::string msg) {
+    return Status(Code::kOutOfRange, std::move(msg));
+  }
+  static Status IoError(std::string msg) {
+    return Status(Code::kIoError, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(Code::kInternal, std::move(msg));
+  }
+
+  bool ok() const { return code_ == Code::kOk; }
+  Code code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  /// Human-readable rendering, e.g. "InvalidArgument: empty table".
+  std::string ToString() const;
+
+  bool operator==(const Status& other) const {
+    return code_ == other.code_ && message_ == other.message_;
+  }
+
+ private:
+  Status(Code code, std::string msg) : code_(code), message_(std::move(msg)) {}
+
+  Code code_ = Code::kOk;
+  std::string message_;
+};
+
+/// Evaluates `expr` (a Status expression) and early-returns it on failure.
+#define PRKB_RETURN_IF_ERROR(expr)              \
+  do {                                          \
+    ::prkb::Status _prkb_status = (expr);       \
+    if (!_prkb_status.ok()) return _prkb_status; \
+  } while (0)
+
+}  // namespace prkb
+
+#endif  // PRKB_COMMON_STATUS_H_

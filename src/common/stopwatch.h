@@ -1,0 +1,33 @@
+#ifndef PRKB_COMMON_STOPWATCH_H_
+#define PRKB_COMMON_STOPWATCH_H_
+
+#include <chrono>
+#include <cstdint>
+
+namespace prkb {
+
+/// Monotonic wall-clock stopwatch used by the benchmark harness.
+class Stopwatch {
+ public:
+  Stopwatch() : start_(Clock::now()) {}
+
+  /// Restarts the stopwatch.
+  void Reset() { start_ = Clock::now(); }
+
+  /// Elapsed time since construction / last Reset.
+  double ElapsedSeconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+  double ElapsedMillis() const { return ElapsedSeconds() * 1e3; }
+  uint64_t ElapsedMicros() const {
+    return static_cast<uint64_t>(ElapsedSeconds() * 1e6);
+  }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace prkb
+
+#endif  // PRKB_COMMON_STOPWATCH_H_

@@ -1,0 +1,42 @@
+#ifndef PRKB_COMMON_TABLE_PRINTER_H_
+#define PRKB_COMMON_TABLE_PRINTER_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace prkb {
+
+/// Renders aligned text tables for the benchmark harness so every bench
+/// binary prints the same rows/series the paper's tables and figures report.
+class TablePrinter {
+ public:
+  /// `title` is printed above the table; pass "" to omit.
+  explicit TablePrinter(std::string title = "") : title_(std::move(title)) {}
+
+  /// Sets the header row. Must be called before adding rows.
+  void SetHeader(std::vector<std::string> names);
+
+  /// Appends a data row; its arity must match the header.
+  void AddRow(std::vector<std::string> cells);
+
+  /// Convenience cell formatters.
+  static std::string Fmt(double v, int precision = 3);
+  static std::string Fmt(uint64_t v);
+  static std::string Fmt(int64_t v);
+
+  /// Renders the table with column alignment.
+  std::string ToString() const;
+
+  /// Renders and writes to stdout.
+  void Print() const;
+
+ private:
+  std::string title_;
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace prkb
+
+#endif  // PRKB_COMMON_TABLE_PRINTER_H_

@@ -1,0 +1,43 @@
+#ifndef PRKB_CRYPTO_AES128_H_
+#define PRKB_CRYPTO_AES128_H_
+
+#include <array>
+#include <cstddef>
+#include <cstdint>
+
+namespace prkb::crypto {
+
+/// AES-128 block cipher (FIPS-197), implemented in portable C++ so the
+/// library has no external crypto dependency. One instance holds an expanded
+/// key schedule; Encrypt/Decrypt operate on single 16-byte blocks.
+///
+/// This is the EDBMS's "application level encryption": the data owner and the
+/// trusted machine hold the key; the service provider only ever moves
+/// ciphertext around.
+class Aes128 {
+ public:
+  static constexpr size_t kBlockSize = 16;
+  static constexpr size_t kKeySize = 16;
+
+  using Block = std::array<uint8_t, kBlockSize>;
+  using Key = std::array<uint8_t, kKeySize>;
+
+  /// Expands `key` into the 11 round keys.
+  explicit Aes128(const Key& key);
+
+  /// Encrypts one block: out = E_k(in). `out` may alias `in`.
+  void EncryptBlock(const uint8_t in[kBlockSize],
+                    uint8_t out[kBlockSize]) const;
+
+  /// Decrypts one block: out = D_k(in). `out` may alias `in`.
+  void DecryptBlock(const uint8_t in[kBlockSize],
+                    uint8_t out[kBlockSize]) const;
+
+ private:
+  // 11 round keys x 16 bytes.
+  std::array<uint8_t, 176> round_keys_;
+};
+
+}  // namespace prkb::crypto
+
+#endif  // PRKB_CRYPTO_AES128_H_

@@ -1,0 +1,50 @@
+#include "crypto/cipher.h"
+
+#include <cassert>
+#include <cstring>
+
+namespace prkb::crypto {
+
+void AesCtr::Crypt(uint64_t nonce, uint8_t* data, size_t n) const {
+  uint8_t block[16];
+  uint8_t stream[16];
+  uint64_t counter = 0;
+  size_t pos = 0;
+  while (pos < n) {
+    std::memcpy(block, &nonce, 8);
+    std::memcpy(block + 8, &counter, 8);
+    aes_.EncryptBlock(block, stream);
+    const size_t chunk = std::min<size_t>(16, n - pos);
+    for (size_t i = 0; i < chunk; ++i) data[pos + i] ^= stream[i];
+    pos += chunk;
+    ++counter;
+  }
+}
+
+uint64_t AesCtr::CryptWord(uint64_t nonce, uint64_t word) const {
+  uint8_t block[16];
+  uint8_t stream[16];
+  const uint64_t counter = 0;
+  std::memcpy(block, &nonce, 8);
+  std::memcpy(block + 8, &counter, 8);
+  aes_.EncryptBlock(block, stream);
+  uint64_t ks;
+  std::memcpy(&ks, stream, 8);
+  return word ^ ks;
+}
+
+void AesEcb::Encrypt(const uint8_t* in, uint8_t* out, size_t n) const {
+  assert(n % Aes128::kBlockSize == 0);
+  for (size_t off = 0; off < n; off += Aes128::kBlockSize) {
+    aes_.EncryptBlock(in + off, out + off);
+  }
+}
+
+void AesEcb::Decrypt(const uint8_t* in, uint8_t* out, size_t n) const {
+  assert(n % Aes128::kBlockSize == 0);
+  for (size_t off = 0; off < n; off += Aes128::kBlockSize) {
+    aes_.DecryptBlock(in + off, out + off);
+  }
+}
+
+}  // namespace prkb::crypto

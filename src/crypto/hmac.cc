@@ -1,0 +1,39 @@
+#include "crypto/hmac.h"
+
+#include <cstring>
+
+namespace prkb::crypto {
+
+HmacSha256::HmacSha256(const std::vector<uint8_t>& key) {
+  uint8_t k[Sha256::kBlockSize] = {0};
+  if (key.size() > Sha256::kBlockSize) {
+    const auto digest = Sha256::Hash(key.data(), key.size());
+    std::memcpy(k, digest.data(), digest.size());
+  } else {
+    std::memcpy(k, key.data(), key.size());
+  }
+  for (size_t i = 0; i < Sha256::kBlockSize; ++i) {
+    ipad_[i] = static_cast<uint8_t>(k[i] ^ 0x36);
+    opad_[i] = static_cast<uint8_t>(k[i] ^ 0x5c);
+  }
+}
+
+HmacSha256::Tag HmacSha256::Compute(const uint8_t* data, size_t n) const {
+  Sha256 inner;
+  inner.Update(ipad_, Sha256::kBlockSize);
+  inner.Update(data, n);
+  const auto inner_digest = inner.Finalize();
+
+  Sha256 outer;
+  outer.Update(opad_, Sha256::kBlockSize);
+  outer.Update(inner_digest.data(), inner_digest.size());
+  return outer.Finalize();
+}
+
+bool HmacSha256::Verify(const Tag& a, const Tag& b) {
+  uint8_t diff = 0;
+  for (size_t i = 0; i < a.size(); ++i) diff |= a[i] ^ b[i];
+  return diff == 0;
+}
+
+}  // namespace prkb::crypto

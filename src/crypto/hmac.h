@@ -1,0 +1,41 @@
+#ifndef PRKB_CRYPTO_HMAC_H_
+#define PRKB_CRYPTO_HMAC_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "crypto/sha256.h"
+
+namespace prkb::crypto {
+
+/// HMAC-SHA-256 (RFC 2104). Used as the PRF of the searchable-encryption
+/// layer (srci/) and for trapdoor integrity tags.
+class HmacSha256 {
+ public:
+  using Tag = Sha256::Digest;
+
+  /// Any key length is accepted; keys longer than the block size are hashed
+  /// first, per RFC 2104.
+  explicit HmacSha256(const std::vector<uint8_t>& key);
+
+  /// One-shot MAC over `data`.
+  Tag Compute(const uint8_t* data, size_t n) const;
+  Tag Compute(const std::vector<uint8_t>& data) const {
+    return Compute(data.data(), data.size());
+  }
+  Tag Compute(const std::string& data) const {
+    return Compute(reinterpret_cast<const uint8_t*>(data.data()), data.size());
+  }
+
+  /// Constant-time tag comparison.
+  static bool Verify(const Tag& a, const Tag& b);
+
+ private:
+  uint8_t ipad_[Sha256::kBlockSize];
+  uint8_t opad_[Sha256::kBlockSize];
+};
+
+}  // namespace prkb::crypto
+
+#endif  // PRKB_CRYPTO_HMAC_H_

@@ -1,0 +1,30 @@
+#include "crypto/prf.h"
+
+#include <cstring>
+
+namespace prkb::crypto {
+
+Aes128::Key Prf::DeriveAesKey(const std::string& label) const {
+  const auto tag = hmac_.Compute("aes:" + label);
+  Aes128::Key key;
+  std::memcpy(key.data(), tag.data(), key.size());
+  return key;
+}
+
+std::vector<uint8_t> Prf::DeriveKey(const std::string& label) const {
+  const auto tag = hmac_.Compute("sub:" + label);
+  return std::vector<uint8_t>(tag.begin(), tag.end());
+}
+
+uint64_t Prf::Eval64(const std::string& label, uint64_t x) const {
+  std::vector<uint8_t> msg(label.begin(), label.end());
+  for (int i = 0; i < 8; ++i) {
+    msg.push_back(static_cast<uint8_t>(x >> (8 * i)));
+  }
+  const auto tag = hmac_.Compute(msg);
+  uint64_t out;
+  std::memcpy(&out, tag.data(), 8);
+  return out;
+}
+
+}  // namespace prkb::crypto

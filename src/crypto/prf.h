@@ -1,0 +1,43 @@
+#ifndef PRKB_CRYPTO_PRF_H_
+#define PRKB_CRYPTO_PRF_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "crypto/aes128.h"
+#include "crypto/hmac.h"
+
+namespace prkb::crypto {
+
+/// Keyed pseudo-random function family built on HMAC-SHA-256. Provides the
+/// key-derivation and label-hashing primitives the EDBMS and the SSE index
+/// need:
+///   - Derive(label): an independent subkey per purpose ("value-enc",
+///     "trapdoor-enc", SSE node keys, ...)
+///   - Eval64 / Eval128: PRF outputs used as table addresses and pads.
+class Prf {
+ public:
+  explicit Prf(const std::vector<uint8_t>& key) : hmac_(key) {}
+
+  /// Derives a 16-byte AES key bound to `label`.
+  Aes128::Key DeriveAesKey(const std::string& label) const;
+
+  /// Derives a 32-byte subkey bound to `label`.
+  std::vector<uint8_t> DeriveKey(const std::string& label) const;
+
+  /// 64-bit PRF output on (label, x).
+  uint64_t Eval64(const std::string& label, uint64_t x) const;
+
+  /// Full 32-byte PRF output on raw bytes.
+  HmacSha256::Tag EvalBytes(const uint8_t* data, size_t n) const {
+    return hmac_.Compute(data, n);
+  }
+
+ private:
+  HmacSha256 hmac_;
+};
+
+}  // namespace prkb::crypto
+
+#endif  // PRKB_CRYPTO_PRF_H_

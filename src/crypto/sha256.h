@@ -1,0 +1,46 @@
+#ifndef PRKB_CRYPTO_SHA256_H_
+#define PRKB_CRYPTO_SHA256_H_
+
+#include <array>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace prkb::crypto {
+
+/// SHA-256 (FIPS-180-4). Streaming interface plus one-shot helper.
+class Sha256 {
+ public:
+  static constexpr size_t kDigestSize = 32;
+  static constexpr size_t kBlockSize = 64;
+
+  using Digest = std::array<uint8_t, kDigestSize>;
+
+  Sha256();
+
+  /// Absorbs `n` bytes.
+  void Update(const uint8_t* data, size_t n);
+  void Update(const std::vector<uint8_t>& data) {
+    Update(data.data(), data.size());
+  }
+
+  /// Finalizes and returns the digest. The object must not be reused after
+  /// Finalize without reconstruction.
+  Digest Finalize();
+
+  /// One-shot digest.
+  static Digest Hash(const uint8_t* data, size_t n);
+  static Digest Hash(const std::string& s);
+
+ private:
+  void ProcessBlock(const uint8_t block[kBlockSize]);
+
+  uint32_t h_[8];
+  uint8_t buffer_[kBlockSize];
+  size_t buffer_len_ = 0;
+  uint64_t total_len_ = 0;
+};
+
+}  // namespace prkb::crypto
+
+#endif  // PRKB_CRYPTO_SHA256_H_

@@ -1,0 +1,38 @@
+#ifndef PRKB_EDBMS_EDBMS_H_
+#define PRKB_EDBMS_EDBMS_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "edbms/qpf.h"
+#include "edbms/types.h"
+
+namespace prkb::edbms {
+
+/// Backend-agnostic view of a deployed EDBMS instance. It bundles, for the
+/// simulator's convenience, the two roles of the paper's model:
+///   - the DO-side client API (insert rows, issue trapdoors), and
+///   - the SP-side QPF (inherited QpfOracle::Eval) plus table geometry.
+/// PRKB and the benchmark harness only ever touch the SP-side surface; the
+/// per-backend classes (CipherbaseEdbms, SdbEdbms) wire up the actual
+/// DataOwner / TrustedMachine / share-store machinery.
+class Edbms : public QpfOracle {
+ public:
+  /// --- DO-side client API ------------------------------------------------
+  virtual TupleId Insert(const std::vector<Value>& row) = 0;
+  virtual void Delete(TupleId tid) = 0;
+  virtual Trapdoor MakeComparison(AttrId attr, CompareOp op, Value c) = 0;
+  virtual Trapdoor MakeBetween(AttrId attr, Value lo, Value hi) = 0;
+
+  /// --- SP-side geometry ---------------------------------------------------
+  virtual size_t num_attrs() const = 0;
+  virtual size_t num_rows() const = 0;
+  virtual bool IsLive(TupleId tid) const = 0;
+
+  /// Bytes of encrypted payload stored at the SP.
+  virtual size_t StoredBytes() const = 0;
+};
+
+}  // namespace prkb::edbms
+
+#endif  // PRKB_EDBMS_EDBMS_H_

@@ -1,0 +1,67 @@
+#include "edbms/encryption.h"
+
+#include <cstring>
+
+namespace prkb::edbms {
+namespace {
+
+// MAC input: attr || kind || nonce || ct.
+std::vector<uint8_t> MacInput(AttrId attr, PredicateKind kind, uint64_t nonce,
+                              const uint8_t* ct) {
+  std::vector<uint8_t> msg;
+  msg.reserve(4 + 1 + 8 + kTrapdoorCtSize);
+  for (int i = 0; i < 4; ++i) msg.push_back(static_cast<uint8_t>(attr >> (8 * i)));
+  msg.push_back(static_cast<uint8_t>(kind));
+  for (int i = 0; i < 8; ++i) msg.push_back(static_cast<uint8_t>(nonce >> (8 * i)));
+  msg.insert(msg.end(), ct, ct + kTrapdoorCtSize);
+  return msg;
+}
+
+}  // namespace
+
+std::vector<uint8_t> SealTrapdoor(const crypto::AesCtr& cipher,
+                                  const crypto::HmacSha256& mac, AttrId attr,
+                                  PredicateKind kind, uint64_t nonce,
+                                  const TrapdoorPayload& payload) {
+  uint8_t ct[kTrapdoorCtSize];
+  ct[0] = static_cast<uint8_t>(payload.op);
+  std::memcpy(ct + 1, &payload.lo, 8);
+  std::memcpy(ct + 9, &payload.hi, 8);
+  cipher.Crypt(nonce, ct, kTrapdoorCtSize);
+
+  const auto tag = mac.Compute(MacInput(attr, kind, nonce, ct));
+
+  std::vector<uint8_t> blob(kTrapdoorBlobSize);
+  std::memcpy(blob.data(), &nonce, kTrapdoorNonceSize);
+  std::memcpy(blob.data() + kTrapdoorNonceSize, ct, kTrapdoorCtSize);
+  std::memcpy(blob.data() + kTrapdoorNonceSize + kTrapdoorCtSize, tag.data(),
+              kTrapdoorTagSize);
+  return blob;
+}
+
+bool OpenTrapdoor(const crypto::AesCtr& cipher, const crypto::HmacSha256& mac,
+                  const Trapdoor& td, TrapdoorPayload* out) {
+  if (td.blob.size() != kTrapdoorBlobSize) return false;
+  uint64_t nonce;
+  std::memcpy(&nonce, td.blob.data(), kTrapdoorNonceSize);
+  uint8_t ct[kTrapdoorCtSize];
+  std::memcpy(ct, td.blob.data() + kTrapdoorNonceSize, kTrapdoorCtSize);
+
+  const auto expect = mac.Compute(MacInput(td.attr, td.kind, nonce, ct));
+  crypto::HmacSha256::Tag got{};
+  std::memcpy(got.data(), td.blob.data() + kTrapdoorNonceSize + kTrapdoorCtSize,
+              kTrapdoorTagSize);
+  // Only the first kTrapdoorTagSize bytes of the tag are stored; compare them
+  // in constant time.
+  uint8_t diff = 0;
+  for (size_t i = 0; i < kTrapdoorTagSize; ++i) diff |= expect[i] ^ got[i];
+  if (diff != 0) return false;
+
+  cipher.Crypt(nonce, ct, kTrapdoorCtSize);
+  out->op = static_cast<CompareOp>(ct[0]);
+  std::memcpy(&out->lo, ct + 1, 8);
+  std::memcpy(&out->hi, ct + 9, 8);
+  return true;
+}
+
+}  // namespace prkb::edbms

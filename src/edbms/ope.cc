@@ -1,0 +1,56 @@
+#include "edbms/ope.h"
+
+#include <algorithm>
+
+#include "common/rng.h"
+
+namespace prkb::edbms {
+
+OpeColumn OpeColumn::Build(const std::vector<Value>& column, uint64_t key) {
+  OpeColumn out;
+  std::vector<Value> distinct = column;
+  std::sort(distinct.begin(), distinct.end());
+  distinct.erase(std::unique(distinct.begin(), distinct.end()),
+                 distinct.end());
+
+  // Rank-preserving codes with keyed positive jitter between consecutive
+  // ranks. Gaps keep room for probes between any two stored values.
+  Rng rng(key);
+  out.dictionary_.reserve(distinct.size());
+  uint64_t code = 1 << 20;
+  for (Value v : distinct) {
+    code += (1 << 20) + rng.UniformInt(0, (1 << 18));
+    out.dictionary_.emplace_back(v, code);
+  }
+
+  out.codes_.reserve(column.size());
+  for (Value v : column) {
+    const auto it = std::lower_bound(
+        out.dictionary_.begin(), out.dictionary_.end(), v,
+        [](const auto& pr, Value x) { return pr.first < x; });
+    out.codes_.push_back(it->second);
+  }
+  return out;
+}
+
+uint64_t OpeColumn::EncodeProbe(Value x) const {
+  // Code strictly between the codes of the neighbouring stored values.
+  const auto it = std::lower_bound(
+      dictionary_.begin(), dictionary_.end(), x,
+      [](const auto& pr, Value v) { return pr.first < v; });
+  if (it == dictionary_.end()) return dictionary_.back().second + 512;
+  if (it->first == x) return it->second;
+  if (it == dictionary_.begin()) return it->second - 512;
+  return (std::prev(it)->second + it->second) / 2;
+}
+
+std::vector<TupleId> OpeColumn::RecoverTotalOrder() const {
+  std::vector<TupleId> order(codes_.size());
+  for (TupleId t = 0; t < codes_.size(); ++t) order[t] = t;
+  std::stable_sort(order.begin(), order.end(), [this](TupleId a, TupleId b) {
+    return codes_[a] < codes_[b];
+  });
+  return order;
+}
+
+}  // namespace prkb::edbms

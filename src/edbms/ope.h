@@ -1,0 +1,50 @@
+#ifndef PRKB_EDBMS_OPE_H_
+#define PRKB_EDBMS_OPE_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/status.h"
+#include "edbms/types.h"
+
+namespace prkb::edbms {
+
+/// Order-preserving encoding of one column, in the style of CryptDB's OPE
+/// layer / mOPE (an "ideal-security" order-revealing code built by the data
+/// owner). Plain values map to codes such that x < y ⟺ code(x) < code(y);
+/// the service provider can index and compare them like plaintext.
+///
+/// This exists for the paper's security contrast (end of Sec. 8.1): with
+/// OPE the total order is public *before a single query is answered*
+/// (RPOI = 100% immediately), which is what makes the inference attacks of
+/// Naveed et al. fully effective — whereas the selection-revealing model
+/// PRKB builds on leaks ordering only gradually and partially. Not used by
+/// any processing path; see attack_test.cc and examples/attack_audit.
+class OpeColumn {
+ public:
+  /// Encodes `column` under `key`: rank-preserving codes with keyed jitter,
+  /// so equal plaintexts share a code and order is exactly preserved.
+  static OpeColumn Build(const std::vector<Value>& column, uint64_t key);
+
+  /// Code of the value at tuple id `tid`.
+  uint64_t code_at(TupleId tid) const { return codes_[tid]; }
+  size_t size() const { return codes_.size(); }
+
+  /// Encodes a fresh value consistently with the column's code space
+  /// (needed by the DO to issue OPE range queries). Returns a code c with
+  /// the property: for every stored value v, v <relation> x ⟺
+  /// code(v) <relation'> c in a way that preserves answers.
+  uint64_t EncodeProbe(Value x) const;
+
+  /// What a compromised SP recovers from the codes alone: the complete
+  /// total order (as the permutation of tuple ids sorted by code).
+  std::vector<TupleId> RecoverTotalOrder() const;
+
+ private:
+  std::vector<uint64_t> codes_;             // by tuple id
+  std::vector<std::pair<Value, uint64_t>> dictionary_;  // sorted (v, code)
+};
+
+}  // namespace prkb::edbms
+
+#endif  // PRKB_EDBMS_OPE_H_

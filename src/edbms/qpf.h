@@ -1,0 +1,39 @@
+#ifndef PRKB_EDBMS_QPF_H_
+#define PRKB_EDBMS_QPF_H_
+
+#include <cstdint>
+
+#include "edbms/encryption.h"
+#include "edbms/types.h"
+
+namespace prkb::edbms {
+
+/// The query processing function Θ of the paper's EDBMS model (Sec. 3.1):
+/// given an encrypted predicate (trapdoor) and an encrypted tuple, returns
+/// whether the tuple satisfies the hidden plain predicate — and nothing else.
+///
+/// Every evaluation is counted; "number of QPF uses" is the paper's primary
+/// cost metric, and the entire point of PRKB is to minimise it.
+class QpfOracle {
+ public:
+  virtual ~QpfOracle() = default;
+
+  /// Θ(p̄, t̄) — counted.
+  bool Eval(const Trapdoor& td, TupleId tid) {
+    ++uses_;
+    return DoEval(td, tid);
+  }
+
+  /// Total evaluations since construction / last reset.
+  uint64_t uses() const { return uses_; }
+  void ResetUses() { uses_ = 0; }
+
+ private:
+  virtual bool DoEval(const Trapdoor& td, TupleId tid) = 0;
+
+  uint64_t uses_ = 0;
+};
+
+}  // namespace prkb::edbms
+
+#endif  // PRKB_EDBMS_QPF_H_

@@ -1,0 +1,68 @@
+#include "edbms/sdb_qpf.h"
+
+#include <chrono>
+
+namespace prkb::edbms {
+
+SdbEdbms::SdbEdbms(uint64_t master_seed, size_t num_attrs)
+    : do_(master_seed), share_cols_(num_attrs) {}
+
+SdbEdbms SdbEdbms::FromPlainTable(uint64_t master_seed,
+                                  const PlainTable& plain) {
+  SdbEdbms db(master_seed, plain.num_attrs());
+  std::vector<Value> row(plain.num_attrs());
+  for (TupleId tid = 0; tid < plain.num_rows(); ++tid) {
+    for (AttrId a = 0; a < plain.num_attrs(); ++a) row[a] = plain.at(a, tid);
+    db.Insert(row);
+  }
+  return db;
+}
+
+TupleId SdbEdbms::Insert(const std::vector<Value>& row) {
+  const TupleId tid = static_cast<TupleId>(num_rows());
+  for (AttrId a = 0; a < share_cols_.size(); ++a) {
+    const uint64_t mask = do_.ShareMask(a, tid);
+    share_cols_[a].push_back(static_cast<uint64_t>(row[a]) + mask);
+  }
+  live_.Resize(num_rows(), true);
+  return tid;
+}
+
+void SdbEdbms::Delete(TupleId tid) {
+  if (live_.Get(tid)) {
+    live_.Clear(tid);
+    ++dead_count_;
+  }
+}
+
+Trapdoor SdbEdbms::MakeComparison(AttrId attr, CompareOp op, Value c) {
+  return do_.MakeComparison(attr, op, c);
+}
+
+Trapdoor SdbEdbms::MakeBetween(AttrId attr, Value lo, Value hi) {
+  return do_.MakeBetween(attr, lo, hi);
+}
+
+void SdbEdbms::SimulateLatency() const {
+  if (round_latency_ns_ == 0) return;
+  const auto start = std::chrono::steady_clock::now();
+  while (std::chrono::duration_cast<std::chrono::nanoseconds>(
+             std::chrono::steady_clock::now() - start)
+             .count() < static_cast<int64_t>(round_latency_ns_)) {
+  }
+}
+
+bool SdbEdbms::DoEval(const Trapdoor& td, TupleId tid) {
+  // One request/response round: share + ids out, one bit back.
+  ++rounds_;
+  bytes_ += sizeof(uint64_t) + sizeof(TupleId) + sizeof(uint64_t) + 1;
+  SimulateLatency();
+
+  // ---- DO endpoint (conceptually across the network) ----
+  const uint64_t share = share_cols_[td.attr][tid];
+  const uint64_t mask = do_.ShareMask(td.attr, tid);
+  const Value v = static_cast<Value>(share - mask);
+  return do_.PlainFormOf(td.uid).Satisfies(v);
+}
+
+}  // namespace prkb::edbms

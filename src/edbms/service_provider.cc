@@ -1,0 +1,48 @@
+#include "edbms/service_provider.h"
+
+#include "common/stopwatch.h"
+
+namespace prkb::edbms {
+
+std::vector<TupleId> BaselineScanner::Select(const Trapdoor& td,
+                                             SelectionStats* stats) const {
+  Stopwatch watch;
+  const uint64_t uses_before = db_->uses();
+  std::vector<TupleId> out;
+  const size_t n = db_->num_rows();
+  for (TupleId tid = 0; tid < n; ++tid) {
+    if (!db_->IsLive(tid)) continue;
+    if (db_->Eval(td, tid)) out.push_back(tid);
+  }
+  if (stats != nullptr) {
+    stats->qpf_uses = db_->uses() - uses_before;
+    stats->millis = watch.ElapsedMillis();
+  }
+  return out;
+}
+
+std::vector<TupleId> BaselineScanner::SelectConjunction(
+    const std::vector<Trapdoor>& tds, SelectionStats* stats) const {
+  Stopwatch watch;
+  const uint64_t uses_before = db_->uses();
+  std::vector<TupleId> out;
+  const size_t n = db_->num_rows();
+  for (TupleId tid = 0; tid < n; ++tid) {
+    if (!db_->IsLive(tid)) continue;
+    bool all = true;
+    for (const Trapdoor& td : tds) {
+      if (!db_->Eval(td, tid)) {
+        all = false;
+        break;
+      }
+    }
+    if (all) out.push_back(tid);
+  }
+  if (stats != nullptr) {
+    stats->qpf_uses = db_->uses() - uses_before;
+    stats->millis = watch.ElapsedMillis();
+  }
+  return out;
+}
+
+}  // namespace prkb::edbms

@@ -1,0 +1,40 @@
+#ifndef PRKB_EDBMS_SERVICE_PROVIDER_H_
+#define PRKB_EDBMS_SERVICE_PROVIDER_H_
+
+#include <vector>
+
+#include "edbms/edbms.h"
+
+namespace prkb::edbms {
+
+/// Result of a selection together with its cost, in the paper's two units.
+struct SelectionStats {
+  uint64_t qpf_uses = 0;
+  double millis = 0.0;
+};
+
+/// The paper's *Baseline* processing mode (Sec. 3.2): the SP tests every
+/// live encrypted tuple with the QPF, one by one. This is what every
+/// PRKB-enabled run is compared against.
+class BaselineScanner {
+ public:
+  explicit BaselineScanner(Edbms* db) : db_(db) {}
+
+  /// Linear scan with one QPF use per live tuple.
+  std::vector<TupleId> Select(const Trapdoor& td,
+                              SelectionStats* stats = nullptr) const;
+
+  /// Conjunction of trapdoors (e.g. a multi-dimensional range): per tuple,
+  /// predicates are evaluated left to right and stop at the first 0 — the
+  /// paper's footnote 5 ("EDBMS can stop processing for a tuple when one of
+  /// the predicates is not satisfied").
+  std::vector<TupleId> SelectConjunction(const std::vector<Trapdoor>& tds,
+                                         SelectionStats* stats = nullptr) const;
+
+ private:
+  Edbms* db_;
+};
+
+}  // namespace prkb::edbms
+
+#endif  // PRKB_EDBMS_SERVICE_PROVIDER_H_

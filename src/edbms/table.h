@@ -1,0 +1,81 @@
+#ifndef PRKB_EDBMS_TABLE_H_
+#define PRKB_EDBMS_TABLE_H_
+
+#include <cassert>
+#include <cstdint>
+#include <vector>
+
+#include "common/bitvector.h"
+#include "edbms/encryption.h"
+#include "edbms/types.h"
+
+namespace prkb::edbms {
+
+/// Plaintext relational table. Lives on the data-owner side and in test /
+/// workload code as ground truth; the service provider never holds one.
+class PlainTable {
+ public:
+  explicit PlainTable(size_t num_attrs) : cols_(num_attrs) {}
+
+  size_t num_attrs() const { return cols_.size(); }
+  size_t num_rows() const { return cols_.empty() ? 0 : cols_[0].size(); }
+
+  /// Appends a row; `row.size()` must equal num_attrs(). Returns its id.
+  TupleId AddRow(const std::vector<Value>& row) {
+    assert(row.size() == cols_.size());
+    for (size_t a = 0; a < cols_.size(); ++a) cols_[a].push_back(row[a]);
+    return static_cast<TupleId>(num_rows() - 1);
+  }
+
+  Value at(AttrId attr, TupleId tid) const { return cols_[attr][tid]; }
+  const std::vector<Value>& column(AttrId attr) const { return cols_[attr]; }
+
+ private:
+  std::vector<std::vector<Value>> cols_;
+};
+
+/// Column-oriented store of encrypted tuples held by the service provider.
+/// Rows are append-only; deletion is a tombstone (the PRKB and baseline
+/// scanners skip dead rows).
+class EncryptedTable {
+ public:
+  explicit EncryptedTable(size_t num_attrs) : cols_(num_attrs) {}
+
+  size_t num_attrs() const { return cols_.size(); }
+  size_t num_rows() const { return cols_.empty() ? 0 : cols_[0].size(); }
+  /// Rows that are not tombstoned.
+  size_t num_live_rows() const { return num_rows() - dead_count_; }
+
+  TupleId Append(const std::vector<EncValue>& row) {
+    assert(row.size() == cols_.size());
+    for (size_t a = 0; a < cols_.size(); ++a) cols_[a].push_back(row[a]);
+    live_.Resize(num_rows(), true);
+    return static_cast<TupleId>(num_rows() - 1);
+  }
+
+  const EncValue& at(AttrId attr, TupleId tid) const {
+    return cols_[attr][tid];
+  }
+
+  bool IsLive(TupleId tid) const { return live_.Get(tid); }
+  void Tombstone(TupleId tid) {
+    if (live_.Get(tid)) {
+      live_.Clear(tid);
+      ++dead_count_;
+    }
+  }
+
+  /// Ciphertext footprint in bytes (for the storage experiments).
+  size_t SizeBytes() const {
+    return num_rows() * num_attrs() * sizeof(EncValue);
+  }
+
+ private:
+  std::vector<std::vector<EncValue>> cols_;
+  BitVector live_;
+  size_t dead_count_ = 0;
+};
+
+}  // namespace prkb::edbms
+
+#endif  // PRKB_EDBMS_TABLE_H_

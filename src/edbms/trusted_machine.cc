@@ -1,0 +1,72 @@
+#include "edbms/trusted_machine.h"
+
+#include <chrono>
+
+namespace prkb::edbms {
+namespace {
+
+std::vector<uint8_t> SeedBytes(uint64_t seed) {
+  std::vector<uint8_t> out(8);
+  for (int i = 0; i < 8; ++i) out[i] = static_cast<uint8_t>(seed >> (8 * i));
+  return out;
+}
+
+}  // namespace
+
+TrustedMachine::TrustedMachine(uint64_t master_seed)
+    : prf_(SeedBytes(master_seed)),
+      crypter_(prf_.DeriveAesKey("value-enc")),
+      trapdoor_cipher_(prf_.DeriveAesKey("trapdoor-enc")),
+      trapdoor_mac_(prf_.DeriveKey("trapdoor-mac")) {}
+
+void TrustedMachine::SimulateLatency() const {
+  if (call_latency_ns_ == 0) return;
+  const auto start = std::chrono::steady_clock::now();
+  while (std::chrono::duration_cast<std::chrono::nanoseconds>(
+             std::chrono::steady_clock::now() - start)
+             .count() < static_cast<int64_t>(call_latency_ns_)) {
+  }
+}
+
+const TrapdoorPayload* TrustedMachine::Open(const Trapdoor& td) {
+  auto it = verified_.find(td.uid);
+  if (it != verified_.end()) return &it->second;
+  TrapdoorPayload payload;
+  if (!OpenTrapdoor(trapdoor_cipher_, trapdoor_mac_, td, &payload)) {
+    return nullptr;
+  }
+  return &verified_.emplace(td.uid, payload).first->second;
+}
+
+bool TrustedMachine::EvalPredicate(const Trapdoor& td, const EncValue& cell,
+                                   bool* ok) {
+  ++predicate_evals_;
+  SimulateLatency();
+  const TrapdoorPayload* p = Open(td);
+  if (p == nullptr) {
+    if (ok != nullptr) *ok = false;
+    return false;
+  }
+  if (ok != nullptr) *ok = true;
+  const Value v = crypter_.Decrypt(cell);
+  if (td.kind == PredicateKind::kBetween) return p->lo <= v && v <= p->hi;
+  switch (p->op) {
+    case CompareOp::kLt:
+      return v < p->lo;
+    case CompareOp::kGt:
+      return v > p->lo;
+    case CompareOp::kLe:
+      return v <= p->lo;
+    case CompareOp::kGe:
+      return v >= p->lo;
+  }
+  return false;
+}
+
+Value TrustedMachine::DecryptValue(const EncValue& cell) {
+  ++value_decrypts_;
+  SimulateLatency();
+  return crypter_.Decrypt(cell);
+}
+
+}  // namespace prkb::edbms

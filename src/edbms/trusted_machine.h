@@ -1,0 +1,69 @@
+#ifndef PRKB_EDBMS_TRUSTED_MACHINE_H_
+#define PRKB_EDBMS_TRUSTED_MACHINE_H_
+
+#include <cstdint>
+#include <unordered_map>
+
+#include "crypto/cipher.h"
+#include "crypto/hmac.h"
+#include "crypto/prf.h"
+#include "edbms/encryption.h"
+#include "edbms/types.h"
+
+namespace prkb::edbms {
+
+/// Software stand-in for the tamper-resistant trusted machine (TM) of
+/// Cipherbase / TrustedDB. The TM is provisioned with the data owner's key
+/// material; the service provider hands it ciphertexts and gets back exactly
+/// one bit per predicate evaluation.
+///
+/// Substitution note (see DESIGN.md): the paper runs this on an FPGA /
+/// crypto-coprocessor. Here the decrypt-and-compare really happens (portable
+/// AES), and an optional fixed per-call latency emulates the hardware round
+/// trip. Both the paper's cost metrics are preserved: the call count, and a
+/// per-call cost that dwarfs a plain comparison.
+class TrustedMachine {
+ public:
+  /// Provisioned with the same seed as the data owner.
+  explicit TrustedMachine(uint64_t master_seed);
+
+  /// Θ's inner worker: verifies the trapdoor, decrypts the cell, compares.
+  /// Returns false (and sets ok=false if provided) on a forged trapdoor.
+  bool EvalPredicate(const Trapdoor& td, const EncValue& cell,
+                     bool* ok = nullptr);
+
+  /// Decrypts a cell inside the TM (used by the Logarithmic-SRC-i
+  /// confirmation step and index maintenance). Counted separately.
+  Value DecryptValue(const EncValue& cell);
+
+  /// Configures an artificial busy-wait per TM entry, in nanoseconds, to
+  /// emulate hardware/transport latency. 0 (default) disables it.
+  void set_call_latency_ns(uint64_t ns) { call_latency_ns_ = ns; }
+
+  uint64_t predicate_evals() const { return predicate_evals_; }
+  uint64_t value_decrypts() const { return value_decrypts_; }
+  void ResetCounters() {
+    predicate_evals_ = 0;
+    value_decrypts_ = 0;
+  }
+
+ private:
+  void SimulateLatency() const;
+  /// Opens (or fetches from the verified cache) the plain form of `td`.
+  const TrapdoorPayload* Open(const Trapdoor& td);
+
+  crypto::Prf prf_;
+  ValueCrypter crypter_;
+  crypto::AesCtr trapdoor_cipher_;
+  crypto::HmacSha256 trapdoor_mac_;
+  // Verified trapdoors, keyed by uid: MAC verification happens once per
+  // trapdoor, not once per tuple.
+  std::unordered_map<uint64_t, TrapdoorPayload> verified_;
+  uint64_t predicate_evals_ = 0;
+  uint64_t value_decrypts_ = 0;
+  uint64_t call_latency_ns_ = 0;
+};
+
+}  // namespace prkb::edbms
+
+#endif  // PRKB_EDBMS_TRUSTED_MACHINE_H_

@@ -1,0 +1,36 @@
+#include "edbms/types.h"
+
+#include <cstdio>
+
+namespace prkb::edbms {
+namespace {
+
+const char* OpName(CompareOp op) {
+  switch (op) {
+    case CompareOp::kLt:
+      return "<";
+    case CompareOp::kGt:
+      return ">";
+    case CompareOp::kLe:
+      return "<=";
+    case CompareOp::kGe:
+      return ">=";
+  }
+  return "?";
+}
+
+}  // namespace
+
+std::string PlainPredicate::ToString() const {
+  char buf[96];
+  if (kind == PredicateKind::kBetween) {
+    std::snprintf(buf, sizeof(buf), "C%u BETWEEN %lld AND %lld", attr,
+                  static_cast<long long>(lo), static_cast<long long>(hi));
+  } else {
+    std::snprintf(buf, sizeof(buf), "C%u %s %lld", attr, OpName(op),
+                  static_cast<long long>(lo));
+  }
+  return buf;
+}
+
+}  // namespace prkb::edbms

@@ -1,0 +1,31 @@
+#ifndef PRKB_EXT_MINMAX_H_
+#define PRKB_EXT_MINMAX_H_
+
+#include <cstdint>
+
+#include "edbms/cipherbase_qpf.h"
+#include "prkb/selection.h"
+
+namespace prkb::ext {
+
+/// Result of an extreme-value query: the winning tuple and the number of
+/// trusted-machine decryptions it cost.
+struct ExtremeResult {
+  edbms::TupleId tid = 0;
+  uint64_t tm_decrypts = 0;
+  bool found = false;
+};
+
+/// MIN/MAX via PRKB (the paper's future-work direction, Sec. 9): the global
+/// minimum and maximum can only live in the two END partitions of the chain
+/// (the chain is value-sorted in one of two directions), so the trusted
+/// machine only inspects |P₁| + |Pₖ| cells instead of all n. Ties resolve to
+/// the lowest tuple id.
+ExtremeResult FindMin(const core::PrkbIndex& index,
+                      edbms::CipherbaseEdbms* db, edbms::AttrId attr);
+ExtremeResult FindMax(const core::PrkbIndex& index,
+                      edbms::CipherbaseEdbms* db, edbms::AttrId attr);
+
+}  // namespace prkb::ext
+
+#endif  // PRKB_EXT_MINMAX_H_

@@ -1,0 +1,98 @@
+#include "ext/skyline.h"
+
+#include <algorithm>
+#include <limits>
+
+namespace prkb::ext {
+namespace {
+
+using edbms::TupleId;
+using edbms::Value;
+
+}  // namespace
+
+SkylineResult SkylineMinMin(const core::PrkbIndex& index,
+                            edbms::CipherbaseEdbms* db, edbms::AttrId attr_x,
+                            edbms::AttrId attr_y, bool x_min_at_front,
+                            bool y_min_at_front) {
+  SkylineResult out;
+  auto& tm = db->trusted_machine();
+  const uint64_t before = tm.value_decrypts();
+
+  const core::Pop& px = index.pop(attr_x);
+  const core::Pop& py = index.pop(attr_y);
+  const size_t kx = px.k(), ky = py.k();
+  if (kx == 0 || ky == 0) return out;
+
+  // Normalised grid coordinates: 0 = minimal partition.
+  auto xi = [&](TupleId tid) {
+    const size_t pos = px.pos_of(px.partition_of(tid));
+    return x_min_at_front ? pos : kx - 1 - pos;
+  };
+  auto yi = [&](TupleId tid) {
+    const size_t pos = py.pos_of(py.partition_of(tid));
+    return y_min_at_front ? pos : ky - 1 - pos;
+  };
+
+  // Mark non-empty cells.
+  constexpr size_t kEmpty = std::numeric_limits<size_t>::max();
+  std::vector<size_t> min_y_at_x(kx, kEmpty);  // per column, smallest y
+  const size_t n = db->num_rows();
+  for (TupleId tid = 0; tid < n; ++tid) {
+    if (px.partition_of(tid) == core::Pop::kNoPartition) continue;
+    const size_t x = xi(tid), y = yi(tid);
+    min_y_at_x[x] = std::min(min_y_at_x[x], y);
+  }
+  // strict_min_y[x] = smallest y among non-empty cells with column < x.
+  std::vector<size_t> strict_min_y(kx, kEmpty);
+  size_t running = kEmpty;
+  for (size_t x = 0; x < kx; ++x) {
+    strict_min_y[x] = running;
+    running = std::min(running, min_y_at_x[x]);
+  }
+
+  // Candidates: tuples whose cell is not strictly dominated.
+  std::vector<TupleId> cand;
+  for (TupleId tid = 0; tid < n; ++tid) {
+    if (px.partition_of(tid) == core::Pop::kNoPartition) continue;
+    const size_t x = xi(tid), y = yi(tid);
+    if (strict_min_y[x] != kEmpty && strict_min_y[x] < y) continue;
+    cand.push_back(tid);
+  }
+  out.candidates = cand.size();
+
+  // TM-side exact skyline over the candidates.
+  struct Point {
+    Value x, y;
+    TupleId tid;
+  };
+  std::vector<Point> pts;
+  pts.reserve(cand.size());
+  for (TupleId tid : cand) {
+    pts.push_back(Point{tm.DecryptValue(db->table().at(attr_x, tid)),
+                        tm.DecryptValue(db->table().at(attr_y, tid)), tid});
+  }
+  std::sort(pts.begin(), pts.end(), [](const Point& a, const Point& b) {
+    if (a.x != b.x) return a.x < b.x;
+    if (a.y != b.y) return a.y < b.y;
+    return a.tid < b.tid;
+  });
+  // Dominance is strict in at least one coordinate, so coincident points are
+  // mutually non-dominating: every copy of a skyline point is reported.
+  Value best_y = std::numeric_limits<Value>::max();
+  Value kept_x = 0, kept_y = 0;
+  bool any = false;
+  for (const Point& p : pts) {
+    if (p.y < best_y || (any && p.x == kept_x && p.y == kept_y)) {
+      out.skyline.push_back(p.tid);
+      best_y = std::min(best_y, p.y);
+      kept_x = p.x;
+      kept_y = p.y;
+      any = true;
+    }
+  }
+  out.tm_decrypts = tm.value_decrypts() - before;
+  return out;
+}
+
+}  // namespace prkb::ext

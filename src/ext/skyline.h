@@ -1,0 +1,37 @@
+#ifndef PRKB_EXT_SKYLINE_H_
+#define PRKB_EXT_SKYLINE_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "edbms/cipherbase_qpf.h"
+#include "prkb/selection.h"
+
+namespace prkb::ext {
+
+/// Result of a 2-D skyline query plus its TM cost and the pruning rate.
+struct SkylineResult {
+  std::vector<edbms::TupleId> skyline;
+  uint64_t tm_decrypts = 0;
+  size_t candidates = 0;  // tuples that survived grid pruning
+};
+
+/// 2-D min-min skyline via PRKB (future work, Sec. 9). The two chains
+/// partition the plane into the grid of Fig. 5; a cell is pruned when some
+/// non-empty cell is strictly better in both partition orders, because then
+/// every tuple in it is dominated. Only surviving cells' tuples are
+/// decrypted inside the TM for the exact skyline.
+///
+/// The SP does not know which chain end holds the small values, so the data
+/// owner supplies one bit per attribute (`x_min_at_front`,
+/// `y_min_at_front`): whether the chain's front partition holds the minimal
+/// values. This is DO-side knowledge, consistent with the EDBMS model (the
+/// DO issues queries; it learns the orientation from any answer).
+SkylineResult SkylineMinMin(const core::PrkbIndex& index,
+                            edbms::CipherbaseEdbms* db, edbms::AttrId attr_x,
+                            edbms::AttrId attr_y, bool x_min_at_front,
+                            bool y_min_at_front);
+
+}  // namespace prkb::ext
+
+#endif  // PRKB_EXT_SKYLINE_H_

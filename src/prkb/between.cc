@@ -1,0 +1,192 @@
+// BETWEEN-operator processing (paper Appendix A).
+//
+// A BETWEEN trapdoor returns 1 exactly on a contiguous band of the chain:
+// the T-containing positions form one interval [ta, tb], and only its two
+// end partitions can be non-homogeneous. Processing mirrors QFilter/QScan:
+// probe partition samples until a positive anchor is found, binary-search
+// both ends, scan (at most four) candidate end partitions, and infer the
+// pure-T middle for free. Each splittable end extends the PRKB with one cut;
+// when both ends split, the two cuts are linked as siblings so the trapdoor
+// can steer future insertions three-ways.
+//
+// The appendix's exceptional case — the whole satisfied band strictly inside
+// one partition, i.e. an (F, T, F) pattern — is detected and left unsplit:
+// the two F groups cannot be ordered.
+
+#include <algorithm>
+#include <cassert>
+#include <map>
+
+#include "prkb/selection.h"
+
+namespace prkb::core {
+namespace {
+
+using edbms::Trapdoor;
+using edbms::TupleId;
+
+struct ScannedPartition {
+  std::vector<TupleId> t_members;
+  std::vector<TupleId> f_members;
+  bool mixed() const { return !t_members.empty() && !f_members.empty(); }
+  bool has_t() const { return !t_members.empty(); }
+};
+
+}  // namespace
+
+std::vector<TupleId> PrkbIndex::SelectBetween(const Trapdoor& td) {
+  Pop& pop = pops_.at(td.attr);
+  const size_t k = pop.k();
+  if (k == 0) return {};
+
+  // Cached sample labels per chain position (-1 unknown).
+  std::vector<int8_t> sample(k, -1);
+  auto probe = [&](size_t pos) -> bool {
+    if (sample[pos] < 0) {
+      sample[pos] =
+          db_->Eval(td, SamplePartition(pop, pos, &rng_)) ? 1 : 0;
+    }
+    return sample[pos] == 1;
+  };
+
+  // ---- Phase 1: hunt for a positive anchor among partition samples. ----
+  std::vector<size_t> order(k);
+  for (size_t i = 0; i < k; ++i) order[i] = i;
+  rng_.Shuffle(&order);
+  size_t anchor = k;  // k = not found
+  for (size_t pos : order) {
+    if (probe(pos)) {
+      anchor = pos;
+      break;
+    }
+  }
+
+  // Chain positions that must be scanned exhaustively.
+  std::vector<size_t> scan_positions;
+  size_t middle_begin = 1, middle_end = 0;  // inferred pure-T range (empty)
+
+  if (anchor == k) {
+    // Exceptional fallback: no positive sample anywhere. The band may still
+    // hide inside partitions whose sample came back 0 — scan everything.
+    for (size_t p = 0; p < k; ++p) scan_positions.push_back(p);
+  } else {
+    // ---- Phase 2: binary search both ends of the T band. ----
+    // Low end: smallest position whose partition contains a T is in
+    // {a, a+1} where label(a)=F, label(a+1)=T (or {0} if position 0 is T).
+    size_t low_hi;  // positive side of the low search
+    if (probe(0)) {
+      scan_positions.push_back(0);
+      low_hi = 0;
+    } else {
+      size_t lo = 0, hi = anchor;  // label(lo)=F, label(hi)=T
+      while (hi - lo > 1) {
+        const size_t m = (lo + hi) / 2;
+        if (probe(m)) {
+          hi = m;
+        } else {
+          lo = m;
+        }
+      }
+      scan_positions.push_back(lo);
+      scan_positions.push_back(hi);
+      low_hi = hi;
+    }
+
+    size_t high_lo;  // positive side of the high search
+    if (probe(k - 1)) {
+      scan_positions.push_back(k - 1);
+      high_lo = k - 1;
+    } else {
+      size_t lo = anchor, hi = k - 1;  // label(lo)=T, label(hi)=F
+      while (hi - lo > 1) {
+        const size_t m = (lo + hi) / 2;
+        if (probe(m)) {
+          lo = m;
+        } else {
+          hi = m;
+        }
+      }
+      scan_positions.push_back(lo);
+      scan_positions.push_back(hi);
+      high_lo = lo;
+    }
+
+    // Positions strictly between the scanned ends are pure T (they are
+    // strictly inside [ta, tb]).
+    middle_begin = low_hi + 1;
+    middle_end = high_lo;  // exclusive
+  }
+
+  std::sort(scan_positions.begin(), scan_positions.end());
+  scan_positions.erase(
+      std::unique(scan_positions.begin(), scan_positions.end()),
+      scan_positions.end());
+
+  // ---- Phase 3: exhaustive scan of the candidate end partitions. ----
+  std::map<size_t, ScannedPartition> scanned;
+  for (size_t pos : scan_positions) {
+    if (middle_begin <= pos && pos < middle_end) continue;  // known pure T
+    ScannedPartition sp;
+    for (TupleId tid : pop.members_at(pos)) {
+      if (db_->Eval(td, tid)) {
+        sp.t_members.push_back(tid);
+      } else {
+        sp.f_members.push_back(tid);
+      }
+    }
+    scanned.emplace(pos, std::move(sp));
+  }
+
+  // ---- Assemble the result. ----
+  std::vector<TupleId> result;
+  for (const auto& [pos, sp] : scanned) {
+    result.insert(result.end(), sp.t_members.begin(), sp.t_members.end());
+  }
+  for (size_t p = middle_begin; p < middle_end; ++p) {
+    const auto& m = pop.members_at(p);
+    result.insert(result.end(), m.begin(), m.end());
+  }
+
+  // ---- Phase 4: updatePRKB. ----
+  // A scanned mixed partition splits iff exactly one neighbour is known to
+  // contain a T; the T half faces that neighbour.
+  auto position_has_t = [&](size_t pos) -> bool {
+    if (middle_begin <= pos && pos < middle_end) return true;
+    auto it = scanned.find(pos);
+    if (it != scanned.end()) return it->second.has_t();
+    if (sample[pos] == 1) return true;
+    return false;
+  };
+
+  struct PendingSplit {
+    PartitionId pid;
+    size_t pos;
+    bool t_left;
+  };
+  std::vector<PendingSplit> splits;
+  for (const auto& [pos, sp] : scanned) {
+    if (!sp.mixed()) continue;
+    const bool left_t = pos > 0 && position_has_t(pos - 1);
+    const bool right_t = pos + 1 < k && position_has_t(pos + 1);
+    if (left_t == right_t) continue;  // interior (F,T,F) band or isolated
+    splits.push_back(PendingSplit{pop.pid_at(pos), pos, left_t});
+  }
+
+  std::vector<uint64_t> cut_ids;
+  for (const auto& s : splits) {
+    auto& sp = scanned.at(s.pos);
+    std::vector<TupleId> left =
+        s.t_left ? std::move(sp.t_members) : std::move(sp.f_members);
+    std::vector<TupleId> right =
+        s.t_left ? std::move(sp.f_members) : std::move(sp.t_members);
+    cut_ids.push_back(pop.SplitPartition(s.pid, std::move(left),
+                                         std::move(right), td,
+                                         /*left_label=*/s.t_left));
+  }
+  if (cut_ids.size() == 2) {
+    pop.LinkBetweenCuts(cut_ids[0], cut_ids[1]);
+  }
+  return result;
+}
+
+}  // namespace prkb::core

@@ -1,0 +1,35 @@
+#include "prkb/bootstrap.h"
+
+#include "common/rng.h"
+
+namespace prkb::core {
+
+BootstrapResult BootstrapPrkb(PrkbIndex* index, edbms::Edbms* db,
+                              edbms::AttrId attr, edbms::Value domain_lo,
+                              edbms::Value domain_hi, size_t queries,
+                              uint64_t seed) {
+  BootstrapResult out;
+  if (!index->IsEnabled(attr) || queries == 0 || domain_hi <= domain_lo) {
+    return out;
+  }
+  out.k_before = index->pop(attr).k();
+  const uint64_t uses_before = db->uses();
+
+  Rng rng(seed ^ 0xB007);
+  const double span = static_cast<double>(domain_hi - domain_lo);
+  const double step = span / static_cast<double>(queries + 1);
+  for (size_t i = 1; i <= queries; ++i) {
+    // Evenly spaced constant with +/- step/4 jitter.
+    const double jitter = (rng.UniformDouble() - 0.5) * step / 2.0;
+    const auto c = static_cast<edbms::Value>(
+        static_cast<double>(domain_lo) + step * static_cast<double>(i) +
+        jitter);
+    index->Select(db->MakeComparison(attr, edbms::CompareOp::kLt, c));
+    ++out.queries_issued;
+  }
+  out.qpf_uses = db->uses() - uses_before;
+  out.k_after = index->pop(attr).k();
+  return out;
+}
+
+}  // namespace prkb::core

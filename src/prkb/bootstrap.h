@@ -1,0 +1,35 @@
+#ifndef PRKB_PRKB_BOOTSTRAP_H_
+#define PRKB_PRKB_BOOTSTRAP_H_
+
+#include <cstddef>
+
+#include "prkb/selection.h"
+
+namespace prkb::core {
+
+/// Result of a PRKB bootstrap round.
+struct BootstrapResult {
+  size_t queries_issued = 0;
+  uint64_t qpf_uses = 0;
+  size_t k_before = 0;
+  size_t k_after = 0;
+};
+
+/// The paper's cold-start remedy (Sec. 8.2.6): "DO can arbitrarily generate
+/// queries (as few as 50) to help SP build an initial PRKB." Issues
+/// `queries` comparison trapdoors with constants evenly spread over
+/// [domain_lo, domain_hi] (jittered so repeated bootstraps keep adding
+/// knowledge) and runs them through the index. Evenly spaced constants are
+/// the best the DO can do without workload knowledge: they bound every
+/// partition's width by domain/(queries+1).
+///
+/// The queries are ordinary selections issued by the DO — the bootstrap
+/// changes nothing about the security story.
+BootstrapResult BootstrapPrkb(PrkbIndex* index, edbms::Edbms* db,
+                              edbms::AttrId attr, edbms::Value domain_lo,
+                              edbms::Value domain_hi, size_t queries,
+                              uint64_t seed = 0);
+
+}  // namespace prkb::core
+
+#endif  // PRKB_PRKB_BOOTSTRAP_H_

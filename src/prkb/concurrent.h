@@ -1,0 +1,86 @@
+#ifndef PRKB_PRKB_CONCURRENT_H_
+#define PRKB_PRKB_CONCURRENT_H_
+
+#include <mutex>
+#include <vector>
+
+#include "prkb/selection.h"
+
+namespace prkb::core {
+
+/// Thread-safe facade over PrkbIndex for multi-client service providers.
+///
+/// PRKB selections are *writes*: answering a query may split partitions
+/// (updatePRKB), so every operation takes the exclusive lock. The value of
+/// this wrapper is a correct, boringly simple concurrency story — the
+/// underlying algorithms stay single-threaded and auditable, matching how
+/// the paper treats the index (a per-attribute SP-side structure mutated by
+/// its own query stream). Throughput scales by sharding tables across
+/// instances, not by intra-index parallelism.
+class ConcurrentPrkbIndex {
+ public:
+  ConcurrentPrkbIndex(edbms::Edbms* db, PrkbOptions options = {})
+      : index_(db, options) {}
+
+  void EnableAttr(edbms::AttrId attr) {
+    std::lock_guard<std::mutex> lock(mu_);
+    index_.EnableAttr(attr);
+  }
+
+  std::vector<edbms::TupleId> Select(const edbms::Trapdoor& td,
+                                     edbms::SelectionStats* stats = nullptr) {
+    std::lock_guard<std::mutex> lock(mu_);
+    return index_.Select(td, stats);
+  }
+
+  std::vector<edbms::TupleId> SelectRangeMd(
+      const std::vector<edbms::Trapdoor>& tds,
+      edbms::SelectionStats* stats = nullptr) {
+    std::lock_guard<std::mutex> lock(mu_);
+    return index_.SelectRangeMd(tds, stats);
+  }
+
+  std::vector<edbms::TupleId> SelectRangeSdPlus(
+      const std::vector<edbms::Trapdoor>& tds,
+      edbms::SelectionStats* stats = nullptr) {
+    std::lock_guard<std::mutex> lock(mu_);
+    return index_.SelectRangeSdPlus(tds, stats);
+  }
+
+  edbms::TupleId Insert(const std::vector<edbms::Value>& row,
+                        edbms::SelectionStats* stats = nullptr) {
+    std::lock_guard<std::mutex> lock(mu_);
+    return index_.Insert(row, stats);
+  }
+
+  void Delete(edbms::TupleId tid) {
+    std::lock_guard<std::mutex> lock(mu_);
+    index_.Delete(tid);
+  }
+
+  size_t SizeBytes() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return index_.SizeBytes();
+  }
+
+  std::string DescribeStats() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return index_.DescribeStats();
+  }
+
+  /// Runs `fn` under the lock with direct access to the inner index (for
+  /// snapshots, validation, or anything not covered above).
+  template <typename Fn>
+  auto WithLocked(Fn&& fn) {
+    std::lock_guard<std::mutex> lock(mu_);
+    return fn(index_);
+  }
+
+ private:
+  mutable std::mutex mu_;
+  PrkbIndex index_;
+};
+
+}  // namespace prkb::core
+
+#endif  // PRKB_PRKB_CONCURRENT_H_

@@ -1,0 +1,324 @@
+// Multi-dimensional range processing, "PRKB(MD)" (paper Sec. 6.2).
+//
+// A d-dimensional range arrives as 2d comparison trapdoors (two per
+// attribute). One QFilter per trapdoor classifies, for that trapdoor, every
+// chain partition as sure-True, sure-False or Not-Sure. Projected onto the
+// grid of Fig. 5 this yields:
+//   - the central region (True under every trapdoor): answers with 0 QPF;
+//   - sure-False rows/columns: pruned with 0 QPF (Fig. 6b);
+//   - the NS bands: only their tuples are tested, each only against the
+//     trapdoors that are still undecided for its cell (Fig. 7), with
+//     per-tuple short-circuiting on the first 0 and the partition-level
+//     early-stop inference of Sec. 6.2 (a non-homogeneous NS partition
+//     implies its partner is homogeneous).
+//
+// updatePRKB afterwards: every trapdoor whose non-homogeneous partition was
+// fully resolved contributes a split. In the paper's (lazy) mode a partition
+// whose scan was cut short by cross-dimension pruning is left unsplit; the
+// eager option (ablation) finishes such scans with extra QPF uses.
+
+#include <algorithm>
+#include <cassert>
+#include <unordered_map>
+
+#include "common/bitvector.h"
+#include "prkb/selection.h"
+
+namespace prkb::core {
+namespace {
+
+using edbms::AttrId;
+using edbms::Trapdoor;
+using edbms::TupleId;
+
+/// Per-trapdoor processing state.
+struct PredCtx {
+  const Trapdoor* td = nullptr;
+  Pop* pop = nullptr;
+  QFilterResult filter;
+
+  /// Known homogeneous QPF output per partition id (sure-True / sure-False
+  /// partitions from QFilter, plus labels learned during the query).
+  std::unordered_map<PartitionId, int8_t> label_by_pid;
+
+  /// The (at most two) Not-Sure partitions.
+  struct Ns {
+    PartitionId pid = Pop::kNoPartition;
+    /// Homogeneous label implied by the partner's non-homogeneity, or -1.
+    int8_t known = -1;
+    size_t t_count = 0, f_count = 0;
+    std::unordered_map<TupleId, bool> outcome;
+  };
+  Ns ns[2];
+  int ns_count = 0;
+
+  bool outside_label(int idx) const {
+    return idx == 0 ? filter.label_first : filter.label_last;
+  }
+  int NsIndexOf(PartitionId pid) const {
+    for (int i = 0; i < ns_count; ++i) {
+      if (ns[i].pid == pid) return i;
+    }
+    return -1;
+  }
+};
+
+/// Evaluates `td` on `tid` for this context, spending a QPF use only when the
+/// outcome is not already implied. Returns 0/1.
+bool EvalForTuple(PredCtx* pc, edbms::Edbms* db, TupleId tid) {
+  const PartitionId pid = pc->pop->partition_of(tid);
+  if (auto it = pc->label_by_pid.find(pid); it != pc->label_by_pid.end()) {
+    return it->second == 1;
+  }
+  const int idx = pc->NsIndexOf(pid);
+  assert(idx >= 0);
+  PredCtx::Ns& ns = pc->ns[idx];
+  if (ns.known != -1) return ns.known == 1;
+  if (auto it = ns.outcome.find(tid); it != ns.outcome.end()) {
+    return it->second;
+  }
+  const bool out = db->Eval(*pc->td, tid);
+  ns.outcome.emplace(tid, out);
+  (out ? ns.t_count : ns.f_count)++;
+  if (ns.t_count > 0 && ns.f_count > 0 && pc->ns_count == 2) {
+    // This partition is the separating one; the partner is homogeneous with
+    // its outside label (early-stop inference, Sec. 6.2).
+    const int partner = 1 - idx;
+    if (pc->ns[partner].known == -1) {
+      pc->ns[partner].known = pc->outside_label(partner) ? 1 : 0;
+    }
+  }
+  return out;
+}
+
+/// Tri-state classification of `tid` under `pc` without spending QPF:
+/// 1 sure-true, 0 sure-false, -1 needs evaluation.
+int8_t ClassifyTuple(const PredCtx& pc, TupleId tid) {
+  const PartitionId pid = pc.pop->partition_of(tid);
+  if (auto it = pc.label_by_pid.find(pid); it != pc.label_by_pid.end()) {
+    return it->second;
+  }
+  const int idx = pc.NsIndexOf(pid);
+  if (idx < 0) return 0;  // not covered by this chain (defensive)
+  if (pc.ns[idx].known != -1) return pc.ns[idx].known;
+  if (auto it = pc.ns[idx].outcome.find(tid); it != pc.ns[idx].outcome.end()) {
+    return it->second ? 1 : 0;
+  }
+  return -1;
+}
+
+}  // namespace
+
+std::vector<TupleId> PrkbIndex::RunMd(const std::vector<Trapdoor>& tds) {
+  assert(!tds.empty());
+
+  // ---- Step 1: QFilter every trapdoor; classify partitions. ----
+  std::vector<PredCtx> preds(tds.size());
+  for (size_t i = 0; i < tds.size(); ++i) {
+    PredCtx& pc = preds[i];
+    pc.td = &tds[i];
+    pc.pop = &pops_.at(tds[i].attr);
+    if (pc.pop->k() == 0) return {};
+    pc.filter = QFilter(*pc.pop, tds[i], db_, &rng_);
+
+    const size_t k = pc.pop->k();
+    pc.ns[0].pid = pc.pop->pid_at(pc.filter.ns_a);
+    pc.ns_count = 1;
+    if (pc.filter.ns_b != pc.filter.ns_a) {
+      pc.ns[1].pid = pc.pop->pid_at(pc.filter.ns_b);
+      pc.ns_count = 2;
+    }
+    for (size_t pos = 0; pos < k; ++pos) {
+      if (pos == pc.filter.ns_a || pos == pc.filter.ns_b) continue;
+      bool label;
+      if (pc.filter.boundary_case) {
+        // Middle partitions share the common end label.
+        label = pc.filter.label_first;
+      } else {
+        label = pos < pc.filter.ns_a ? pc.filter.label_first
+                                     : pc.filter.label_last;
+      }
+      pc.label_by_pid.emplace(pc.pop->pid_at(pos), label ? 1 : 0);
+    }
+  }
+
+  std::vector<TupleId> result;
+  BitVector visited(db_->num_rows());
+
+  // ---- Step 2: test tuples in the NS bands (Fig. 6b / Fig. 7). ----
+  for (PredCtx& owner : preds) {
+    for (int i = 0; i < owner.ns_count; ++i) {
+      // Copy: EvalForTuple never reorders members, but be explicit that the
+      // iteration set is the membership at classification time.
+      const auto& members = owner.pop->members(owner.ns[i].pid);
+      for (TupleId tid : members) {
+        if (visited.Get(tid)) continue;
+        visited.Set(tid);
+
+        // Cheap pass: reject on any sure-false trapdoor, collect the
+        // undecided ones.
+        bool rejected = false;
+        for (const PredCtx& pc : preds) {
+          if (ClassifyTuple(pc, tid) == 0) {
+            rejected = true;
+            break;
+          }
+        }
+        if (rejected) continue;
+
+        // Expensive pass: evaluate undecided trapdoors, stop at first 0.
+        bool all_true = true;
+        for (PredCtx& pc : preds) {
+          if (ClassifyTuple(pc, tid) == 1) continue;
+          if (!EvalForTuple(&pc, db_, tid)) {
+            all_true = false;
+            break;
+          }
+        }
+        if (all_true) result.push_back(tid);
+      }
+    }
+  }
+
+  // ---- Step 3: central region — sure-True under every trapdoor. ----
+  {
+    const PredCtx& first = preds[0];
+    const size_t k = first.pop->k();
+    for (size_t pos = 0; pos < k; ++pos) {
+      const PartitionId pid = first.pop->pid_at(pos);
+      const auto it = first.label_by_pid.find(pid);
+      const bool sure_true =
+          (it != first.label_by_pid.end() && it->second == 1) ||
+          (first.NsIndexOf(pid) >= 0 &&
+           first.ns[first.NsIndexOf(pid)].known == 1);
+      if (!sure_true) continue;
+      for (TupleId tid : first.pop->members(pid)) {
+        if (visited.Get(tid)) continue;
+        bool all_true = true;
+        for (size_t p = 1; p < preds.size(); ++p) {
+          if (ClassifyTuple(preds[p], tid) != 1) {
+            all_true = false;
+            break;
+          }
+        }
+        if (all_true) result.push_back(tid);
+      }
+    }
+  }
+
+  // ---- Step 4 (optional, ablation): finish incomplete NS scans. ----
+  if (options_.eager_md_update) {
+    for (PredCtx& pc : preds) {
+      for (int i = 0; i < pc.ns_count; ++i) {
+        PredCtx::Ns& ns = pc.ns[i];
+        if (ns.known != -1) continue;
+        for (TupleId tid : pc.pop->members(ns.pid)) {
+          if (!ns.outcome.contains(tid)) EvalForTuple(&pc, db_, tid);
+          if (ns.known != -1) break;  // partner inference fired
+        }
+      }
+    }
+  }
+
+  // ---- Step 5: updatePRKB. ----
+  for (PredCtx& pc : preds) {
+    for (int i = 0; i < pc.ns_count; ++i) {
+      PredCtx::Ns& ns = pc.ns[i];
+      if (ns.known != -1) {
+        pc.label_by_pid.emplace(ns.pid, ns.known);
+        continue;
+      }
+      if (ns.t_count == 0 || ns.f_count == 0) {
+        // Homogeneous as far as observed. Record the label only on full
+        // coverage (an unscanned remainder could still differ).
+        if (ns.outcome.size() == pc.pop->members(ns.pid).size()) {
+          pc.label_by_pid.emplace(ns.pid, ns.t_count > 0 ? 1 : 0);
+        }
+        continue;
+      }
+      // Mixed. Group outcomes by *current* partition: an earlier split (by
+      // the sibling trapdoor of the same attribute) may have fragmented the
+      // original NS partition.
+      std::unordered_map<PartitionId, std::pair<std::vector<TupleId>,
+                                                std::vector<TupleId>>>
+          groups;
+      for (const auto& [tid, out] : ns.outcome) {
+        auto& g = groups[pc.pop->partition_of(tid)];
+        (out ? g.first : g.second).push_back(tid);
+      }
+      // First pass: record the labels of fully-covered homogeneous groups —
+      // they are the orientation evidence the mixed group needs, regardless
+      // of hash-map iteration order.
+      for (auto& [pid, g] : groups) {
+        auto& [t_members, f_members] = g;
+        if (t_members.size() + f_members.size() !=
+                pc.pop->members(pid).size() ||
+            (!t_members.empty() && !f_members.empty())) {
+          continue;
+        }
+        pc.label_by_pid.emplace(pid, t_members.empty() ? 0 : 1);
+      }
+      for (auto& [pid, g] : groups) {
+        auto& [t_members, f_members] = g;
+        if (t_members.size() + f_members.size() !=
+            pc.pop->members(pid).size()) {
+          continue;  // incomplete (lazy mode): cannot split safely
+        }
+        if (t_members.empty() || f_members.empty()) {
+          continue;  // homogeneous: label recorded above
+        }
+        // The separating point is inside this fragment, so the partner NS
+        // partition is homogeneous with its outside label.
+        if (pc.ns_count == 2) {
+          const int partner = 1 - i;
+          pc.label_by_pid.emplace(pc.ns[partner].pid,
+                                  pc.outside_label(partner) ? 1 : 0);
+        }
+        // Orient against a neighbour with a known label for this trapdoor.
+        const size_t pos = pc.pop->pos_of(pid);
+        int8_t left_label = -1, right_label = -1;
+        if (pos > 0) {
+          auto it = pc.label_by_pid.find(pc.pop->pid_at(pos - 1));
+          if (it != pc.label_by_pid.end()) left_label = it->second;
+        }
+        if (pos + 1 < pc.pop->k()) {
+          auto it = pc.label_by_pid.find(pc.pop->pid_at(pos + 1));
+          if (it != pc.label_by_pid.end()) right_label = it->second;
+        }
+        bool true_half_left;
+        if (left_label != -1) {
+          true_half_left = left_label == 1;
+        } else if (right_label != -1) {
+          true_half_left = right_label != 1;
+        } else if (pc.pop->k() == 1) {
+          true_half_left = false;  // first split: orientation is free
+        } else {
+          continue;  // no orientation evidence; leave unsplit
+        }
+        std::vector<TupleId> left =
+            true_half_left ? std::move(t_members) : std::move(f_members);
+        std::vector<TupleId> right =
+            true_half_left ? std::move(f_members) : std::move(t_members);
+        pc.pop->SplitPartition(pid, std::move(left), std::move(right),
+                               *pc.td, true_half_left);
+        // The halves now have known labels for every trapdoor that knew the
+        // original partition; record ours and propagate the others.
+        const PartitionId left_pid = pc.pop->pid_at(pos);
+        pc.label_by_pid.emplace(left_pid, true_half_left ? 1 : 0);
+        pc.label_by_pid.emplace(pid, true_half_left ? 0 : 1);
+        for (PredCtx& other : preds) {
+          // Partition ids are only meaningful within one chain: propagate to
+          // the sibling trapdoors of the same attribute only.
+          if (&other == &pc || other.pop != pc.pop) continue;
+          if (auto it = other.label_by_pid.find(pid);
+              it != other.label_by_pid.end()) {
+            other.label_by_pid.emplace(left_pid, it->second);
+          }
+        }
+      }
+    }
+  }
+  return result;
+}
+
+}  // namespace prkb::core

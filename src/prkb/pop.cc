@@ -1,0 +1,265 @@
+#include "prkb/pop.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace prkb::core {
+
+using edbms::TupleId;
+using edbms::Value;
+
+void Pop::InitSingle(size_t num_tuples) {
+  std::vector<TupleId> all(num_tuples);
+  for (size_t i = 0; i < num_tuples; ++i) all[i] = static_cast<TupleId>(i);
+  InitSingle(all);
+}
+
+void Pop::InitSingle(const std::vector<TupleId>& tuples) {
+  slots_.clear();
+  chain_.clear();
+  pos_.clear();
+  part_of_.clear();
+  cuts_.clear();
+  cut_index_.clear();
+  num_tuples_ = tuples.size();
+  if (tuples.empty()) return;  // empty table: empty chain
+
+  const PartitionId pid = NewPartition(tuples);
+  chain_.push_back(pid);
+  pos_.resize(1, 0);
+  for (TupleId tid : tuples) {
+    if (tid >= part_of_.size()) part_of_.resize(tid + 1, kNoPartition);
+    part_of_[tid] = pid;
+  }
+}
+
+PartitionId Pop::NewPartition(std::vector<TupleId> members) {
+  const PartitionId pid = static_cast<PartitionId>(slots_.size());
+  slots_.push_back(Slot{std::move(members), /*live=*/true});
+  return pid;
+}
+
+void Pop::RebuildPositionsFrom(size_t pos) {
+  pos_.resize(slots_.size());
+  for (size_t p = pos; p < chain_.size(); ++p) {
+    pos_[chain_[p]] = static_cast<uint32_t>(p);
+  }
+}
+
+uint64_t Pop::SplitPartition(PartitionId pid,
+                             std::vector<TupleId> left_members,
+                             std::vector<TupleId> right_members,
+                             const edbms::Trapdoor& td, bool left_label) {
+  assert(pid < slots_.size() && slots_[pid].live);
+  assert(!left_members.empty() && !right_members.empty());
+  assert(left_members.size() + right_members.size() ==
+         slots_[pid].members.size());
+
+  const size_t pos = pos_[pid];
+  // The RIGHT half keeps the old pid so that cuts recorded as "immediately
+  // left of X" for partitions right of the split stay correct, and so that
+  // the cut previously left of `pid` remains left of the new left half's
+  // left neighbour... (the left half is inserted just before `pid`).
+  slots_[pid].members = std::move(right_members);
+  const PartitionId left_pid = NewPartition(std::move(left_members));
+  for (TupleId tid : slots_[left_pid].members) part_of_[tid] = left_pid;
+
+  chain_.insert(chain_.begin() + static_cast<ptrdiff_t>(pos), left_pid);
+  RebuildPositionsFrom(pos);
+
+  Cut cut;
+  cut.id = next_cut_id_++;
+  cut.left_pid = left_pid;
+  cut.trapdoor = td;
+  cut.left_label = left_label;
+  cut_index_[cut.id] = cuts_.size();
+  cuts_.push_back(std::move(cut));
+  return cuts_.back().id;
+}
+
+void Pop::LinkBetweenCuts(uint64_t low_cut, uint64_t high_cut) {
+  auto lo = cut_index_.find(low_cut);
+  auto hi = cut_index_.find(high_cut);
+  assert(lo != cut_index_.end() && hi != cut_index_.end());
+  cuts_[lo->second].sibling = high_cut;
+  cuts_[hi->second].sibling = low_cut;
+}
+
+void Pop::AddTuple(PartitionId pid, TupleId tid) {
+  assert(pid < slots_.size() && slots_[pid].live);
+  if (tid >= part_of_.size()) part_of_.resize(tid + 1, kNoPartition);
+  assert(part_of_[tid] == kNoPartition);
+  slots_[pid].members.push_back(tid);
+  part_of_[tid] = pid;
+  ++num_tuples_;
+}
+
+void Pop::DropCut(size_t cut_idx) {
+  Cut& cut = cuts_[cut_idx];
+  if (cut.dropped) return;
+  cut.dropped = true;
+  if (cut.sibling != kNoCut) {
+    auto it = cut_index_.find(cut.sibling);
+    if (it != cut_index_.end()) cuts_[it->second].sibling = kNoCut;
+  }
+  cut.sibling = kNoCut;
+}
+
+void Pop::RemoveTuple(TupleId tid) {
+  assert(tid < part_of_.size() && part_of_[tid] != kNoPartition);
+  const PartitionId pid = part_of_[tid];
+  auto& members = slots_[pid].members;
+  auto it = std::find(members.begin(), members.end(), tid);
+  assert(it != members.end());
+  *it = members.back();
+  members.pop_back();
+  part_of_[tid] = kNoPartition;
+  --num_tuples_;
+
+  if (!members.empty()) return;
+
+  // The partition emptied: remove it from the chain (POPᶜₖ becomes
+  // POPᶜₖ₋₁, Sec. 7.2) and repair cut anchors.
+  const size_t pos = pos_[pid];
+  slots_[pid].live = false;
+  chain_.erase(chain_.begin() + static_cast<ptrdiff_t>(pos));
+  RebuildPositionsFrom(pos);
+
+  for (size_t i = 0; i < cuts_.size(); ++i) {
+    Cut& cut = cuts_[i];
+    if (cut.dropped || cut.left_pid != pid) continue;
+    if (pos == 0 || chain_.empty()) {
+      // The cut slid off the chain head; it separates nothing any more.
+      DropCut(i);
+    } else {
+      cut.left_pid = chain_[pos - 1];
+    }
+  }
+  // Cuts that ended up on the chain tail edge separate nothing either.
+  for (size_t i = 0; i < cuts_.size(); ++i) {
+    if (!cuts_[i].dropped && CutPos(cuts_[i]) >= chain_.size()) DropCut(i);
+  }
+}
+
+PartitionId Pop::MergeAt(size_t pos) {
+  assert(pos + 1 < chain_.size());
+  const PartitionId left = chain_[pos];
+  const PartitionId right = chain_[pos + 1];
+  auto& lm = slots_[left].members;
+  auto& rm = slots_[right].members;
+  for (TupleId tid : rm) {
+    part_of_[tid] = left;
+    lm.push_back(tid);
+  }
+  rm.clear();
+  slots_[right].live = false;
+  chain_.erase(chain_.begin() + static_cast<ptrdiff_t>(pos) + 1);
+  RebuildPositionsFrom(pos);
+
+  // Cuts anchored at `left` used to separate left|right; their separating
+  // point is now strictly inside the merged partition, so they must not
+  // steer future insertions — retire them. Cuts anchored at `right`
+  // separated right|right-neighbour; that boundary survives as
+  // merged|right-neighbour, so re-anchor them to the surviving id.
+  for (size_t i = 0; i < cuts_.size(); ++i) {
+    Cut& cut = cuts_[i];
+    if (cut.dropped) continue;
+    if (cut.left_pid == left) {
+      DropCut(i);
+    } else if (cut.left_pid == right) {
+      cut.left_pid = left;
+    }
+  }
+  return left;
+}
+
+const Pop::Cut* Pop::FindCut(uint64_t id) const {
+  auto it = cut_index_.find(id);
+  if (it == cut_index_.end()) return nullptr;
+  const Cut& cut = cuts_[it->second];
+  return cut.dropped ? nullptr : &cut;
+}
+
+size_t Pop::SizeBytes() const {
+  size_t bytes = 0;
+  // Partition membership: the 4 bytes/tuple the paper's Table 3 reports.
+  bytes += num_tuples_ * sizeof(TupleId);
+  // Chain order.
+  bytes += chain_.size() * sizeof(PartitionId);
+  // Retained trapdoors for update handling (the paper's "slight increase").
+  for (const Cut& cut : cuts_) {
+    if (cut.dropped) continue;
+    bytes += sizeof(Cut) + cut.trapdoor.blob.size();
+  }
+  return bytes;
+}
+
+Status Pop::Validate() const {
+  size_t covered = 0;
+  for (size_t p = 0; p < chain_.size(); ++p) {
+    const PartitionId pid = chain_[p];
+    if (pid >= slots_.size() || !slots_[pid].live) {
+      return Status::Corruption("dead partition in chain");
+    }
+    if (pos_[pid] != p) return Status::Corruption("pos_ out of sync");
+    if (slots_[pid].members.empty()) {
+      return Status::Corruption("empty partition in chain");
+    }
+    for (TupleId tid : slots_[pid].members) {
+      if (tid >= part_of_.size() || part_of_[tid] != pid) {
+        return Status::Corruption("part_of_ out of sync");
+      }
+      ++covered;
+    }
+  }
+  if (covered != num_tuples_) {
+    return Status::Corruption("num_tuples_ out of sync");
+  }
+  for (const Cut& cut : cuts_) {
+    if (cut.dropped) continue;
+    if (cut.left_pid >= slots_.size() || !slots_[cut.left_pid].live) {
+      return Status::Corruption("cut anchored at dead partition");
+    }
+    const size_t cpos = CutPos(cut);
+    if (cpos < 1 || cpos > chain_.size() - 1) {
+      return Status::Corruption("cut at chain edge");
+    }
+  }
+  return Status::Ok();
+}
+
+Status Pop::ValidateAgainstPlain(const std::vector<Value>& plain_of) const {
+  PRKB_RETURN_IF_ERROR(Validate());
+  if (chain_.empty()) return Status::Ok();
+
+  struct Range {
+    Value lo, hi;
+  };
+  std::vector<Range> ranges;
+  ranges.reserve(chain_.size());
+  for (PartitionId pid : chain_) {
+    Value lo = std::numeric_limits<Value>::max();
+    Value hi = std::numeric_limits<Value>::min();
+    for (TupleId tid : slots_[pid].members) {
+      if (tid >= plain_of.size()) {
+        return Status::InvalidArgument("missing plain value");
+      }
+      lo = std::min(lo, plain_of[tid]);
+      hi = std::max(hi, plain_of[tid]);
+    }
+    ranges.push_back(Range{lo, hi});
+  }
+  // The chain must be strictly increasing or strictly decreasing in value
+  // ranges; adjacent ranges must not overlap (Def. 4.2).
+  bool ok_inc = true, ok_dec = true;
+  for (size_t p = 0; p + 1 < ranges.size(); ++p) {
+    if (!(ranges[p].hi < ranges[p + 1].lo)) ok_inc = false;
+    if (!(ranges[p].lo > ranges[p + 1].hi)) ok_dec = false;
+  }
+  if (!ok_inc && !ok_dec) {
+    return Status::Corruption("chain is not a partial order of plain values");
+  }
+  return Status::Ok();
+}
+
+}  // namespace prkb::core

@@ -1,0 +1,165 @@
+#ifndef PRKB_PRKB_POP_H_
+#define PRKB_PRKB_POP_H_
+
+#include <cstdint>
+#include <limits>
+#include <unordered_map>
+#include <vector>
+
+#include "common/serial.h"
+#include "common/status.h"
+#include "edbms/encryption.h"
+#include "edbms/types.h"
+
+namespace prkb::core {
+
+/// Identifier of a partition. Stable across chain mutations (splits shift
+/// chain *positions*, never ids).
+using PartitionId = uint32_t;
+
+/// Partial order partitions POPᶜₖ of one attribute (Def. 4.2): an ordered
+/// chain of disjoint tuple groups P₁ ↦ P₂ ↦ … ↦ Pₖ such that all plain values
+/// in each group are strictly on one side of each neighbouring group — in an
+/// unknown global direction. This is the *entire* content of the PRKB for an
+/// attribute (Sec. 4): the service provider derives it purely from observed
+/// QPF outputs.
+///
+/// Alongside the chain we remember, per known separating point, the trapdoor
+/// that created it (a "cut"). Cuts power insertion handling (Sec. 7.1): an
+/// O(lg k) binary search re-evaluates old trapdoors on the new tuple.
+class Pop {
+ public:
+  static constexpr PartitionId kNoPartition =
+      std::numeric_limits<PartitionId>::max();
+  static constexpr uint64_t kNoCut = std::numeric_limits<uint64_t>::max();
+
+  /// A known separating point and the encrypted predicate that produced it.
+  struct Cut {
+    uint64_t id = kNoCut;
+    /// Partition immediately left of the cut in chain order.
+    PartitionId left_pid = kNoPartition;
+    edbms::Trapdoor trapdoor;
+    /// For comparison trapdoors: the QPF output of every tuple on the
+    /// chain-left side of this cut.
+    bool left_label = false;
+    /// For BETWEEN trapdoors: the cut at the other end of the satisfied
+    /// region, or kNoCut when that end never produced a split.
+    uint64_t sibling = kNoCut;
+    bool dropped = false;
+
+    /// A cut can steer an insertion search iff its trapdoor output can be
+    /// translated into a chain side: always true for comparisons, and true
+    /// for BETWEEN only when both ends are known.
+    bool UsableForInsert() const {
+      return !dropped && (trapdoor.kind == edbms::PredicateKind::kComparison ||
+                          sibling != kNoCut);
+    }
+  };
+
+  Pop() = default;
+
+  /// initPRKB (Sec. 4): one big partition holding tuples 0..n-1.
+  void InitSingle(size_t num_tuples);
+  /// initPRKB over an explicit tuple set (e.g. live rows only).
+  void InitSingle(const std::vector<edbms::TupleId>& tuples);
+
+  /// --- Chain geometry -----------------------------------------------------
+
+  /// k — number of partitions.
+  size_t k() const { return chain_.size(); }
+  /// Number of tuples currently covered by the chain.
+  size_t num_tuples() const { return num_tuples_; }
+
+  PartitionId pid_at(size_t pos) const { return chain_[pos]; }
+  size_t pos_of(PartitionId pid) const { return pos_[pid]; }
+  const std::vector<edbms::TupleId>& members(PartitionId pid) const {
+    return slots_[pid].members;
+  }
+  const std::vector<edbms::TupleId>& members_at(size_t pos) const {
+    return members(chain_[pos]);
+  }
+  /// Partition currently holding `tid`, or kNoPartition.
+  PartitionId partition_of(edbms::TupleId tid) const {
+    return tid < part_of_.size() ? part_of_[tid] : kNoPartition;
+  }
+
+  /// --- updatePRKB ----------------------------------------------------------
+
+  /// Splits partition `pid` into (left_members, right_members) in chain
+  /// order, recording `td` as the new cut between them. `left_label` is the
+  /// QPF output of the left group under `td` (used by insertion handling for
+  /// comparison trapdoors). Both halves must be non-empty and together equal
+  /// the old membership. Returns the new cut's id.
+  uint64_t SplitPartition(PartitionId pid,
+                          std::vector<edbms::TupleId> left_members,
+                          std::vector<edbms::TupleId> right_members,
+                          const edbms::Trapdoor& td, bool left_label);
+
+  /// Marks two cuts as the two ends of one BETWEEN trapdoor's region.
+  void LinkBetweenCuts(uint64_t low_cut, uint64_t high_cut);
+
+  /// Inserts a tuple into an existing partition (insertion handling decides
+  /// which one).
+  void AddTuple(PartitionId pid, edbms::TupleId tid);
+
+  /// Deletion handling (Sec. 7.2): drops the tuple; an emptied partition is
+  /// removed from the chain and redundant cuts are retired.
+  void RemoveTuple(edbms::TupleId tid);
+
+  /// Merges the partitions at chain positions `pos` and `pos+1` (knowledge
+  /// coarsening; used when an insertion cannot side a tuple between two
+  /// partitions separated only by an unusable cut). Returns the surviving
+  /// partition id.
+  PartitionId MergeAt(size_t pos);
+
+  /// --- Cuts ----------------------------------------------------------------
+
+  const std::vector<Cut>& cuts() const { return cuts_; }
+  const Cut* FindCut(uint64_t id) const;
+  /// Chain position of a cut: it lies between positions CutPos()-1 and
+  /// CutPos(). Always in [1, k-1] for live cuts.
+  size_t CutPos(const Cut& cut) const { return pos_[cut.left_pid] + 1; }
+
+  /// --- Accounting / diagnostics -------------------------------------------
+
+  /// Index footprint (Table 3): partition membership plus retained trapdoors.
+  size_t SizeBytes() const;
+
+  /// Structural invariant check (chain/pos/membership consistency).
+  Status Validate() const;
+
+  /// Serialises the chain and its cuts (prkb_io.cc). The encoding is
+  /// position-based so ids may differ after a round trip; semantics do not.
+  void EncodeTo(Encoder* enc) const;
+  /// Rebuilds the chain from `dec`; returns Corruption on malformed input.
+  Status DecodeFrom(Decoder* dec);
+
+  /// Test oracle: checks the paper's knowledge invariant against ground
+  /// truth — each partition is a contiguous run of the tuples ordered by
+  /// plain value, and the chain is that order or its exact reverse.
+  /// `plain_of[tid]` must be valid for every covered tuple.
+  Status ValidateAgainstPlain(const std::vector<edbms::Value>& plain_of) const;
+
+ private:
+  struct Slot {
+    std::vector<edbms::TupleId> members;
+    bool live = false;
+  };
+
+  PartitionId NewPartition(std::vector<edbms::TupleId> members);
+  void RebuildPositionsFrom(size_t pos);
+  void DropCut(size_t cut_idx);
+
+  std::vector<Slot> slots_;             // by pid
+  std::vector<PartitionId> chain_;      // pos -> pid
+  std::vector<uint32_t> pos_;           // pid -> pos
+  std::vector<PartitionId> part_of_;    // tid -> pid
+  std::vector<Cut> cuts_;
+  std::unordered_map<uint64_t, size_t> cut_index_;  // cut id -> index
+  uint64_t next_cut_id_ = 1;
+  size_t num_tuples_ = 0;
+};
+
+}  // namespace prkb::core
+
+#endif  // PRKB_PRKB_POP_H_

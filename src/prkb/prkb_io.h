@@ -1,0 +1,23 @@
+#ifndef PRKB_PRKB_PRKB_IO_H_
+#define PRKB_PRKB_PRKB_IO_H_
+
+#include <string>
+
+#include "common/status.h"
+#include "prkb/selection.h"
+
+namespace prkb::core {
+
+/// Persists the PRKB index (every enabled attribute's chain plus retained
+/// trapdoors) to `path`. Since the PRKB holds no plaintext — only tuple ids,
+/// chain order and sealed trapdoors — the snapshot is exactly as sensitive as
+/// the SP's live state, no more.
+Status SavePrkb(const PrkbIndex& index, const std::string& path);
+
+/// Restores a snapshot written by SavePrkb into `index` (replacing any
+/// enabled attributes). The underlying EDBMS must contain the same tuples.
+Status LoadPrkb(PrkbIndex* index, const std::string& path);
+
+}  // namespace prkb::core
+
+#endif  // PRKB_PRKB_PRKB_IO_H_

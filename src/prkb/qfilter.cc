@@ -1,0 +1,74 @@
+#include "prkb/qfilter.h"
+
+#include <cassert>
+
+namespace prkb::core {
+
+edbms::TupleId SamplePartition(const Pop& pop, size_t pos, Rng* rng) {
+  const auto& members = pop.members_at(pos);
+  assert(!members.empty());
+  return members[rng->UniformInt(0, members.size() - 1)];
+}
+
+QFilterResult QFilter(const Pop& pop, const edbms::Trapdoor& td,
+                      edbms::QpfOracle* qpf, Rng* rng) {
+  const size_t k = pop.k();
+  assert(k >= 1);
+  QFilterResult out;
+
+  if (k == 1) {
+    // Degenerate POP₁: everything is the NS "pair"; QScan does a full scan.
+    out.boundary_case = true;
+    const bool label = qpf->Eval(td, SamplePartition(pop, 0, rng));
+    out.label_first = out.label_last = label;
+    return out;
+  }
+
+  const bool label1 = qpf->Eval(td, SamplePartition(pop, 0, rng));
+  const bool labelk = qpf->Eval(td, SamplePartition(pop, k - 1, rng));
+  out.label_first = label1;
+  out.label_last = labelk;
+
+  if (label1 == labelk) {
+    // Boundary case (lines 4-10): s = 1 or s = k; NS pair is <P₁, Pₖ>.
+    out.boundary_case = true;
+    out.ns_a = 0;
+    out.ns_b = k - 1;
+    if (label1) {
+      // All middle partitions are T-homogeneous.
+      out.win_begin = 1;
+      out.win_end = k - 1;
+    }
+    return out;
+  }
+
+  // Recursive case (lines 12-29): binary search maintaining
+  // label(sample(a)) != label(sample(b)).
+  size_t a = 0;
+  size_t b = k - 1;
+  bool label_a = label1;
+  while (b - a > 1) {
+    const size_t m = (a + b) / 2;
+    const bool label_m = qpf->Eval(td, SamplePartition(pop, m, rng));
+    if (label_m == label_a) {
+      a = m;
+      label_a = label_m;
+    } else {
+      b = m;
+    }
+  }
+  out.ns_a = a;
+  out.ns_b = b;
+  if (label1) {
+    // Positions [0, a) are T-homogeneous.
+    out.win_begin = 0;
+    out.win_end = a;
+  } else {
+    // Positions (b, k) are T-homogeneous.
+    out.win_begin = b + 1;
+    out.win_end = k;
+  }
+  return out;
+}
+
+}  // namespace prkb::core

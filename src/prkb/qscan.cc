@@ -1,0 +1,69 @@
+#include "prkb/qscan.h"
+
+#include <cassert>
+
+namespace prkb::core {
+namespace {
+
+/// Tests every tuple of the partition at `pos`, appending satisfied tuples
+/// to `true_out` and the rest to `false_out`.
+void ScanPartition(const Pop& pop, size_t pos, const edbms::Trapdoor& td,
+                   edbms::QpfOracle* qpf,
+                   std::vector<edbms::TupleId>* true_out,
+                   std::vector<edbms::TupleId>* false_out) {
+  for (edbms::TupleId tid : pop.members_at(pos)) {
+    if (qpf->Eval(td, tid)) {
+      true_out->push_back(tid);
+    } else {
+      false_out->push_back(tid);
+    }
+  }
+}
+
+}  // namespace
+
+QScanResult QScan(const Pop& pop, const QFilterResult& filter,
+                  const edbms::Trapdoor& td, edbms::QpfOracle* qpf) {
+  QScanResult out;
+
+  // ---- First scan Pa (line 2) ----
+  std::vector<edbms::TupleId> a_true, a_false;
+  ScanPartition(pop, filter.ns_a, td, qpf, &a_true, &a_false);
+  out.winners = a_true;
+
+  const bool a_mixed = !a_true.empty() && !a_false.empty();
+  if (a_mixed) {
+    // Early stop (lines 9-13): Pa is the separating partition; Pb is
+    // homogeneous with the label QFilter sampled on the far end.
+    out.split_found = true;
+    out.split_pos = filter.ns_a;
+    out.split_true = std::move(a_true);
+    out.split_false = std::move(a_false);
+    if (filter.ns_b != filter.ns_a && filter.label_last) {
+      const auto& b_members = pop.members_at(filter.ns_b);
+      out.winners.insert(out.winners.end(), b_members.begin(),
+                         b_members.end());
+    }
+    return out;
+  }
+
+  // Pa homogeneous: scan Pb as well (lines 4-7), unless k == 1 made the
+  // "pair" a single partition.
+  out.a_label = !a_true.empty();
+  if (filter.ns_b == filter.ns_a) return out;
+
+  std::vector<edbms::TupleId> b_true, b_false;
+  ScanPartition(pop, filter.ns_b, td, qpf, &b_true, &b_false);
+  out.scanned_b = true;
+  out.winners.insert(out.winners.end(), b_true.begin(), b_true.end());
+
+  if (!b_true.empty() && !b_false.empty()) {
+    out.split_found = true;
+    out.split_pos = filter.ns_b;
+    out.split_true = std::move(b_true);
+    out.split_false = std::move(b_false);
+  }
+  return out;
+}
+
+}  // namespace prkb::core

@@ -1,0 +1,45 @@
+#ifndef PRKB_PRKB_QSCAN_H_
+#define PRKB_PRKB_QSCAN_H_
+
+#include <vector>
+
+#include "edbms/qpf.h"
+#include "prkb/pop.h"
+#include "prkb/qfilter.h"
+
+namespace prkb::core {
+
+/// Outcome of QScan (Algorithm 2).
+struct QScanResult {
+  /// TWNS — tuples of the NS pair that satisfy the predicate.
+  std::vector<edbms::TupleId> winners;
+
+  /// Whether a non-homogeneous partition was found (Case 2 of Lemma 4.5:
+  /// the predicate is inequivalent and updatePRKB can extend the chain).
+  bool split_found = false;
+  /// Chain position of the non-homogeneous partition.
+  size_t split_pos = 0;
+  /// Its exact division by QPF output — handed to updatePRKB so the split
+  /// costs zero extra QPF uses (Sec. 5.3).
+  std::vector<edbms::TupleId> split_true;
+  std::vector<edbms::TupleId> split_false;
+
+  /// Whether the second NS partition was actually scanned (false when the
+  /// early-stop strategy fired).
+  bool scanned_b = false;
+
+  /// Actual (scanned) QPF label of the first NS partition; only meaningful
+  /// when it was homogeneous (split_found == false or split_pos == ns_b).
+  bool a_label = false;
+};
+
+/// QScan (Sec. 5.2): confirms the exact selection result inside the NS pair
+/// with the early-stop strategy — if the first partition turns out
+/// non-homogeneous, the second one's QPF outputs are already implied by
+/// `filter.label_last` (labelb in the paper) and it is not scanned.
+QScanResult QScan(const Pop& pop, const QFilterResult& filter,
+                  const edbms::Trapdoor& td, edbms::QpfOracle* qpf);
+
+}  // namespace prkb::core
+
+#endif  // PRKB_PRKB_QSCAN_H_

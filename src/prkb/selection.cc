@@ -1,0 +1,217 @@
+#include "prkb/selection.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cstdio>
+
+#include "common/bitvector.h"
+#include "common/stopwatch.h"
+
+namespace prkb::core {
+
+using edbms::SelectionStats;
+using edbms::Trapdoor;
+using edbms::TupleId;
+
+PrkbIndex::PrkbIndex(edbms::Edbms* db, PrkbOptions options)
+    : db_(db), options_(options), rng_(options.seed) {}
+
+void PrkbIndex::EnableAttr(edbms::AttrId attr) {
+  std::vector<TupleId> live;
+  live.reserve(db_->num_rows());
+  for (TupleId tid = 0; tid < db_->num_rows(); ++tid) {
+    if (db_->IsLive(tid)) live.push_back(tid);
+  }
+  pops_[attr].InitSingle(live);
+}
+
+uint64_t ApplyComparisonSplit(Pop* pop, const QFilterResult& filter,
+                              QScanResult&& scan, const Trapdoor& td) {
+  if (!scan.split_found) return Pop::kNoCut;
+
+  const size_t s = scan.split_pos;
+  bool true_half_left;  // does split_true become the chain-left half?
+  if (pop->k() == 1) {
+    // First split ever: both orientations are consistent scenarios
+    // (Sec. 4); pick F ↦ T by convention.
+    true_half_left = false;
+  } else if (s == filter.ns_b) {
+    // Pa was scanned homogeneous; it is (or is output-isomorphic to) the
+    // left neighbour, so the half matching its label sits next to it.
+    true_half_left = scan.a_label;
+  } else if (s > 0) {
+    // s == ns_a with a left neighbour outside the NS pair: that side is
+    // homogeneous with label1.
+    true_half_left = filter.label_first;
+  } else {
+    // s == 0: orient against the right neighbour, which is homogeneous with
+    // labelk in both the boundary and the recursive case.
+    true_half_left = !filter.label_last;
+  }
+
+  std::vector<TupleId> left = true_half_left ? std::move(scan.split_true)
+                                             : std::move(scan.split_false);
+  std::vector<TupleId> right = true_half_left ? std::move(scan.split_false)
+                                              : std::move(scan.split_true);
+  const PartitionId pid = pop->pid_at(s);
+  return pop->SplitPartition(pid, std::move(left), std::move(right), td,
+                             /*left_label=*/true_half_left);
+}
+
+std::vector<TupleId> PrkbIndex::SelectComparison(const Trapdoor& td) {
+  Pop& pop = pops_.at(td.attr);
+  if (pop.k() == 0) return {};  // empty table
+
+  const QFilterResult filter = QFilter(pop, td, db_, &rng_);
+  QScanResult scan = QScan(pop, filter, td, db_);
+
+  // Assemble TW ∪ TWNS.
+  std::vector<TupleId> result;
+  size_t win_size = 0;
+  for (size_t p = filter.win_begin; p < filter.win_end; ++p) {
+    win_size += pop.members_at(p).size();
+  }
+  result.reserve(win_size + scan.winners.size());
+  for (size_t p = filter.win_begin; p < filter.win_end; ++p) {
+    const auto& m = pop.members_at(p);
+    result.insert(result.end(), m.begin(), m.end());
+  }
+  result.insert(result.end(), scan.winners.begin(), scan.winners.end());
+
+  ApplyComparisonSplit(&pop, filter, std::move(scan), td);
+  return result;
+}
+
+std::vector<TupleId> PrkbIndex::Select(const Trapdoor& td,
+                                       SelectionStats* stats) {
+  Stopwatch watch;
+  const uint64_t uses_before = db_->uses();
+  std::vector<TupleId> result;
+  if (!IsEnabled(td.attr)) {
+    // No knowledge base on this attribute: plain QPF scan.
+    edbms::BaselineScanner scanner(db_);
+    result = scanner.Select(td);
+  } else if (td.kind == edbms::PredicateKind::kBetween) {
+    result = SelectBetween(td);
+  } else {
+    result = SelectComparison(td);
+  }
+  if (stats != nullptr) {
+    stats->qpf_uses = db_->uses() - uses_before;
+    stats->millis = watch.ElapsedMillis();
+  }
+  return result;
+}
+
+std::vector<TupleId> PrkbIndex::SelectRangeSdPlus(
+    const std::vector<Trapdoor>& tds, SelectionStats* stats) {
+  Stopwatch watch;
+  const uint64_t uses_before = db_->uses();
+
+  std::vector<TupleId> result;
+  bool first = true;
+  BitVector mask;
+  for (const Trapdoor& td : tds) {
+    const auto part = Select(td);
+    if (first) {
+      mask.Resize(db_->num_rows());
+      for (TupleId tid : part) mask.Set(tid);
+      first = false;
+    } else {
+      BitVector m2(db_->num_rows());
+      for (TupleId tid : part) m2.Set(tid);
+      mask.And(m2);
+    }
+  }
+  if (!first) {
+    for (uint32_t tid : mask.ToIndices()) result.push_back(tid);
+  }
+  if (stats != nullptr) {
+    stats->qpf_uses = db_->uses() - uses_before;
+    stats->millis = watch.ElapsedMillis();
+  }
+  return result;
+}
+
+std::vector<TupleId> PrkbIndex::SelectRangeMd(const std::vector<Trapdoor>& tds,
+                                              SelectionStats* stats) {
+  Stopwatch watch;
+  const uint64_t uses_before = db_->uses();
+  // The grid algorithm requires comparison trapdoors on enabled attributes;
+  // anything else routes through the SD+ path, which handles every case.
+  bool md_capable = !tds.empty();
+  for (const Trapdoor& td : tds) {
+    if (td.kind != edbms::PredicateKind::kComparison || !IsEnabled(td.attr)) {
+      md_capable = false;
+      break;
+    }
+  }
+  std::vector<TupleId> result;
+  if (md_capable) {
+    result = RunMd(tds);
+  } else {
+    result = SelectRangeSdPlus(tds);
+  }
+  if (stats != nullptr) {
+    stats->qpf_uses = db_->uses() - uses_before;
+    stats->millis = watch.ElapsedMillis();
+  }
+  return result;
+}
+
+PrkbIndex::ChainStats PrkbIndex::StatsFor(edbms::AttrId attr) const {
+  const Pop& pop = pops_.at(attr);
+  ChainStats st;
+  st.attr = attr;
+  st.k = pop.k();
+  st.tuples = pop.num_tuples();
+  st.bytes = pop.SizeBytes();
+  if (pop.k() > 0) {
+    st.min_partition = pop.members_at(0).size();
+    for (size_t p = 0; p < pop.k(); ++p) {
+      const size_t sz = pop.members_at(p).size();
+      st.min_partition = std::min(st.min_partition, sz);
+      st.max_partition = std::max(st.max_partition, sz);
+    }
+    st.mean_partition =
+        static_cast<double>(st.tuples) / static_cast<double>(st.k);
+  }
+  for (const Pop::Cut& cut : pop.cuts()) {
+    if (cut.dropped) continue;
+    ++st.cuts;
+    st.insert_usable_cuts += cut.UsableForInsert();
+  }
+  return st;
+}
+
+std::string PrkbIndex::DescribeStats() const {
+  std::string out;
+  for (edbms::AttrId attr : EnabledAttrs()) {
+    const ChainStats st = StatsFor(attr);
+    char line[192];
+    std::snprintf(line, sizeof(line),
+                  "attr %u: k=%zu tuples=%zu partition(min/mean/max)="
+                  "%zu/%.1f/%zu cuts=%zu(usable %zu) bytes=%zu\n",
+                  st.attr, st.k, st.tuples, st.min_partition,
+                  st.mean_partition, st.max_partition, st.cuts,
+                  st.insert_usable_cuts, st.bytes);
+    out += line;
+  }
+  return out;
+}
+
+std::vector<edbms::AttrId> PrkbIndex::EnabledAttrs() const {
+  std::vector<edbms::AttrId> attrs;
+  attrs.reserve(pops_.size());
+  for (const auto& [attr, pop] : pops_) attrs.push_back(attr);
+  std::sort(attrs.begin(), attrs.end());
+  return attrs;
+}
+
+size_t PrkbIndex::SizeBytes() const {
+  size_t total = 0;
+  for (const auto& [attr, pop] : pops_) total += pop.SizeBytes();
+  return total;
+}
+
+}  // namespace prkb::core

@@ -1,0 +1,126 @@
+#ifndef PRKB_PRKB_SELECTION_H_
+#define PRKB_PRKB_SELECTION_H_
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "common/rng.h"
+#include "edbms/edbms.h"
+#include "edbms/service_provider.h"
+#include "prkb/pop.h"
+#include "prkb/qfilter.h"
+#include "prkb/qscan.h"
+
+namespace prkb::core {
+
+/// Extra knobs for PRKB processing.
+struct PrkbOptions {
+  /// Seed for the SP-local sampling randomness used by QFilter.
+  uint64_t seed = 0x5EED;
+  /// Multi-dimensional processing only: when true, an NS partition whose scan
+  /// was cut short by cross-dimension pruning is finished off with direct QPF
+  /// calls so updatePRKB can still split it (ablation: pay QPF now for a
+  /// finer index later). The paper's algorithm corresponds to `false`.
+  bool eager_md_update = false;
+};
+
+/// The PRKB index of one table: one partial-order-partition chain per enabled
+/// attribute, plus the selection / update drivers of Secs. 5-7. Lives
+/// entirely at the service provider; its only inputs are trapdoors and QPF
+/// outputs.
+class PrkbIndex {
+ public:
+  /// `db` must outlive the index.
+  PrkbIndex(edbms::Edbms* db, PrkbOptions options = {});
+
+  /// initPRKB for `attr`: a single partition over all live tuples.
+  void EnableAttr(edbms::AttrId attr);
+  bool IsEnabled(edbms::AttrId attr) const {
+    return pops_.contains(attr);
+  }
+  Pop& pop(edbms::AttrId attr) { return pops_.at(attr); }
+  const Pop& pop(edbms::AttrId attr) const { return pops_.at(attr); }
+  /// Attributes with a chain, in ascending order.
+  std::vector<edbms::AttrId> EnabledAttrs() const;
+  /// Installs a deserialised chain (prkb_io.cc).
+  void InstallPop(edbms::AttrId attr, Pop pop) {
+    pops_[attr] = std::move(pop);
+  }
+
+  /// Selection with one predicate (Sec. 5, and Appendix A for BETWEEN
+  /// trapdoors): QFilter → QScan → updatePRKB. Falls back to a plain linear
+  /// scan when the attribute has no PRKB. The result is unordered.
+  std::vector<edbms::TupleId> Select(const edbms::Trapdoor& td,
+                                     edbms::SelectionStats* stats = nullptr);
+
+  /// Multi-dimensional range query, naive extension "PRKB(SD+)" (Sec. 6
+  /// baseline): runs single-predicate processing per trapdoor and intersects.
+  std::vector<edbms::TupleId> SelectRangeSdPlus(
+      const std::vector<edbms::Trapdoor>& tds,
+      edbms::SelectionStats* stats = nullptr);
+
+  /// Multi-dimensional range query, "PRKB(MD)" (Sec. 6.2): grid pruning +
+  /// per-region predicate testing + early stop.
+  std::vector<edbms::TupleId> SelectRangeMd(
+      const std::vector<edbms::Trapdoor>& tds,
+      edbms::SelectionStats* stats = nullptr);
+
+  /// Insertion handling (Sec. 7.1): encrypts/stores the row via the EDBMS
+  /// and places the new tuple in every enabled chain with O(lg k) QPF uses.
+  edbms::TupleId Insert(const std::vector<edbms::Value>& row,
+                        edbms::SelectionStats* stats = nullptr);
+
+  /// Deletion handling (Sec. 7.2).
+  void Delete(edbms::TupleId tid);
+
+  /// Index footprint across all enabled attributes (Table 3).
+  size_t SizeBytes() const;
+
+  /// Point-in-time health/shape report of one attribute's chain.
+  struct ChainStats {
+    edbms::AttrId attr = 0;
+    size_t k = 0;
+    size_t tuples = 0;
+    size_t min_partition = 0;
+    size_t max_partition = 0;
+    double mean_partition = 0.0;
+    size_t cuts = 0;
+    size_t insert_usable_cuts = 0;
+    size_t bytes = 0;
+  };
+  ChainStats StatsFor(edbms::AttrId attr) const;
+  /// Multi-line human-readable report over all enabled attributes.
+  std::string DescribeStats() const;
+
+  edbms::Edbms* db() { return db_; }
+  Rng* rng() { return &rng_; }
+  const PrkbOptions& options() const { return options_; }
+
+ private:
+  /// Sec. 5 driver for comparison trapdoors.
+  std::vector<edbms::TupleId> SelectComparison(const edbms::Trapdoor& td);
+  /// Appendix A driver for BETWEEN trapdoors (between.cc).
+  std::vector<edbms::TupleId> SelectBetween(const edbms::Trapdoor& td);
+  /// Places an already-stored tuple into the chain of `attr` (update.cc).
+  void PlaceTuple(edbms::AttrId attr, edbms::TupleId tid);
+
+  /// PRKB(MD) implementation detail (multidim.cc).
+  std::vector<edbms::TupleId> RunMd(const std::vector<edbms::Trapdoor>& tds);
+
+  edbms::Edbms* db_;
+  PrkbOptions options_;
+  Rng rng_;
+  std::unordered_map<edbms::AttrId, Pop> pops_;
+};
+
+/// updatePRKB for the single-comparison flow (Sec. 5.3): applies the split
+/// discovered by QScan, orienting the two halves by the homogeneous
+/// neighbour's label. Returns the new cut's id, or Pop::kNoCut when the
+/// predicate turned out equivalent (no split).
+uint64_t ApplyComparisonSplit(Pop* pop, const QFilterResult& filter,
+                              QScanResult&& scan, const edbms::Trapdoor& td);
+
+}  // namespace prkb::core
+
+#endif  // PRKB_PRKB_SELECTION_H_

@@ -1,0 +1,215 @@
+#include <algorithm>
+#include <cassert>
+
+#include "common/stopwatch.h"
+#include "prkb/selection.h"
+
+namespace prkb::core {
+namespace {
+
+using edbms::TupleId;
+
+/// Inclusive range of chain positions.
+struct Interval {
+  size_t b, e;
+  size_t size() const { return e - b + 1; }
+};
+
+size_t Total(const std::vector<Interval>& ivs) {
+  size_t n = 0;
+  for (const auto& iv : ivs) n += iv.size();
+  return n;
+}
+
+/// Intersects `ivs` with [b, e] (inclusive). Pass e < b for an empty range.
+std::vector<Interval> Clip(const std::vector<Interval>& ivs, size_t b,
+                           size_t e) {
+  std::vector<Interval> out;
+  if (e + 1 <= b && e < b) {
+    // empty clip range
+  }
+  for (const auto& iv : ivs) {
+    const size_t nb = std::max(iv.b, b);
+    const size_t ne = std::min(iv.e, e);
+    if (nb <= ne && b <= e) out.push_back(Interval{nb, ne});
+  }
+  return out;
+}
+
+/// Union of two disjoint clip results against complementary ranges.
+std::vector<Interval> ClipComplement(const std::vector<Interval>& ivs,
+                                     size_t b, size_t e, size_t k) {
+  // Complement of [b, e] within [0, k-1].
+  std::vector<Interval> out;
+  if (b > 0) {
+    auto left = Clip(ivs, 0, b - 1);
+    out.insert(out.end(), left.begin(), left.end());
+  }
+  if (e + 1 <= k - 1) {
+    auto right = Clip(ivs, e + 1, k - 1);
+    out.insert(out.end(), right.begin(), right.end());
+  }
+  return out;
+}
+
+/// How a usable cut partitions the chain into a "region" and its complement.
+struct CutRegion {
+  const Pop::Cut* cut;
+  // Region selected when Θ outputs `label_for_region`.
+  size_t region_b, region_e;
+  bool label_for_region;
+};
+
+/// Size of `ivs` ∩ [b, e] without materialising it.
+size_t CountClip(const std::vector<Interval>& ivs, size_t b, size_t e) {
+  size_t n = 0;
+  if (b > e) return 0;
+  for (const auto& iv : ivs) {
+    const size_t nb = std::max(iv.b, b);
+    const size_t ne = std::min(iv.e, e);
+    if (nb <= ne) n += ne - nb + 1;
+  }
+  return n;
+}
+
+}  // namespace
+
+void PrkbIndex::PlaceTuple(edbms::AttrId attr, TupleId tid) {
+  Pop& pop = pops_.at(attr);
+  if (pop.k() == 0) {
+    pop.InitSingle(std::vector<TupleId>{tid});
+    return;
+  }
+  if (pop.k() == 1) {
+    pop.AddTuple(pop.pid_at(0), tid);
+    return;
+  }
+
+  const size_t k = pop.k();
+  std::vector<Interval> cand = {Interval{0, k - 1}};
+
+  // Collect the usable cuts and their region semantics once; positions do
+  // not change during the search (no splits happen here).
+  std::vector<CutRegion> regions;
+  for (const Pop::Cut& cut : pop.cuts()) {
+    if (!cut.UsableForInsert()) continue;
+    if (cut.trapdoor.kind == edbms::PredicateKind::kComparison) {
+      const size_t c = pop.CutPos(cut);
+      // Θ == left_label selects positions [0, c-1].
+      regions.push_back(CutRegion{&cut, 0, c - 1, cut.left_label});
+    } else {
+      // BETWEEN with both ends known: Θ == 1 selects the inside positions.
+      const Pop::Cut* sib = pop.FindCut(cut.sibling);
+      if (sib == nullptr) continue;
+      const size_t c1 = pop.CutPos(cut);
+      const size_t c2 = pop.CutPos(*sib);
+      if (c1 >= c2) continue;  // handled once, from the low end
+      regions.push_back(CutRegion{&cut, c1, c2 - 1, true});
+    }
+  }
+
+  // Sorted comparison-cut positions for the O(lg k)-per-step fast path:
+  // while the candidate set is one interval [b, e], the best comparison cut
+  // is simply the one with position nearest its midpoint, found by binary
+  // search instead of scanning every cut.
+  std::vector<std::pair<size_t, const CutRegion*>> cmp_by_pos;
+  cmp_by_pos.reserve(regions.size());
+  for (const CutRegion& r : regions) {
+    if (r.cut->trapdoor.kind == edbms::PredicateKind::kComparison) {
+      cmp_by_pos.emplace_back(r.region_e + 1, &r);  // cut position
+    }
+  }
+  std::sort(cmp_by_pos.begin(), cmp_by_pos.end());
+
+  // Greedy binary search: repeatedly evaluate the cut minimising the
+  // worst-case surviving candidate count (≈ ⌈lg k⌉ QPF uses, Sec. 7.1).
+  while (Total(cand) > 1) {
+    const CutRegion* best = nullptr;
+
+    if (cand.size() == 1) {
+      // Fast path: pick the comparison cut nearest the interval midpoint,
+      // i.e. a position in (b, e] closest to (b + e + 1) / 2.
+      const size_t b = cand[0].b, e = cand[0].e;
+      const size_t mid = (b + e + 1) / 2;
+      auto it = std::lower_bound(
+          cmp_by_pos.begin(), cmp_by_pos.end(), mid,
+          [](const auto& pr, size_t m) { return pr.first < m; });
+      const CutRegion* cut_up =
+          (it != cmp_by_pos.end() && it->first <= e) ? it->second : nullptr;
+      const CutRegion* cut_down =
+          (it != cmp_by_pos.begin() && std::prev(it)->first > b)
+              ? std::prev(it)->second
+              : nullptr;
+      if (cut_up != nullptr && cut_down != nullptr) {
+        best = (it->first - mid <= mid - std::prev(it)->first) ? cut_up
+                                                               : cut_down;
+      } else {
+        best = cut_up != nullptr ? cut_up : cut_down;
+      }
+    }
+    if (best == nullptr) {
+      // General path: any usable cut (including BETWEEN pairs) minimising
+      // the worst-case surviving count.
+      const size_t total = Total(cand);
+      size_t best_worst = total;
+      for (const CutRegion& r : regions) {
+        const size_t in_region = CountClip(cand, r.region_b, r.region_e);
+        const size_t worst = std::max(in_region, total - in_region);
+        if (worst < best_worst) {
+          best_worst = worst;
+          best = &r;
+        }
+      }
+    }
+    if (best == nullptr) break;  // no cut can narrow further
+
+    const bool output = db_->Eval(best->cut->trapdoor, tid);
+    if (output == best->label_for_region) {
+      cand = Clip(cand, best->region_b, best->region_e);
+    } else {
+      cand = ClipComplement(cand, best->region_b, best->region_e, k);
+    }
+    assert(!cand.empty());
+  }
+
+  if (Total(cand) == 1) {
+    pop.AddTuple(pop.pid_at(cand[0].b), tid);
+    return;
+  }
+
+  // No usable cut separates the remaining candidates (possible only when
+  // sibling-less BETWEEN cuts guard the boundary). Coarsen: merge the whole
+  // candidate span into one partition — always knowledge-safe — and place
+  // the tuple there.
+  const size_t span_b = cand.front().b;
+  size_t span_e = 0;
+  for (const auto& iv : cand) span_e = std::max(span_e, iv.e);
+  for (size_t i = span_b; i < span_e; ++i) pop.MergeAt(span_b);
+  pop.AddTuple(pop.pid_at(span_b), tid);
+}
+
+edbms::TupleId PrkbIndex::Insert(const std::vector<edbms::Value>& row,
+                                 edbms::SelectionStats* stats) {
+  Stopwatch watch;
+  const uint64_t uses_before = db_->uses();
+  const TupleId tid = db_->Insert(row);
+  for (auto& [attr, pop] : pops_) {
+    (void)pop;
+    PlaceTuple(attr, tid);
+  }
+  if (stats != nullptr) {
+    stats->qpf_uses = db_->uses() - uses_before;
+    stats->millis = watch.ElapsedMillis();
+  }
+  return tid;
+}
+
+void PrkbIndex::Delete(edbms::TupleId tid) {
+  db_->Delete(tid);
+  for (auto& [attr, pop] : pops_) {
+    (void)attr;
+    if (pop.partition_of(tid) != Pop::kNoPartition) pop.RemoveTuple(tid);
+  }
+}
+
+}  // namespace prkb::core

@@ -1,0 +1,29 @@
+#ifndef PRKB_QUERY_AST_H_
+#define PRKB_QUERY_AST_H_
+
+#include <string>
+#include <vector>
+
+#include "edbms/types.h"
+
+namespace prkb::query {
+
+/// One WHERE conjunct of the supported SQL subset.
+struct Condition {
+  enum class Kind { kComparison, kBetween };
+  Kind kind = Kind::kComparison;
+  std::string column;
+  edbms::CompareOp op = edbms::CompareOp::kLt;  // comparison only
+  edbms::Value lo = 0;  // comparison constant, or BETWEEN lower bound
+  edbms::Value hi = 0;  // BETWEEN upper bound (inclusive)
+};
+
+/// `SELECT * FROM <table> [WHERE cond AND cond AND ...]`.
+struct SelectStatement {
+  std::string table;
+  std::vector<Condition> conditions;
+};
+
+}  // namespace prkb::query
+
+#endif  // PRKB_QUERY_AST_H_

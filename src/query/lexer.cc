@@ -1,0 +1,84 @@
+#include "query/lexer.h"
+
+#include <cctype>
+
+namespace prkb::query {
+namespace {
+
+bool IsKeyword(const std::string& upper) {
+  return upper == "SELECT" || upper == "FROM" || upper == "WHERE" ||
+         upper == "AND" || upper == "BETWEEN";
+}
+
+std::string ToUpper(const std::string& s) {
+  std::string out = s;
+  for (char& c : out) c = static_cast<char>(std::toupper(c));
+  return out;
+}
+
+}  // namespace
+
+Result<std::vector<Token>> Lex(const std::string& sql) {
+  std::vector<Token> out;
+  size_t i = 0;
+  const size_t n = sql.size();
+  while (i < n) {
+    const char c = sql[i];
+    if (std::isspace(static_cast<unsigned char>(c)) || c == ';') {
+      ++i;
+      continue;
+    }
+    if (c == '*') {
+      out.push_back(Token{Token::Kind::kStar, "*", 0});
+      ++i;
+      continue;
+    }
+    if (c == '<' || c == '>' || c == '=') {
+      std::string op(1, c);
+      if ((c == '<' || c == '>') && i + 1 < n && sql[i + 1] == '=') {
+        op += '=';
+        ++i;
+      }
+      out.push_back(Token{Token::Kind::kOperator, op, 0});
+      ++i;
+      continue;
+    }
+    if (std::isdigit(static_cast<unsigned char>(c)) ||
+        (c == '-' && i + 1 < n &&
+         std::isdigit(static_cast<unsigned char>(sql[i + 1])))) {
+      size_t j = i + 1;
+      while (j < n && std::isdigit(static_cast<unsigned char>(sql[j]))) ++j;
+      const std::string lit = sql.substr(i, j - i);
+      try {
+        Token tok{Token::Kind::kNumber, lit, std::stoll(lit)};
+        out.push_back(tok);
+      } catch (...) {
+        return Status::InvalidArgument("number out of range: " + lit);
+      }
+      i = j;
+      continue;
+    }
+    if (std::isalpha(static_cast<unsigned char>(c)) || c == '_') {
+      size_t j = i + 1;
+      while (j < n && (std::isalnum(static_cast<unsigned char>(sql[j])) ||
+                       sql[j] == '_')) {
+        ++j;
+      }
+      const std::string word = sql.substr(i, j - i);
+      const std::string upper = ToUpper(word);
+      if (IsKeyword(upper)) {
+        out.push_back(Token{Token::Kind::kKeyword, upper, 0});
+      } else {
+        out.push_back(Token{Token::Kind::kIdentifier, word, 0});
+      }
+      i = j;
+      continue;
+    }
+    return Status::InvalidArgument(std::string("unexpected character '") + c +
+                                   "'");
+  }
+  out.push_back(Token{Token::Kind::kEnd, "", 0});
+  return out;
+}
+
+}  // namespace prkb::query

@@ -1,0 +1,33 @@
+#ifndef PRKB_QUERY_LEXER_H_
+#define PRKB_QUERY_LEXER_H_
+
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+
+namespace prkb::query {
+
+/// Token of the SQL subset. Keywords are case-insensitive and normalised to
+/// upper case; identifiers keep their spelling.
+struct Token {
+  enum class Kind {
+    kKeyword,     // SELECT FROM WHERE AND BETWEEN
+    kIdentifier,  // table / column names
+    kNumber,      // optionally signed integer literal
+    kOperator,    // < > <= >= =
+    kStar,        // *
+    kEnd,
+  };
+  Kind kind = Kind::kEnd;
+  std::string text;
+  int64_t number = 0;
+};
+
+/// Splits `sql` into tokens; rejects unknown characters and malformed
+/// numbers. The result always ends with a kEnd token.
+Result<std::vector<Token>> Lex(const std::string& sql);
+
+}  // namespace prkb::query
+
+#endif  // PRKB_QUERY_LEXER_H_

@@ -1,0 +1,115 @@
+#include "query/parser.h"
+
+#include "query/lexer.h"
+
+namespace prkb::query {
+namespace {
+
+class TokenStream {
+ public:
+  explicit TokenStream(std::vector<Token> tokens)
+      : tokens_(std::move(tokens)) {}
+
+  const Token& Peek() const { return tokens_[pos_]; }
+  const Token& Next() { return tokens_[pos_++]; }
+
+  bool ConsumeKeyword(const std::string& kw) {
+    if (Peek().kind == Token::Kind::kKeyword && Peek().text == kw) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+
+ private:
+  std::vector<Token> tokens_;
+  size_t pos_ = 0;
+};
+
+Result<Condition> ParseCondition(TokenStream* ts) {
+  if (ts->Peek().kind != Token::Kind::kIdentifier) {
+    return Status::InvalidArgument("expected column name in WHERE");
+  }
+  Condition cond;
+  cond.column = ts->Next().text;
+
+  if (ts->ConsumeKeyword("BETWEEN")) {
+    cond.kind = Condition::Kind::kBetween;
+    if (ts->Peek().kind != Token::Kind::kNumber) {
+      return Status::InvalidArgument("expected lower bound after BETWEEN");
+    }
+    cond.lo = ts->Next().number;
+    if (!ts->ConsumeKeyword("AND")) {
+      return Status::InvalidArgument("expected AND inside BETWEEN");
+    }
+    if (ts->Peek().kind != Token::Kind::kNumber) {
+      return Status::InvalidArgument("expected upper bound after AND");
+    }
+    cond.hi = ts->Next().number;
+    if (cond.lo > cond.hi) {
+      return Status::InvalidArgument("BETWEEN bounds out of order");
+    }
+    return cond;
+  }
+
+  if (ts->Peek().kind != Token::Kind::kOperator) {
+    return Status::InvalidArgument("expected comparison operator");
+  }
+  const std::string op = ts->Next().text;
+  if (op == "<") {
+    cond.op = edbms::CompareOp::kLt;
+  } else if (op == ">") {
+    cond.op = edbms::CompareOp::kGt;
+  } else if (op == "<=") {
+    cond.op = edbms::CompareOp::kLe;
+  } else if (op == ">=") {
+    cond.op = edbms::CompareOp::kGe;
+  } else {
+    return Status::InvalidArgument("unsupported operator '" + op + "'");
+  }
+  if (ts->Peek().kind != Token::Kind::kNumber) {
+    return Status::InvalidArgument("expected integer literal after operator");
+  }
+  cond.lo = ts->Next().number;
+  return cond;
+}
+
+}  // namespace
+
+Result<SelectStatement> Parse(const std::string& sql) {
+  PRKB_ASSIGN_OR_RETURN(std::vector<Token> tokens, Lex(sql));
+  TokenStream ts(std::move(tokens));
+
+  if (!ts.ConsumeKeyword("SELECT")) {
+    return Status::InvalidArgument("expected SELECT");
+  }
+  if (ts.Peek().kind != Token::Kind::kStar) {
+    return Status::InvalidArgument("only SELECT * is supported");
+  }
+  ts.Next();
+  if (!ts.ConsumeKeyword("FROM")) {
+    return Status::InvalidArgument("expected FROM");
+  }
+  if (ts.Peek().kind != Token::Kind::kIdentifier) {
+    return Status::InvalidArgument("expected table name");
+  }
+  SelectStatement stmt;
+  stmt.table = ts.Next().text;
+
+  if (ts.Peek().kind == Token::Kind::kEnd) return stmt;
+  if (!ts.ConsumeKeyword("WHERE")) {
+    return Status::InvalidArgument("expected WHERE or end of statement");
+  }
+  while (true) {
+    PRKB_ASSIGN_OR_RETURN(Condition cond, ParseCondition(&ts));
+    stmt.conditions.push_back(cond);
+    if (ts.ConsumeKeyword("AND")) continue;
+    break;
+  }
+  if (ts.Peek().kind != Token::Kind::kEnd) {
+    return Status::InvalidArgument("trailing tokens after WHERE clause");
+  }
+  return stmt;
+}
+
+}  // namespace prkb::query

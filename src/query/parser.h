@@ -1,0 +1,20 @@
+#ifndef PRKB_QUERY_PARSER_H_
+#define PRKB_QUERY_PARSER_H_
+
+#include <string>
+
+#include "common/result.h"
+#include "query/ast.h"
+
+namespace prkb::query {
+
+/// Parses the supported subset:
+///   SELECT * FROM <table> [WHERE <cond> (AND <cond>)*] [;]
+///   <cond> := <column> (< | > | <= | >=) <int>
+///           | <column> BETWEEN <int> AND <int>
+/// Anything else yields InvalidArgument with a position-free message.
+Result<SelectStatement> Parse(const std::string& sql);
+
+}  // namespace prkb::query
+
+#endif  // PRKB_QUERY_PARSER_H_

@@ -1,0 +1,82 @@
+#include "query/planner.h"
+
+#include "query/parser.h"
+
+namespace prkb::query {
+
+using edbms::Trapdoor;
+using edbms::TupleId;
+
+void Catalog::RegisterTable(const std::string& table,
+                            const std::vector<std::string>& columns) {
+  auto& cols = tables_[table];
+  for (size_t i = 0; i < columns.size(); ++i) {
+    cols[columns[i]] = static_cast<edbms::AttrId>(i);
+  }
+}
+
+Result<edbms::AttrId> Catalog::ResolveColumn(const std::string& table,
+                                             const std::string& column) const {
+  const auto t = tables_.find(table);
+  if (t == tables_.end()) {
+    return Status::NotFound("unknown table '" + table + "'");
+  }
+  const auto c = t->second.find(column);
+  if (c == t->second.end()) {
+    return Status::NotFound("unknown column '" + column + "'");
+  }
+  return c->second;
+}
+
+Result<ExecutionResult> Planner::ExecuteSql(const std::string& sql) {
+  PRKB_ASSIGN_OR_RETURN(SelectStatement stmt, Parse(sql));
+  return Execute(stmt);
+}
+
+Result<ExecutionResult> Planner::Execute(const SelectStatement& stmt) {
+  if (!catalog_->HasTable(stmt.table)) {
+    return Status::NotFound("unknown table '" + stmt.table + "'");
+  }
+
+  // DO role: compile conditions into trapdoors.
+  std::vector<Trapdoor> trapdoors;
+  bool all_comparisons = true;
+  for (const Condition& cond : stmt.conditions) {
+    PRKB_ASSIGN_OR_RETURN(edbms::AttrId attr,
+                          catalog_->ResolveColumn(stmt.table, cond.column));
+    if (cond.kind == Condition::Kind::kBetween) {
+      trapdoors.push_back(db_->MakeBetween(attr, cond.lo, cond.hi));
+      all_comparisons = false;
+    } else {
+      trapdoors.push_back(db_->MakeComparison(attr, cond.op, cond.lo));
+    }
+  }
+
+  // SP role: route.
+  ExecutionResult out;
+  if (trapdoors.empty()) {
+    for (TupleId tid = 0; tid < db_->num_rows(); ++tid) {
+      if (db_->IsLive(tid)) out.rows.push_back(tid);
+    }
+    out.plan = "full-table(no predicate)";
+    return out;
+  }
+  if (trapdoors.size() == 1) {
+    out.rows = index_->Select(trapdoors[0], &out.stats);
+    out.plan = trapdoors[0].kind == edbms::PredicateKind::kBetween
+                   ? "prkb-between"
+                   : "prkb-sd";
+    return out;
+  }
+  if (all_comparisons) {
+    out.rows = index_->SelectRangeMd(trapdoors, &out.stats);
+    out.plan = "prkb-md(" + std::to_string(trapdoors.size()) + " trapdoors)";
+    return out;
+  }
+  out.rows = index_->SelectRangeSdPlus(trapdoors, &out.stats);
+  out.plan =
+      "prkb-sd+(" + std::to_string(trapdoors.size()) + " trapdoors)";
+  return out;
+}
+
+}  // namespace prkb::query

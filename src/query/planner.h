@@ -1,0 +1,64 @@
+#ifndef PRKB_QUERY_PLANNER_H_
+#define PRKB_QUERY_PLANNER_H_
+
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/result.h"
+#include "prkb/selection.h"
+#include "query/ast.h"
+
+namespace prkb::query {
+
+/// Name → attribute-id mapping for one table.
+class Catalog {
+ public:
+  void RegisterTable(const std::string& table,
+                     const std::vector<std::string>& columns);
+  Result<edbms::AttrId> ResolveColumn(const std::string& table,
+                                      const std::string& column) const;
+  bool HasTable(const std::string& table) const {
+    return tables_.contains(table);
+  }
+
+ private:
+  std::unordered_map<std::string,
+                     std::unordered_map<std::string, edbms::AttrId>>
+      tables_;
+};
+
+/// Execution outcome: the rows plus how the statement was processed.
+struct ExecutionResult {
+  std::vector<edbms::TupleId> rows;
+  edbms::SelectionStats stats;
+  std::string plan;  // human-readable route, e.g. "prkb-md(4 trapdoors)"
+};
+
+/// Routes parsed statements to the cheapest PRKB path:
+///   - no condition      → all live tuples, zero QPF;
+///   - one condition     → single-predicate processing (Sec. 5 / App. A);
+///   - comparisons only  → PRKB(MD) grid processing (Sec. 6.2);
+///   - mixed kinds       → per-predicate processing + intersection (SD+).
+/// Conceptually the planner spans both parties: the DO compiles plaintext
+/// conditions into trapdoors, the SP executes them against the PRKB.
+class Planner {
+ public:
+  Planner(const Catalog* catalog, edbms::Edbms* db, core::PrkbIndex* index)
+      : catalog_(catalog), db_(db), index_(index) {}
+
+  /// Parses and executes `sql` against `table_name`'s schema.
+  Result<ExecutionResult> ExecuteSql(const std::string& sql);
+
+  /// Executes an already-parsed statement.
+  Result<ExecutionResult> Execute(const SelectStatement& stmt);
+
+ private:
+  const Catalog* catalog_;
+  edbms::Edbms* db_;
+  core::PrkbIndex* index_;
+};
+
+}  // namespace prkb::query
+
+#endif  // PRKB_QUERY_PLANNER_H_

@@ -1,0 +1,162 @@
+#include "srci/srci.h"
+
+#include <algorithm>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "common/stopwatch.h"
+#include "crypto/prf.h"
+
+namespace prkb::srci {
+namespace {
+
+using edbms::TupleId;
+using edbms::Value;
+
+std::vector<uint8_t> SseKey(uint64_t master_seed, const char* label) {
+  std::vector<uint8_t> seed(8);
+  for (int i = 0; i < 8; ++i) seed[i] = static_cast<uint8_t>(master_seed >> (8 * i));
+  crypto::Prf prf(seed);
+  return prf.DeriveKey(label);
+}
+
+}  // namespace
+
+LogSrcI::LogSrcI(edbms::CipherbaseEdbms* db, edbms::AttrId attr,
+                 Value domain_lo, Value domain_hi)
+    : db_(db),
+      attr_(attr),
+      domain_lo_(domain_lo),
+      domain_hi_(domain_hi),
+      tdag1_(Tdag::LevelsFor(static_cast<uint64_t>(domain_hi - domain_lo) +
+                             1)),
+      sse1_(SseKey(db->data_owner().master_seed(), "srci-sse1")),
+      sse2_(SseKey(db->data_owner().master_seed(), "srci-sse2")) {}
+
+uint64_t LogSrcI::tm_decrypts() const {
+  return db_->trusted_machine().value_decrypts();
+}
+
+Status LogSrcI::Build(double capacity_factor) {
+  if (built_) return Status::NotSupported("already built");
+  auto& tm = db_->trusted_machine();
+  const auto& table = db_->table();
+  const size_t n = table.num_rows();
+
+  // TM decrypts and sorts the column (key-holder work, counted).
+  std::vector<std::pair<Value, TupleId>> sorted;
+  sorted.reserve(n);
+  for (TupleId tid = 0; tid < n; ++tid) {
+    if (!table.IsLive(tid)) continue;
+    sorted.emplace_back(tm.DecryptValue(table.at(attr_, tid)), tid);
+  }
+  std::sort(sorted.begin(), sorted.end());
+
+  capacity_ = std::max<uint64_t>(
+      16, static_cast<uint64_t>(static_cast<double>(sorted.size()) *
+                                capacity_factor));
+  tdag2_ = Tdag(Tdag::LevelsFor(capacity_));
+
+  // Pre-size the SSE stores: every tuple files ~2·levels postings in TDAG2,
+  // and TDAG1 holds two interval endpoints per populated node.
+  sse2_.Reserve(sorted.size() * (2 * tdag2_.levels() + 1),
+                sorted.size() * 4);
+  sse1_.Reserve(sorted.size() * 4, sorted.size() * 2);
+
+  // TDAG1: per covering node, the contiguous interval of sorted positions.
+  std::unordered_map<uint64_t, std::pair<uint64_t, uint64_t>> intervals;
+  intervals.reserve(sorted.size() * 2);
+  for (uint64_t pos = 0; pos < sorted.size(); ++pos) {
+    for (uint64_t node : tdag1_.Cover(ToDomain(sorted[pos].first))) {
+      auto [it, inserted] = intervals.try_emplace(node, pos, pos);
+      if (!inserted) it->second.second = pos;  // positions are sorted
+    }
+  }
+  for (const auto& [node, iv] : intervals) {
+    sse1_.Put(node, iv.first);
+    sse1_.Put(node, iv.second);
+  }
+
+  // TDAG2: file each tuple under every node covering its position.
+  for (uint64_t pos = 0; pos < sorted.size(); ++pos) {
+    for (uint64_t node : tdag2_.Cover(pos)) {
+      sse2_.Put(node, sorted[pos].second);
+    }
+  }
+  next_pos_ = sorted.size();
+  built_ = true;
+  return Status::Ok();
+}
+
+std::vector<TupleId> LogSrcI::QueryCandidates(Value lo, Value hi) {
+  if (!built_ || lo > hi) return {};
+  const Value clo = std::max(lo, domain_lo_);
+  const Value chi = std::min(hi, domain_hi_);
+  if (clo > chi) return {};
+
+  // Level 1: one token resolves the covering node's position intervals.
+  const uint64_t node1 = tdag1_.BestCover(ToDomain(clo), ToDomain(chi));
+  const auto raw = sse1_.Retrieve(sse1_.MakeToken(node1));
+
+  std::vector<TupleId> cand;
+  std::unordered_set<TupleId> seen;
+  for (size_t i = 0; i + 1 < raw.size(); i += 2) {
+    const uint64_t plo = raw[i];
+    const uint64_t phi = raw[i + 1];
+    if (plo > phi || phi >= capacity_) continue;  // defensive
+    // Level 2: one token per interval.
+    const uint64_t node2 = tdag2_.BestCover(plo, phi);
+    for (uint64_t posting : sse2_.Retrieve(sse2_.MakeToken(node2))) {
+      const auto tid = static_cast<TupleId>(posting);
+      if (seen.insert(tid).second) cand.push_back(tid);
+    }
+  }
+  return cand;
+}
+
+std::vector<TupleId> LogSrcI::Confirm(const std::vector<TupleId>& cand,
+                                      Value lo, Value hi) {
+  auto& tm = db_->trusted_machine();
+  const auto& table = db_->table();
+  std::vector<TupleId> out;
+  for (TupleId tid : cand) {
+    if (!table.IsLive(tid)) continue;
+    const Value v = tm.DecryptValue(table.at(attr_, tid));
+    if (lo <= v && v <= hi) out.push_back(tid);
+  }
+  return out;
+}
+
+std::vector<TupleId> LogSrcI::Query(Value lo, Value hi,
+                                    edbms::SelectionStats* stats) {
+  Stopwatch watch;
+  auto result = Confirm(QueryCandidates(lo, hi), lo, hi);
+  if (stats != nullptr) {
+    stats->qpf_uses = 0;  // SRC-i works through its index, not the QPF
+    stats->millis = watch.ElapsedMillis();
+  }
+  return result;
+}
+
+Status LogSrcI::InsertTuple(TupleId tid) {
+  if (!built_) return Status::NotSupported("index not built");
+  if (next_pos_ >= capacity_) {
+    return Status::OutOfRange("position capacity exhausted; rebuild");
+  }
+  auto& tm = db_->trusted_machine();
+  const Value v = tm.DecryptValue(db_->table().at(attr_, tid));
+  const uint64_t pos = next_pos_++;
+
+  // Fresh single-position fragment for every TDAG1 node covering the value.
+  for (uint64_t node : tdag1_.Cover(ToDomain(v))) {
+    sse1_.Put(node, pos);
+    sse1_.Put(node, pos);
+  }
+  // File the tuple in TDAG2 under its new position.
+  for (uint64_t node : tdag2_.Cover(pos)) {
+    sse2_.Put(node, tid);
+  }
+  return Status::Ok();
+}
+
+}  // namespace prkb::srci

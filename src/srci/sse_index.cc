@@ -1,0 +1,77 @@
+#include "srci/sse_index.h"
+
+#include <cassert>
+#include <cstring>
+
+#include "crypto/sha256.h"
+
+namespace prkb::srci {
+namespace {
+
+crypto::Aes128::Key KdfKey(const std::vector<uint8_t>& master_key) {
+  // Accept arbitrary master-key material by hashing it down to 128 bits.
+  const auto digest = crypto::Sha256::Hash(master_key.data(),
+                                           master_key.size());
+  crypto::Aes128::Key key;
+  std::memcpy(key.data(), digest.data(), key.size());
+  return key;
+}
+
+}  // namespace
+
+SseIndex::SseIndex(const std::vector<uint8_t>& master_key)
+    : kdf_(KdfKey(master_key)) {}
+
+SseIndex::Token SseIndex::MakeToken(uint64_t label) const {
+  uint8_t block[16] = {0};
+  std::memcpy(block, &label, 8);
+  uint8_t out[16];
+  kdf_.EncryptBlock(block, out);
+  ++crypto_ops_;
+  Token token;
+  std::memcpy(token.key.data(), out, token.key.size());
+  return token;
+}
+
+void SseIndex::Cell(const crypto::Aes128& aes, uint32_t i, uint64_t* addr,
+                    uint64_t* pad) const {
+  uint8_t in[16] = {0};
+  std::memcpy(in, &i, 4);
+  uint8_t out[16];
+  aes.EncryptBlock(in, out);
+  ++crypto_ops_;
+  std::memcpy(addr, out, 8);
+  std::memcpy(pad, out + 8, 8);
+}
+
+void SseIndex::Put(uint64_t label, uint64_t payload) {
+  const Token token = MakeToken(label);
+  uint64_t token_hash;
+  std::memcpy(&token_hash, token.key.data(), 8);
+  uint32_t& count = counts_[token_hash];
+  const crypto::Aes128 aes(token.key);
+  uint64_t addr, pad;
+  Cell(aes, count, &addr, &pad);
+  // Cross-label collisions in the 64-bit address space have probability
+  // ~2^-20 even at billions of entries; they would corrupt retrieval, so
+  // fail fast rather than mask them.
+  const bool inserted = table_.emplace(addr, payload ^ pad).second;
+  assert(inserted);
+  (void)inserted;
+  ++count;
+}
+
+std::vector<uint64_t> SseIndex::Retrieve(const Token& token) const {
+  std::vector<uint64_t> out;
+  const crypto::Aes128 aes(token.key);
+  for (uint32_t i = 0;; ++i) {
+    uint64_t addr, pad;
+    Cell(aes, i, &addr, &pad);
+    const auto it = table_.find(addr);
+    if (it == table_.end()) break;
+    out.push_back(it->second ^ pad);
+  }
+  return out;
+}
+
+}  // namespace prkb::srci

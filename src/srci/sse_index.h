@@ -1,0 +1,72 @@
+#ifndef PRKB_SRCI_SSE_INDEX_H_
+#define PRKB_SRCI_SSE_INDEX_H_
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "crypto/cipher.h"
+
+namespace prkb::srci {
+
+/// Searchable symmetric encryption dictionary in the style of Cash et al.'s
+/// Π_bas (the building block of the [12] constructions): postings of label ℓ
+/// are stored at pseudo-random addresses
+///     addr_i = AES_{K(ℓ)}(i).hi,   value_i = payload_i ⊕ AES_{K(ℓ)}(i).lo,
+/// where the per-label key K(ℓ) = AES_master(ℓ) (an AES-based PRF). The
+/// storage server (SP) sees only a flat table of (random-looking address →
+/// masked payload) pairs; a per-label token lets it walk exactly that
+/// label's postings.
+///
+/// Token derivation and payload masking are key-holder operations — in this
+/// repository's deployment model they happen inside the trusted machine that
+/// maintains the index (see LogSrcI).
+class SseIndex {
+ public:
+  explicit SseIndex(const std::vector<uint8_t>& master_key);
+
+  /// Search token for a label: one derived AES key.
+  struct Token {
+    crypto::Aes128::Key key;
+  };
+
+  Token MakeToken(uint64_t label) const;
+
+  /// Pre-sizes the hash tables for a bulk load of ~`postings` entries under
+  /// ~`labels` distinct labels (avoids rehash churn).
+  void Reserve(size_t postings, size_t labels) {
+    table_.reserve(postings);
+    counts_.reserve(labels);
+  }
+
+  /// Appends one 64-bit posting under `label` (key-holder operation).
+  void Put(uint64_t label, uint64_t payload);
+
+  /// Returns all postings of the token's label, in insertion order.
+  std::vector<uint64_t> Retrieve(const Token& token) const;
+
+  /// Number of stored postings and the SP-side footprint in bytes.
+  size_t entries() const { return table_.size(); }
+  size_t SizeBytes() const {
+    // Hash-table entry: address + masked payload + bucket overhead.
+    return table_.size() * (sizeof(uint64_t) * 2 + sizeof(void*)) +
+           counts_.size() * (sizeof(uint64_t) + sizeof(uint32_t));
+  }
+
+  /// Total AES block operations performed (cost accounting).
+  uint64_t crypto_ops() const { return crypto_ops_; }
+
+ private:
+  /// addr/pad for posting i under an expanded per-label key.
+  void Cell(const crypto::Aes128& aes, uint32_t i, uint64_t* addr,
+            uint64_t* pad) const;
+
+  crypto::Aes128 kdf_;                             // AES-PRF for K(ℓ)
+  std::unordered_map<uint64_t, uint64_t> table_;   // addr -> masked payload
+  std::unordered_map<uint64_t, uint32_t> counts_;  // token hash -> #postings
+  mutable uint64_t crypto_ops_ = 0;
+};
+
+}  // namespace prkb::srci
+
+#endif  // PRKB_SRCI_SSE_INDEX_H_

@@ -1,0 +1,56 @@
+#include "srci/tdag.h"
+
+#include <cassert>
+
+namespace prkb::srci {
+
+Tdag::Tdag(int levels) : levels_(levels) {
+  assert(levels >= 1 && levels <= 56);
+}
+
+int Tdag::LevelsFor(uint64_t domain_size) {
+  int levels = 1;
+  while ((uint64_t{1} << levels) < domain_size) ++levels;
+  return levels;
+}
+
+std::vector<uint64_t> Tdag::Cover(uint64_t v) const {
+  assert(v < domain_size());
+  std::vector<uint64_t> out;
+  out.reserve(2 * levels_ + 1);
+  for (int l = 0; l <= levels_; ++l) {
+    out.push_back(PackId(l, false, v >> l));
+    if (l >= 1) {
+      const uint64_t half = uint64_t{1} << (l - 1);
+      if (v >= half) out.push_back(PackId(l, true, (v - half) >> l));
+    }
+  }
+  return out;
+}
+
+uint64_t Tdag::BestCover(uint64_t a, uint64_t b) const {
+  assert(a <= b && b < domain_size());
+  for (int l = 0; l <= levels_; ++l) {
+    if ((a >> l) == (b >> l)) return PackId(l, false, a >> l);
+    if (l >= 1) {
+      const uint64_t half = uint64_t{1} << (l - 1);
+      if (a >= half && ((a - half) >> l) == ((b - half) >> l)) {
+        return PackId(l, true, (a - half) >> l);
+      }
+    }
+  }
+  // Unreachable: the root covers everything.
+  return PackId(levels_, false, 0);
+}
+
+void Tdag::NodeRange(uint64_t id, uint64_t* lo, uint64_t* hi) const {
+  const int level = static_cast<int>(id >> 57);
+  const bool middle = ((id >> 56) & 1) != 0;
+  const uint64_t index = id & ((uint64_t{1} << 56) - 1);
+  const uint64_t size = uint64_t{1} << level;
+  const uint64_t shift = middle ? size / 2 : 0;
+  *lo = index * size + shift;
+  *hi = *lo + size - 1;
+}
+
+}  // namespace prkb::srci

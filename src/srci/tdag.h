@@ -1,0 +1,53 @@
+#ifndef PRKB_SRCI_TDAG_H_
+#define PRKB_SRCI_TDAG_H_
+
+#include <cstdint>
+#include <vector>
+
+namespace prkb::srci {
+
+/// TDAG (tree-based dyadic range structure with middle nodes) from
+/// Demertzis et al., "Practical Private Range Search Revisited" (SIGMOD'16).
+///
+/// Over the domain [0, 2^L) it contains, per level ℓ:
+///   - the dyadic nodes  [i·2^ℓ, (i+1)·2^ℓ), and (for ℓ ≥ 1)
+///   - the middle nodes  [i·2^ℓ + 2^(ℓ-1), (i+1)·2^ℓ + 2^(ℓ-1)),
+/// i.e. ranges of dyadic size shifted by half. The key property powering the
+/// SRC ("single range cover") schemes: every range [a, b] is covered by ONE
+/// node of size at most ~4·|range|, so a range query needs a single token.
+///
+/// Nodes are identified by a packed 64-bit id; the structure is implicit
+/// (nothing is materialised).
+class Tdag {
+ public:
+  /// Domain is [0, 2^levels). `levels` in [1, 56].
+  explicit Tdag(int levels);
+
+  /// Smallest number of levels covering `domain_size` values.
+  static int LevelsFor(uint64_t domain_size);
+
+  int levels() const { return levels_; }
+  uint64_t domain_size() const { return uint64_t{1} << levels_; }
+
+  /// All node ids whose range contains `v` (≈ 2·levels of them).
+  std::vector<uint64_t> Cover(uint64_t v) const;
+
+  /// The best (smallest) single node covering [a, b]; requires a <= b and
+  /// b < domain_size().
+  uint64_t BestCover(uint64_t a, uint64_t b) const;
+
+  /// Range of a node id (for tests/diagnostics): [lo, hi] inclusive.
+  void NodeRange(uint64_t id, uint64_t* lo, uint64_t* hi) const;
+
+ private:
+  static uint64_t PackId(int level, bool middle, uint64_t index) {
+    return (static_cast<uint64_t>(level) << 57) |
+           (static_cast<uint64_t>(middle) << 56) | index;
+  }
+
+  int levels_;
+};
+
+}  // namespace prkb::srci
+
+#endif  // PRKB_SRCI_TDAG_H_

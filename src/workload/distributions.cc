@@ -1,0 +1,53 @@
+#include "workload/distributions.h"
+
+#include <cmath>
+
+namespace prkb::workload {
+
+using edbms::Value;
+
+Value Clamp(Value v, Value lo, Value hi) {
+  if (v < lo) return lo;
+  if (v > hi) return hi;
+  return v;
+}
+
+Value DrawValue(Distribution dist, Value lo, Value hi, double base,
+                Rng* rng) {
+  const double span = static_cast<double>(hi - lo);
+  switch (dist) {
+    case Distribution::kUniform:
+      return rng->UniformInt64(lo, hi);
+    case Distribution::kNormal: {
+      // Centered, ~6 sigma across the domain.
+      const double x = 0.5 + rng->Normal() / 6.0;
+      return Clamp(lo + static_cast<Value>(x * span), lo, hi);
+    }
+    case Distribution::kCorrelated: {
+      // Row attributes cluster around the shared latent `base`.
+      const double x = base + rng->Normal() * 0.05;
+      return Clamp(lo + static_cast<Value>(x * span), lo, hi);
+    }
+    case Distribution::kAntiCorrelated: {
+      // Attributes trade off against the latent: high base -> low value.
+      const double x = (1.0 - base) + rng->Normal() * 0.05;
+      return Clamp(lo + static_cast<Value>(x * span), lo, hi);
+    }
+    case Distribution::kZipf: {
+      // Inverse-CDF approximation of Zipf(s=1.1) over the domain ranks.
+      const double u = rng->UniformDouble();
+      const double s = 1.1;
+      const double x = std::pow(1.0 - u, -1.0 / (s - 1.0)) - 1.0;
+      return Clamp(lo + static_cast<Value>(x), lo, hi);
+    }
+    case Distribution::kLogNormal: {
+      // Heavy-tailed positive values spanning roughly the whole domain.
+      const double mu = std::log(span / 50.0 + 1.0);
+      const double x = std::exp(mu + 1.0 * rng->Normal());
+      return Clamp(lo + static_cast<Value>(x), lo, hi);
+    }
+  }
+  return lo;
+}
+
+}  // namespace prkb::workload

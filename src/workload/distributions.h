@@ -1,0 +1,34 @@
+#ifndef PRKB_WORKLOAD_DISTRIBUTIONS_H_
+#define PRKB_WORKLOAD_DISTRIBUTIONS_H_
+
+#include <cstdint>
+
+#include "common/rng.h"
+#include "edbms/types.h"
+
+namespace prkb::workload {
+
+/// Value distributions used by the paper's synthetic evaluation (Sec. 8.2.2:
+/// uniform, normal, correlated and anti-correlated; results were reported for
+/// uniform as the others behaved alike).
+enum class Distribution {
+  kUniform,
+  kNormal,
+  kCorrelated,
+  kAntiCorrelated,
+  kZipf,
+  kLogNormal,
+};
+
+/// Draws one value in [lo, hi] from `dist`. For correlated/anti-correlated
+/// draws, `base` is the row's shared latent value in [0, 1] (ignored
+/// otherwise).
+edbms::Value DrawValue(Distribution dist, edbms::Value lo, edbms::Value hi,
+                       double base, Rng* rng);
+
+/// Clamps v into [lo, hi].
+edbms::Value Clamp(edbms::Value v, edbms::Value lo, edbms::Value hi);
+
+}  // namespace prkb::workload
+
+#endif  // PRKB_WORKLOAD_DISTRIBUTIONS_H_

@@ -1,0 +1,60 @@
+#include "workload/query_gen.h"
+
+#include <cassert>
+
+namespace prkb::workload {
+
+using edbms::AttrId;
+using edbms::CompareOp;
+using edbms::PlainPredicate;
+using edbms::Value;
+
+PlainPredicate QueryGen::RandomComparison(AttrId attr) {
+  static constexpr CompareOp kOps[] = {CompareOp::kLt, CompareOp::kGt,
+                                       CompareOp::kLe, CompareOp::kGe};
+  return PlainPredicate{.attr = attr,
+                        .op = kOps[rng_.UniformInt(0, 3)],
+                        .lo = rng_.UniformInt64(lo_, hi_)};
+}
+
+std::vector<PlainPredicate> QueryGen::RandomRange(AttrId attr,
+                                                  double selectivity) {
+  const auto width = static_cast<Value>(
+      static_cast<double>(hi_ - lo_) * selectivity);
+  const Value lb = rng_.UniformInt64(lo_, hi_ - width);
+  const Value ub = lb + width;
+  return {
+      PlainPredicate{.attr = attr, .op = CompareOp::kGt, .lo = lb},
+      PlainPredicate{.attr = attr, .op = CompareOp::kLt, .lo = ub},
+  };
+}
+
+std::vector<PlainPredicate> QueryGen::RandomBox(
+    const std::vector<AttrId>& attrs, double selectivity_per_dim) {
+  std::vector<PlainPredicate> out;
+  out.reserve(attrs.size() * 2);
+  for (AttrId attr : attrs) {
+    auto dim = RandomRange(attr, selectivity_per_dim);
+    out.push_back(dim[0]);
+    out.push_back(dim[1]);
+  }
+  return out;
+}
+
+std::vector<PlainPredicate> QueryGen::RandomWindow(
+    const std::vector<AttrId>& attrs, const std::vector<Value>& lo,
+    const std::vector<Value>& hi, Value side) {
+  assert(attrs.size() == lo.size() && attrs.size() == hi.size());
+  std::vector<PlainPredicate> out;
+  out.reserve(attrs.size() * 2);
+  for (size_t d = 0; d < attrs.size(); ++d) {
+    const Value lb = rng_.UniformInt64(lo[d], hi[d] - side);
+    out.push_back(
+        PlainPredicate{.attr = attrs[d], .op = CompareOp::kGt, .lo = lb});
+    out.push_back(PlainPredicate{.attr = attrs[d], .op = CompareOp::kLt,
+                                 .lo = lb + side});
+  }
+  return out;
+}
+
+}  // namespace prkb::workload

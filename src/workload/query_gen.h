@@ -1,0 +1,49 @@
+#ifndef PRKB_WORKLOAD_QUERY_GEN_H_
+#define PRKB_WORKLOAD_QUERY_GEN_H_
+
+#include <vector>
+
+#include "common/rng.h"
+#include "edbms/types.h"
+
+namespace prkb::workload {
+
+/// Generates the query mixes the paper's experiments use.
+class QueryGen {
+ public:
+  QueryGen(edbms::Value domain_lo, edbms::Value domain_hi, uint64_t seed)
+      : lo_(domain_lo), hi_(domain_hi), rng_(seed) {}
+
+  /// A random single comparison predicate 'X op c' with uniform c and a
+  /// uniformly chosen operator (Sec. 8.1 / 8.2.3 workloads).
+  edbms::PlainPredicate RandomComparison(edbms::AttrId attr);
+
+  /// A range 'lb < X < ub' whose width is `selectivity` of the domain,
+  /// returned as the two plain comparison halves (Sec. 8.2.4: "lb and ub are
+  /// two parameters generated randomly according to selectivity").
+  /// plains[0] is 'X > lb', plains[1] is 'X < ub'.
+  std::vector<edbms::PlainPredicate> RandomRange(edbms::AttrId attr,
+                                                 double selectivity);
+
+  /// A d-dimensional box: two comparison predicates per attribute with the
+  /// given per-dimension selectivity (Sec. 8.2.5 workload).
+  std::vector<edbms::PlainPredicate> RandomBox(
+      const std::vector<edbms::AttrId>& attrs, double selectivity_per_dim);
+
+  /// A box of fixed side length centred at a random point (the Sec. 8.2.6
+  /// "1km x 1km" tourist query shape). Bounds per attribute are supplied.
+  std::vector<edbms::PlainPredicate> RandomWindow(
+      const std::vector<edbms::AttrId>& attrs,
+      const std::vector<edbms::Value>& lo,
+      const std::vector<edbms::Value>& hi, edbms::Value side);
+
+  Rng* rng() { return &rng_; }
+
+ private:
+  edbms::Value lo_, hi_;
+  Rng rng_;
+};
+
+}  // namespace prkb::workload
+
+#endif  // PRKB_WORKLOAD_QUERY_GEN_H_

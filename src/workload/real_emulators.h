@@ -1,0 +1,46 @@
+#ifndef PRKB_WORKLOAD_REAL_EMULATORS_H_
+#define PRKB_WORKLOAD_REAL_EMULATORS_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "edbms/table.h"
+
+namespace prkb::workload {
+
+/// A generated stand-in for one of the paper's real datasets, plus the
+/// metadata the experiments need.
+///
+/// Substitution (DESIGN.md): the paper's datasets (NY Hospital Inpatient
+/// Discharges 2013, US Labor Statistics 2017, GeoNames US Buildings) are not
+/// redistributable here. Each emulator reproduces the properties the
+/// experiments actually exercise — cardinality, domain size, duplication
+/// profile and clustering — with a documented distribution. `scale`
+/// multiplies the row count (1.0 = paper scale).
+struct RealDataset {
+  std::string name;
+  edbms::PlainTable table{1};
+  std::vector<edbms::Value> domain_lo;
+  std::vector<edbms::Value> domain_hi;
+};
+
+/// Hospital Charges: 2,426,516 rows, heavy-tailed dollar amounts with strong
+/// duplication at common charge points.
+RealDataset MakeHospitalCharges(double scale, uint64_t seed = 1);
+
+/// Labor Salary: 6,156,470 rows, log-normal salaries rounded to $10 steps.
+RealDataset MakeLaborSalary(double scale, uint64_t seed = 2);
+
+/// US Buildings: 1,122,932 rows, 2 attributes (latitude, longitude) in
+/// micro-degree fixed point, drawn from a mixture of urban clusters plus a
+/// rural background. Attribute 0 = latitude, attribute 1 = longitude.
+RealDataset MakeUsBuildings(double scale, uint64_t seed = 3);
+
+/// Approximate number of micro-degree units per kilometre (used to phrase
+/// the paper's "1km x 1km" tourist query, Sec. 8.2.2).
+inline constexpr edbms::Value kMicroDegPerKm = 9000;
+
+}  // namespace prkb::workload
+
+#endif  // PRKB_WORKLOAD_REAL_EMULATORS_H_

@@ -1,0 +1,20 @@
+#include "workload/synthetic_table.h"
+
+namespace prkb::workload {
+
+edbms::PlainTable MakeSyntheticTable(const SyntheticSpec& spec) {
+  edbms::PlainTable table(spec.attrs);
+  Rng rng(spec.seed);
+  std::vector<edbms::Value> row(spec.attrs);
+  for (size_t r = 0; r < spec.rows; ++r) {
+    const double base = rng.UniformDouble();  // latent for (anti)correlated
+    for (size_t a = 0; a < spec.attrs; ++a) {
+      row[a] = DrawValue(spec.dist, spec.domain_lo, spec.domain_hi, base,
+                         &rng);
+    }
+    table.AddRow(row);
+  }
+  return table;
+}
+
+}  // namespace prkb::workload

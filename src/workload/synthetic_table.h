@@ -1,0 +1,27 @@
+#ifndef PRKB_WORKLOAD_SYNTHETIC_TABLE_H_
+#define PRKB_WORKLOAD_SYNTHETIC_TABLE_H_
+
+#include <cstdint>
+
+#include "edbms/table.h"
+#include "workload/distributions.h"
+
+namespace prkb::workload {
+
+/// Specification of a synthetic dataset in the paper's setup (Sec. 8.2.2):
+/// integer domain [1, 30M], values drawn independently per attribute.
+struct SyntheticSpec {
+  size_t rows = 1000;
+  size_t attrs = 1;
+  edbms::Value domain_lo = 1;
+  edbms::Value domain_hi = 30'000'000;
+  Distribution dist = Distribution::kUniform;
+  uint64_t seed = 42;
+};
+
+/// Materialises the plaintext table for `spec`.
+edbms::PlainTable MakeSyntheticTable(const SyntheticSpec& spec);
+
+}  // namespace prkb::workload
+
+#endif  // PRKB_WORKLOAD_SYNTHETIC_TABLE_H_

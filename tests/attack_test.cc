@@ -1,0 +1,114 @@
+#include "attack/order_recovery.h"
+
+#include <vector>
+
+#include "edbms/cipherbase_qpf.h"
+#include "gtest/gtest.h"
+#include "prkb/selection.h"
+#include "tests/test_util.h"
+#include "workload/query_gen.h"
+
+namespace prkb::attack {
+namespace {
+
+using edbms::CompareOp;
+using edbms::PlainPredicate;
+using edbms::Value;
+
+TEST(OrderRecoveryTest, NoQueriesMeansOnePartition) {
+  OrderRecovery rec({5, 1, 9, 1});
+  EXPECT_EQ(rec.partitions(), 1u);
+  EXPECT_EQ(rec.TotalOrderLength(), 3u);  // distinct {1, 5, 9}
+  EXPECT_NEAR(rec.Rpoi(), 1.0 / 3.0, 1e-9);
+}
+
+TEST(OrderRecoveryTest, EachInequivalentCutAddsAPartition) {
+  OrderRecovery rec({10, 20, 30, 40});
+  rec.Observe(PlainPredicate{.attr = 0, .op = CompareOp::kLt, .lo = 25});
+  EXPECT_EQ(rec.partitions(), 2u);
+  rec.Observe(PlainPredicate{.attr = 0, .op = CompareOp::kLt, .lo = 15});
+  EXPECT_EQ(rec.partitions(), 3u);
+  rec.Observe(PlainPredicate{.attr = 0, .op = CompareOp::kLt, .lo = 35});
+  EXPECT_EQ(rec.partitions(), 4u);
+  EXPECT_DOUBLE_EQ(rec.Rpoi(), 1.0);
+}
+
+TEST(OrderRecoveryTest, EquivalentPredicatesAddNothing) {
+  OrderRecovery rec({10, 20, 30, 40});
+  rec.Observe(PlainPredicate{.attr = 0, .op = CompareOp::kLt, .lo = 25});
+  // All of these induce the same {10,20} | {30,40} split (Def. 4.3).
+  rec.Observe(PlainPredicate{.attr = 0, .op = CompareOp::kLt, .lo = 21});
+  rec.Observe(PlainPredicate{.attr = 0, .op = CompareOp::kLe, .lo = 20});
+  rec.Observe(PlainPredicate{.attr = 0, .op = CompareOp::kGt, .lo = 22});
+  rec.Observe(PlainPredicate{.attr = 0, .op = CompareOp::kGe, .lo = 30});
+  EXPECT_EQ(rec.partitions(), 2u);
+}
+
+TEST(OrderRecoveryTest, ExtremePredicatesAddNothing) {
+  OrderRecovery rec({10, 20, 30});
+  rec.Observe(PlainPredicate{.attr = 0, .op = CompareOp::kLt, .lo = 5});
+  rec.Observe(PlainPredicate{.attr = 0, .op = CompareOp::kGt, .lo = 99});
+  rec.Observe(PlainPredicate{.attr = 0, .op = CompareOp::kLe, .lo = 30});
+  EXPECT_EQ(rec.partitions(), 1u);
+}
+
+TEST(OrderRecoveryTest, StrictVsNonStrictCutDifferOnDataPoints) {
+  OrderRecovery rec({10, 20, 30});
+  // 'X < 20' cuts {10} | {20, 30}; 'X <= 20' cuts {10, 20} | {30}.
+  rec.Observe(PlainPredicate{.attr = 0, .op = CompareOp::kLt, .lo = 20});
+  EXPECT_EQ(rec.partitions(), 2u);
+  rec.Observe(PlainPredicate{.attr = 0, .op = CompareOp::kLe, .lo = 20});
+  EXPECT_EQ(rec.partitions(), 3u);
+}
+
+TEST(OrderRecoveryTest, BetweenAddsUpToTwoCuts) {
+  OrderRecovery rec({10, 20, 30, 40, 50});
+  rec.ObserveRange(15, 35);  // cuts at 15 and 35
+  EXPECT_EQ(rec.partitions(), 3u);
+}
+
+TEST(OrderRecoveryTest, RpoiGrowsSublinearlyOnDuplicatedData) {
+  // Heavy duplication (small domain) means random queries quickly repeat
+  // known cuts — the paper's Sec. 8.1 observation that RPOI gains slow down.
+  Rng rng(1);
+  std::vector<Value> column;
+  for (int i = 0; i < 20000; ++i) {
+    column.push_back(rng.UniformInt64(0, 2000));
+  }
+  OrderRecovery rec(column);
+  workload::QueryGen gen(0, 2000, 2);
+  double checkpoints[4] = {0, 0, 0, 0};  // after 1k, 2k, 3k, 4k queries
+  for (int q = 1; q <= 4000; ++q) {
+    rec.Observe(gen.RandomComparison(0));
+    if (q % 1000 == 0) checkpoints[q / 1000 - 1] = rec.Rpoi();
+  }
+  // Monotone growth with strictly decreasing marginal gain per 1k queries
+  // (coupon-collector saturation on the duplicated domain).
+  EXPECT_LT(checkpoints[0], checkpoints[1]);
+  EXPECT_LT(checkpoints[1], checkpoints[2]);
+  EXPECT_LT(checkpoints[2], checkpoints[3]);
+  EXPECT_LT(checkpoints[1] - checkpoints[0], checkpoints[0]);
+  EXPECT_LT(checkpoints[2] - checkpoints[1], checkpoints[1] - checkpoints[0]);
+  EXPECT_LT(checkpoints[3] - checkpoints[2], checkpoints[2] - checkpoints[1]);
+}
+
+// The meter must agree with an actual PRKB build observing the same queries.
+TEST(OrderRecoveryTest, MatchesRealPrkbPartitionCount) {
+  Rng data_rng(3);
+  auto plain = testutil::RandomTable(500, 1, &data_rng, 0, 5000);
+  auto db = edbms::CipherbaseEdbms::FromPlainTable(99, plain);
+  core::PrkbIndex index(&db);
+  index.EnableAttr(0);
+  OrderRecovery rec(plain.column(0));
+
+  workload::QueryGen gen(0, 5000, 4);
+  for (int q = 0; q < 120; ++q) {
+    const PlainPredicate p = gen.RandomComparison(0);
+    index.Select(db.MakeComparison(p.attr, p.op, p.lo));
+    rec.Observe(p);
+    ASSERT_EQ(index.pop(0).k(), rec.partitions()) << "after query " << q;
+  }
+}
+
+}  // namespace
+}  // namespace prkb::attack

@@ -1,0 +1,175 @@
+#include <vector>
+
+#include "edbms/cipherbase_qpf.h"
+#include "gtest/gtest.h"
+#include "prkb/selection.h"
+#include "tests/test_util.h"
+
+namespace prkb::core {
+namespace {
+
+using edbms::CipherbaseEdbms;
+using edbms::CompareOp;
+using edbms::PlainPredicate;
+using edbms::PlainTable;
+using edbms::SelectionStats;
+using edbms::TupleId;
+using edbms::Value;
+using testutil::OracleSelect;
+using testutil::RandomTable;
+using testutil::Sorted;
+
+constexpr uint64_t kSeed = 777;
+
+PlainPredicate BetweenPred(edbms::AttrId attr, Value lo, Value hi) {
+  return PlainPredicate{.attr = attr,
+                        .kind = edbms::PredicateKind::kBetween,
+                        .lo = lo,
+                        .hi = hi};
+}
+
+TEST(BetweenTest, ColdBetweenMatchesOracle) {
+  Rng data_rng(1);
+  PlainTable plain = RandomTable(100, 1, &data_rng, 0, 200);
+  auto db = CipherbaseEdbms::FromPlainTable(kSeed, plain);
+  PrkbIndex index(&db);
+  index.EnableAttr(0);
+  const auto got = index.Select(db.MakeBetween(0, 50, 120));
+  EXPECT_EQ(Sorted(got), OracleSelect(plain, BetweenPred(0, 50, 120)));
+}
+
+TEST(BetweenTest, SingletonChainBandCannotSplit) {
+  // The whole satisfied band sits strictly inside the single partition
+  // (F,T,F) — the appendix's exceptional case: answer exactly, no split.
+  PlainTable plain(1);
+  for (Value v : {10, 20, 30, 40, 50}) plain.AddRow({v});
+  auto db = CipherbaseEdbms::FromPlainTable(kSeed, plain);
+  PrkbIndex index(&db);
+  index.EnableAttr(0);
+  const auto got = index.Select(db.MakeBetween(0, 18, 35));
+  EXPECT_EQ(Sorted(got), (std::vector<TupleId>{1, 2}));
+  EXPECT_EQ(index.pop(0).k(), 1u);
+}
+
+TEST(BetweenTest, BandAnchoredByTHomogeneousNeighbourSplitsOnce) {
+  PlainTable plain(1);
+  for (Value v : {10, 20, 30, 40, 50}) plain.AddRow({v});
+  auto db = CipherbaseEdbms::FromPlainTable(kSeed, plain);
+  PrkbIndex index(&db);
+  index.EnableAttr(0);
+  // Pre-existing knowledge: {10} | {20,30,40,50}.
+  index.Select(db.MakeComparison(0, CompareOp::kLt, 15));
+  ASSERT_EQ(index.pop(0).k(), 2u);
+  // Band {10, 20}: the big partition is mixed with a T neighbour on one side
+  // only, so its T member can be carved off — exactly one new cut.
+  const auto got = index.Select(db.MakeBetween(0, 0, 25));
+  EXPECT_EQ(Sorted(got), (std::vector<TupleId>{0, 1}));
+  EXPECT_EQ(index.pop(0).k(), 3u);
+  EXPECT_TRUE(index.pop(0).ValidateAgainstPlain(plain.column(0)).ok());
+}
+
+TEST(BetweenTest, BandInsideSinglePartitionStaysAmbiguous) {
+  // The SP sees one mixed partition whose F members could flank the band on
+  // either or both sides — no orientation evidence, no split.
+  PlainTable plain(1);
+  for (Value v : {10, 20, 30, 40, 50}) plain.AddRow({v});
+  auto db = CipherbaseEdbms::FromPlainTable(kSeed, plain);
+  PrkbIndex index(&db);
+  index.EnableAttr(0);
+  const auto got = index.Select(db.MakeBetween(0, 0, 25));
+  EXPECT_EQ(Sorted(got), (std::vector<TupleId>{0, 1}));
+  EXPECT_EQ(index.pop(0).k(), 1u);
+}
+
+TEST(BetweenTest, WarmChainBetweenRevealsSamePartialOrderAsTwoComparisons) {
+  // Appendix A: in the general case a BETWEEN extends the chain exactly like
+  // the two comparisons 'X >= lo' and 'X <= hi'.
+  Rng data_rng(3);
+  PlainTable plain = RandomTable(200, 1, &data_rng, 0, 1000);
+  auto db = CipherbaseEdbms::FromPlainTable(kSeed, plain);
+  PrkbIndex index(&db);
+  index.EnableAttr(0);
+  // Warm the chain a bit.
+  for (Value c : {Value{100}, Value{500}, Value{900}}) {
+    index.Select(db.MakeComparison(0, CompareOp::kLt, c));
+  }
+  const size_t k_before = index.pop(0).k();
+  const auto got = index.Select(db.MakeBetween(0, 300, 700));
+  EXPECT_EQ(Sorted(got), OracleSelect(plain, BetweenPred(0, 300, 700)));
+  EXPECT_EQ(index.pop(0).k(), k_before + 2);  // one split per band end
+  EXPECT_TRUE(index.pop(0).ValidateAgainstPlain(plain.column(0)).ok());
+}
+
+TEST(BetweenTest, EmptyBandReturnsNothingAndLearnsNothing) {
+  Rng data_rng(5);
+  PlainTable plain = RandomTable(60, 1, &data_rng, 0, 100);
+  auto db = CipherbaseEdbms::FromPlainTable(kSeed, plain);
+  PrkbIndex index(&db);
+  index.EnableAttr(0);
+  index.Select(db.MakeComparison(0, CompareOp::kLt, 50));
+  const size_t k = index.pop(0).k();
+  const auto got = index.Select(db.MakeBetween(0, 2000, 3000));
+  EXPECT_TRUE(got.empty());
+  EXPECT_EQ(index.pop(0).k(), k);
+}
+
+TEST(BetweenTest, BandCoveringEverythingReturnsAll) {
+  Rng data_rng(6);
+  PlainTable plain = RandomTable(60, 1, &data_rng, 0, 100);
+  auto db = CipherbaseEdbms::FromPlainTable(kSeed, plain);
+  PrkbIndex index(&db);
+  index.EnableAttr(0);
+  index.Select(db.MakeComparison(0, CompareOp::kLt, 50));
+  const auto got = index.Select(db.MakeBetween(0, -10, 1000));
+  EXPECT_EQ(got.size(), 60u);
+}
+
+class BetweenPropertyTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(BetweenPropertyTest, MixedComparisonAndBetweenSequence) {
+  const uint64_t seed = GetParam();
+  Rng data_rng(seed);
+  PlainTable plain = RandomTable(150, 1, &data_rng, 0, 300);
+  auto db = CipherbaseEdbms::FromPlainTable(kSeed, plain);
+  PrkbIndex index(&db, PrkbOptions{.seed = seed});
+  index.EnableAttr(0);
+  Rng qrng(seed ^ 0xBEEF);
+  for (int i = 0; i < 60; ++i) {
+    if (qrng.Bernoulli(0.5)) {
+      const Value lo = qrng.UniformInt64(0, 300);
+      const Value hi = lo + qrng.UniformInt64(0, 80);
+      const auto got = index.Select(db.MakeBetween(0, lo, hi));
+      ASSERT_EQ(Sorted(got), OracleSelect(plain, BetweenPred(0, lo, hi)))
+          << "between query " << i;
+    } else {
+      const Value c = qrng.UniformInt64(0, 300);
+      PlainPredicate p{.attr = 0, .op = CompareOp::kGt, .lo = c};
+      const auto got = index.Select(db.MakeComparison(0, p.op, c));
+      ASSERT_EQ(Sorted(got), OracleSelect(plain, p)) << "cmp query " << i;
+    }
+    ASSERT_TRUE(index.pop(0).ValidateAgainstPlain(plain.column(0)).ok())
+        << "after query " << i;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, BetweenPropertyTest,
+                         ::testing::Values(11, 22, 33, 44, 55));
+
+TEST(BetweenTest, CheaperThanFullScanOnWarmChain) {
+  Rng data_rng(9);
+  PlainTable plain = RandomTable(3000, 1, &data_rng, 0, 1000000);
+  auto db = CipherbaseEdbms::FromPlainTable(kSeed, plain);
+  PrkbIndex index(&db);
+  index.EnableAttr(0);
+  Rng qrng(10);
+  for (int i = 0; i < 100; ++i) {
+    index.Select(
+        db.MakeComparison(0, CompareOp::kLt, qrng.UniformInt64(0, 1000000)));
+  }
+  SelectionStats stats;
+  index.Select(db.MakeBetween(0, 400000, 500000), &stats);
+  EXPECT_LT(stats.qpf_uses, 3000u / 2);
+}
+
+}  // namespace
+}  // namespace prkb::core

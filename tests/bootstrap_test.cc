@@ -1,0 +1,77 @@
+#include "prkb/bootstrap.h"
+
+#include "edbms/cipherbase_qpf.h"
+#include "gtest/gtest.h"
+#include "tests/test_util.h"
+#include "workload/query_gen.h"
+
+namespace prkb::core {
+namespace {
+
+using edbms::CompareOp;
+using edbms::PlainPredicate;
+using edbms::Value;
+
+TEST(BootstrapTest, FiftyQueriesBuildAUsefulChain) {
+  Rng data_rng(1);
+  auto plain = testutil::RandomTable(5000, 1, &data_rng, 0, 1'000'000);
+  auto db = edbms::CipherbaseEdbms::FromPlainTable(42, plain);
+  PrkbIndex index(&db);
+  index.EnableAttr(0);
+
+  const auto res = BootstrapPrkb(&index, &db, 0, 0, 1'000'000, 50);
+  EXPECT_EQ(res.queries_issued, 50u);
+  EXPECT_EQ(res.k_before, 1u);
+  // Evenly spread constants over a dense uniform column: essentially every
+  // bootstrap query is inequivalent.
+  EXPECT_GE(res.k_after, 45u);
+  EXPECT_TRUE(index.pop(0).ValidateAgainstPlain(plain.column(0)).ok());
+
+  // The paper's point: post-bootstrap queries are already cheap.
+  workload::QueryGen gen(0, 1'000'000, 3);
+  for (int i = 0; i < 10; ++i) {
+    const PlainPredicate p = gen.RandomComparison(0);
+    edbms::SelectionStats st;
+    const auto got = index.Select(db.MakeComparison(p.attr, p.op, p.lo), &st);
+    EXPECT_EQ(testutil::Sorted(got), testutil::OracleSelect(plain, p));
+    EXPECT_LT(st.qpf_uses, 5000u / 10);
+  }
+}
+
+TEST(BootstrapTest, RepeatedBootstrapsKeepRefining) {
+  Rng data_rng(2);
+  auto plain = testutil::RandomTable(2000, 1, &data_rng, 0, 100'000);
+  auto db = edbms::CipherbaseEdbms::FromPlainTable(42, plain);
+  PrkbIndex index(&db);
+  index.EnableAttr(0);
+  const auto first = BootstrapPrkb(&index, &db, 0, 0, 100'000, 30, 1);
+  const auto second = BootstrapPrkb(&index, &db, 0, 0, 100'000, 30, 2);
+  EXPECT_GT(second.k_after, first.k_after);  // jitter finds new cuts
+  EXPECT_TRUE(index.pop(0).ValidateAgainstPlain(plain.column(0)).ok());
+}
+
+TEST(BootstrapTest, DegenerateInputsAreNoOps) {
+  Rng data_rng(3);
+  auto plain = testutil::RandomTable(10, 1, &data_rng, 0, 100);
+  auto db = edbms::CipherbaseEdbms::FromPlainTable(42, plain);
+  PrkbIndex index(&db);
+  index.EnableAttr(0);
+  EXPECT_EQ(BootstrapPrkb(&index, &db, 0, 0, 100, 0).queries_issued, 0u);
+  EXPECT_EQ(BootstrapPrkb(&index, &db, 0, 100, 100, 5).queries_issued, 0u);
+  EXPECT_EQ(BootstrapPrkb(&index, &db, 9, 0, 100, 5).queries_issued, 0u);
+}
+
+TEST(BootstrapTest, KIsBoundedByQueryAndValueCounts) {
+  Rng data_rng(4);
+  auto plain = testutil::RandomTable(50, 1, &data_rng, 0, 20);
+  auto db = edbms::CipherbaseEdbms::FromPlainTable(42, plain);
+  PrkbIndex index(&db);
+  index.EnableAttr(0);
+  const auto res = BootstrapPrkb(&index, &db, 0, 0, 20, 100);
+  // At most distinct-values partitions regardless of query count.
+  EXPECT_LE(res.k_after, 21u);
+  EXPECT_LE(res.k_after, res.queries_issued + 1);
+}
+
+}  // namespace
+}  // namespace prkb::core

@@ -1,0 +1,156 @@
+#include <algorithm>
+#include <thread>
+#include <vector>
+
+#include "edbms/cipherbase_qpf.h"
+#include "edbms/ope.h"
+#include "gtest/gtest.h"
+#include "prkb/concurrent.h"
+#include "tests/test_util.h"
+#include "workload/query_gen.h"
+
+namespace prkb {
+namespace {
+
+using edbms::CompareOp;
+using edbms::OpeColumn;
+using edbms::PlainPredicate;
+using edbms::TupleId;
+using edbms::Value;
+
+// ---------------------------------------------------- ConcurrentPrkbIndex
+
+TEST(ConcurrentIndexTest, ParallelClientsStayExact) {
+  Rng data_rng(1);
+  auto plain = testutil::RandomTable(500, 1, &data_rng, 0, 10000);
+  auto db = edbms::CipherbaseEdbms::FromPlainTable(42, plain);
+  core::ConcurrentPrkbIndex index(&db);
+  index.EnableAttr(0);
+
+  // Pre-issue trapdoors (the DataOwner is not part of the SP-side
+  // concurrency story) with their oracle answers.
+  struct Query {
+    edbms::Trapdoor td;
+    std::vector<TupleId> expect;
+  };
+  std::vector<Query> queries;
+  workload::QueryGen gen(0, 10000, 2);
+  for (int i = 0; i < 64; ++i) {
+    const PlainPredicate p = gen.RandomComparison(0);
+    queries.push_back(Query{db.MakeComparison(p.attr, p.op, p.lo),
+                            testutil::OracleSelect(plain, p)});
+  }
+
+  std::atomic<int> failures{0};
+  auto worker = [&](int offset) {
+    for (size_t i = offset; i < queries.size(); i += 4) {
+      const auto got = testutil::Sorted(index.Select(queries[i].td));
+      if (got != queries[i].expect) failures.fetch_add(1);
+    }
+  };
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 4; ++t) threads.emplace_back(worker, t);
+  for (auto& th : threads) th.join();
+  EXPECT_EQ(failures.load(), 0);
+
+  index.WithLocked([&](core::PrkbIndex& inner) {
+    EXPECT_TRUE(
+        inner.pop(0).ValidateAgainstPlain(plain.column(0)).ok());
+    return 0;
+  });
+}
+
+TEST(ConcurrentIndexTest, MixedChurnUnderThreads) {
+  Rng data_rng(3);
+  auto plain = testutil::RandomTable(300, 1, &data_rng, 0, 1000);
+  auto db = edbms::CipherbaseEdbms::FromPlainTable(42, plain);
+  core::ConcurrentPrkbIndex index(&db);
+  index.EnableAttr(0);
+
+  std::vector<edbms::Trapdoor> tds;
+  workload::QueryGen gen(0, 1000, 4);
+  for (int i = 0; i < 40; ++i) {
+    const auto p = gen.RandomComparison(0);
+    tds.push_back(db.MakeComparison(p.attr, p.op, p.lo));
+  }
+
+  std::thread selector([&] {
+    for (const auto& td : tds) index.Select(td);
+  });
+  std::thread inserter([&] {
+    Rng rng(5);
+    for (int i = 0; i < 50; ++i) {
+      index.Insert({rng.UniformInt64(0, 1000)});
+    }
+  });
+  selector.join();
+  inserter.join();
+
+  index.WithLocked([&](core::PrkbIndex& inner) {
+    EXPECT_TRUE(inner.pop(0).Validate().ok());
+    EXPECT_EQ(inner.pop(0).num_tuples(), 350u);
+    return 0;
+  });
+}
+
+// ------------------------------------------------------------- OpeColumn
+
+TEST(OpeTest, CodesPreserveOrderExactly) {
+  Rng rng(7);
+  std::vector<Value> column;
+  for (int i = 0; i < 500; ++i) column.push_back(rng.UniformInt64(-1000, 1000));
+  const OpeColumn ope = OpeColumn::Build(column, 99);
+  for (TupleId a = 0; a < column.size(); ++a) {
+    for (TupleId b = a + 1; b < column.size() && b < a + 20; ++b) {
+      if (column[a] < column[b]) {
+        EXPECT_LT(ope.code_at(a), ope.code_at(b));
+      } else if (column[a] > column[b]) {
+        EXPECT_GT(ope.code_at(a), ope.code_at(b));
+      } else {
+        EXPECT_EQ(ope.code_at(a), ope.code_at(b));
+      }
+    }
+  }
+}
+
+TEST(OpeTest, ProbesAnswerRangeQueriesOverCodes) {
+  std::vector<Value> column = {10, 20, 30, 40, 50};
+  const OpeColumn ope = OpeColumn::Build(column, 1);
+  // 'X < 35' over codes: code(v) < probe(35).
+  const uint64_t probe = ope.EncodeProbe(35);
+  std::vector<TupleId> got;
+  for (TupleId t = 0; t < column.size(); ++t) {
+    if (ope.code_at(t) < probe) got.push_back(t);
+  }
+  EXPECT_EQ(got, (std::vector<TupleId>{0, 1, 2}));
+  // Probe of a stored value compares non-strictly correct too.
+  EXPECT_EQ(ope.EncodeProbe(30), ope.code_at(2));
+}
+
+TEST(OpeTest, TotalOrderIsPublicBeforeAnyQuery) {
+  // The paper's contrast (Sec. 8.1): under OPE, RPOI is 100% at query 0.
+  Rng rng(9);
+  std::vector<Value> column;
+  for (int i = 0; i < 300; ++i) column.push_back(rng.UniformInt64(0, 100000));
+  const OpeColumn ope = OpeColumn::Build(column, 5);
+  const auto recovered = ope.RecoverTotalOrder();
+  // The recovered permutation must sort the hidden plaintexts.
+  for (size_t i = 0; i + 1 < recovered.size(); ++i) {
+    EXPECT_LE(column[recovered[i]], column[recovered[i + 1]]);
+  }
+}
+
+TEST(OpeTest, DifferentKeysGiveDifferentCodesSameOrder) {
+  std::vector<Value> column = {3, 1, 4, 1, 5};
+  const OpeColumn a = OpeColumn::Build(column, 1);
+  const OpeColumn b = OpeColumn::Build(column, 2);
+  bool any_diff = false;
+  for (TupleId t = 0; t < column.size(); ++t) {
+    any_diff |= a.code_at(t) != b.code_at(t);
+  }
+  EXPECT_TRUE(any_diff);
+  EXPECT_EQ(a.RecoverTotalOrder(), b.RecoverTotalOrder());
+}
+
+}  // namespace
+}  // namespace prkb

@@ -1,0 +1,158 @@
+// End-to-end integration: a single deployment driven through every public
+// surface — SQL planner, mixed predicate kinds, churn, snapshots, extension
+// operators — continuously cross-checked against a plaintext oracle.
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "edbms/cipherbase_qpf.h"
+#include "ext/minmax.h"
+#include "ext/skyline.h"
+#include "gtest/gtest.h"
+#include "prkb/prkb_io.h"
+#include "prkb/selection.h"
+#include "query/planner.h"
+#include "tests/test_util.h"
+
+namespace prkb {
+namespace {
+
+using edbms::CipherbaseEdbms;
+using edbms::CompareOp;
+using edbms::PlainPredicate;
+using edbms::PlainTable;
+using edbms::TupleId;
+using edbms::Value;
+using testutil::OracleSelectAll;
+using testutil::Sorted;
+
+class IntegrationTest : public ::testing::Test {
+ protected:
+  IntegrationTest()
+      : plain_(MakePlain()),
+        db_(CipherbaseEdbms::FromPlainTable(1234, plain_)),
+        index_(&db_, core::PrkbOptions{.seed = 55}),
+        planner_(&catalog_, &db_, &index_) {
+    catalog_.RegisterTable("orders", {"amount", "days", "rating"});
+    for (edbms::AttrId a = 0; a < 3; ++a) index_.EnableAttr(a);
+  }
+
+  static PlainTable MakePlain() {
+    Rng rng(9);
+    return testutil::RandomTable(600, 3, &rng, 0, 2000);
+  }
+
+  std::vector<TupleId> Sql(const std::string& sql) {
+    auto res = planner_.ExecuteSql(sql);
+    EXPECT_TRUE(res.ok()) << res.status().ToString();
+    return res.ok() ? Sorted(res->rows) : std::vector<TupleId>{};
+  }
+
+  PlainTable plain_;
+  CipherbaseEdbms db_;
+  core::PrkbIndex index_;
+  query::Catalog catalog_;
+  query::Planner planner_;
+};
+
+TEST_F(IntegrationTest, FullLifecycle) {
+  Rng rng(77);
+
+  // Phase 1: query traffic through the SQL layer, all plan shapes.
+  for (int round = 0; round < 25; ++round) {
+    const Value a = rng.UniformInt64(0, 1500);
+    const Value b = a + rng.UniformInt64(10, 400);
+    char sql[256];
+
+    std::snprintf(sql, sizeof(sql),
+                  "SELECT * FROM orders WHERE amount > %lld AND amount < %lld",
+                  static_cast<long long>(a), static_cast<long long>(b));
+    EXPECT_EQ(Sql(sql),
+              OracleSelectAll(
+                  plain_,
+                  {{.attr = 0, .op = CompareOp::kGt, .lo = a},
+                   {.attr = 0, .op = CompareOp::kLt, .lo = b}},
+                  &db_))
+        << sql;
+
+    std::snprintf(sql, sizeof(sql),
+                  "SELECT * FROM orders WHERE days BETWEEN %lld AND %lld "
+                  "AND rating > %lld",
+                  static_cast<long long>(a), static_cast<long long>(b),
+                  static_cast<long long>(a / 2));
+    EXPECT_EQ(
+        Sql(sql),
+        OracleSelectAll(plain_,
+                        {{.attr = 1,
+                          .kind = edbms::PredicateKind::kBetween,
+                          .lo = a,
+                          .hi = b},
+                         {.attr = 2, .op = CompareOp::kGt, .lo = a / 2}},
+                        &db_))
+        << sql;
+  }
+
+  // Phase 2: churn, then re-validate all chains.
+  for (int i = 0; i < 40; ++i) {
+    const Value v0 = rng.UniformInt64(0, 2000);
+    const Value v1 = rng.UniformInt64(0, 2000);
+    const Value v2 = rng.UniformInt64(0, 2000);
+    index_.Insert({v0, v1, v2});
+    plain_.AddRow({v0, v1, v2});
+  }
+  for (int i = 0; i < 20; ++i) {
+    const auto tid =
+        static_cast<TupleId>(rng.UniformInt(0, db_.num_rows() - 1));
+    if (db_.IsLive(tid)) index_.Delete(tid);
+  }
+  for (edbms::AttrId a = 0; a < 3; ++a) {
+    ASSERT_TRUE(
+        index_.pop(a).ValidateAgainstPlain(plain_.column(a)).ok())
+        << "attr " << a;
+  }
+
+  // Phase 3: snapshot round trip mid-life.
+  const std::string path = "/tmp/prkb_integration.bin";
+  ASSERT_TRUE(core::SavePrkb(index_, path).ok());
+  core::PrkbIndex restored(&db_, core::PrkbOptions{.seed = 55});
+  ASSERT_TRUE(core::LoadPrkb(&restored, path).ok());
+  std::remove(path.c_str());
+  const auto q =
+      db_.MakeComparison(0, CompareOp::kLt, 1000);
+  EXPECT_EQ(Sorted(restored.Select(q)),
+            OracleSelectAll(plain_,
+                            {{.attr = 0, .op = CompareOp::kLt, .lo = 1000}},
+                            &db_));
+
+  // Phase 4: extension operators agree with ground truth on live tuples.
+  const auto mn = ext::FindMin(restored, &db_, 0);
+  ASSERT_TRUE(mn.found);
+  Value true_min = std::numeric_limits<Value>::max();
+  for (TupleId t = 0; t < plain_.num_rows(); ++t) {
+    if (db_.IsLive(t)) true_min = std::min(true_min, plain_.at(0, t));
+  }
+  EXPECT_EQ(plain_.at(0, mn.tid), true_min);
+
+  // Phase 5: stats describe a sane shape.
+  const auto st = index_.StatsFor(0);
+  EXPECT_GT(st.k, 10u);
+  EXPECT_EQ(st.tuples, index_.pop(0).num_tuples());
+  EXPECT_GE(st.max_partition, st.min_partition);
+  EXPECT_GE(st.cuts, st.insert_usable_cuts);
+  EXPECT_NE(index_.DescribeStats().find("attr 0"), std::string::npos);
+}
+
+TEST_F(IntegrationTest, StatsTrackChainGrowth) {
+  const auto before = index_.StatsFor(0);
+  EXPECT_EQ(before.k, 1u);
+  Sql("SELECT * FROM orders WHERE amount < 500");
+  Sql("SELECT * FROM orders WHERE amount < 1200");
+  const auto after = index_.StatsFor(0);
+  EXPECT_EQ(after.k, 3u);
+  EXPECT_EQ(after.cuts, 2u);
+  EXPECT_EQ(after.insert_usable_cuts, 2u);
+}
+
+}  // namespace
+}  // namespace prkb

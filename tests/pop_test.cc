@@ -1,0 +1,235 @@
+#include "prkb/pop.h"
+
+#include <vector>
+
+#include "gtest/gtest.h"
+
+namespace prkb::core {
+namespace {
+
+using edbms::TupleId;
+
+edbms::Trapdoor FakeTrapdoor(uint64_t uid,
+                             edbms::PredicateKind kind =
+                                 edbms::PredicateKind::kComparison) {
+  edbms::Trapdoor td;
+  td.attr = 0;
+  td.kind = kind;
+  td.uid = uid;
+  td.blob = {1, 2, 3};
+  return td;
+}
+
+TEST(PopTest, InitSingleCoversAllTuples) {
+  Pop pop;
+  pop.InitSingle(5);
+  EXPECT_EQ(pop.k(), 1u);
+  EXPECT_EQ(pop.num_tuples(), 5u);
+  EXPECT_EQ(pop.members_at(0).size(), 5u);
+  for (TupleId t = 0; t < 5; ++t) {
+    EXPECT_EQ(pop.partition_of(t), pop.pid_at(0));
+  }
+  EXPECT_TRUE(pop.Validate().ok());
+}
+
+TEST(PopTest, InitSingleEmptyTableHasNoChain) {
+  Pop pop;
+  pop.InitSingle(0);
+  EXPECT_EQ(pop.k(), 0u);
+  EXPECT_TRUE(pop.Validate().ok());
+}
+
+TEST(PopTest, SplitCreatesOrderedChainAndCut) {
+  Pop pop;
+  pop.InitSingle(4);  // {0,1,2,3}
+  const PartitionId pid = pop.pid_at(0);
+  const uint64_t cut =
+      pop.SplitPartition(pid, {0, 2}, {1, 3}, FakeTrapdoor(1), false);
+  EXPECT_EQ(pop.k(), 2u);
+  EXPECT_NE(cut, Pop::kNoCut);
+  // Left half at position 0, right (keeping the old pid) at position 1.
+  EXPECT_EQ(pop.pid_at(1), pid);
+  EXPECT_EQ(pop.members_at(0), (std::vector<TupleId>{0, 2}));
+  EXPECT_EQ(pop.members_at(1), (std::vector<TupleId>{1, 3}));
+  EXPECT_EQ(pop.partition_of(0), pop.pid_at(0));
+  EXPECT_EQ(pop.partition_of(1), pid);
+  EXPECT_TRUE(pop.Validate().ok());
+
+  const Pop::Cut* c = pop.FindCut(cut);
+  ASSERT_NE(c, nullptr);
+  EXPECT_EQ(pop.CutPos(*c), 1u);
+  EXPECT_FALSE(c->left_label);
+  EXPECT_TRUE(c->UsableForInsert());
+}
+
+TEST(PopTest, NestedSplitsKeepCutPositionsCorrect) {
+  Pop pop;
+  pop.InitSingle(8);
+  const PartitionId p0 = pop.pid_at(0);
+  const uint64_t cut1 = pop.SplitPartition(p0, {0, 1, 2, 3}, {4, 5, 6, 7},
+                                           FakeTrapdoor(1), false);
+  // Split the LEFT half; cut1 must shift right.
+  const PartitionId left = pop.pid_at(0);
+  const uint64_t cut2 =
+      pop.SplitPartition(left, {0, 1}, {2, 3}, FakeTrapdoor(2), true);
+  EXPECT_EQ(pop.k(), 3u);
+  EXPECT_EQ(pop.CutPos(*pop.FindCut(cut2)), 1u);
+  EXPECT_EQ(pop.CutPos(*pop.FindCut(cut1)), 2u);
+  // Split the RIGHT-most partition.
+  const PartitionId right = pop.pid_at(2);
+  const uint64_t cut3 =
+      pop.SplitPartition(right, {4, 6}, {5, 7}, FakeTrapdoor(3), false);
+  EXPECT_EQ(pop.k(), 4u);
+  EXPECT_EQ(pop.CutPos(*pop.FindCut(cut1)), 2u);
+  EXPECT_EQ(pop.CutPos(*pop.FindCut(cut3)), 3u);
+  EXPECT_TRUE(pop.Validate().ok());
+}
+
+TEST(PopTest, AddTupleGrowsPartition) {
+  Pop pop;
+  pop.InitSingle(3);
+  pop.AddTuple(pop.pid_at(0), 7);
+  EXPECT_EQ(pop.num_tuples(), 4u);
+  EXPECT_EQ(pop.partition_of(7), pop.pid_at(0));
+  EXPECT_TRUE(pop.Validate().ok());
+}
+
+TEST(PopTest, RemoveTupleKeepsNonEmptyPartition) {
+  Pop pop;
+  pop.InitSingle(3);
+  pop.RemoveTuple(1);
+  EXPECT_EQ(pop.num_tuples(), 2u);
+  EXPECT_EQ(pop.partition_of(1), Pop::kNoPartition);
+  EXPECT_EQ(pop.k(), 1u);
+  EXPECT_TRUE(pop.Validate().ok());
+}
+
+TEST(PopTest, EmptyingMiddlePartitionShrinksChain) {
+  Pop pop;
+  pop.InitSingle(4);
+  pop.SplitPartition(pop.pid_at(0), {0}, {1, 2, 3}, FakeTrapdoor(1), false);
+  pop.SplitPartition(pop.pid_at(1), {1}, {2, 3}, FakeTrapdoor(2), false);
+  ASSERT_EQ(pop.k(), 3u);
+  // Remove the middle partition's only tuple: POP_3 -> POP_2 (Sec. 7.2).
+  pop.RemoveTuple(1);
+  EXPECT_EQ(pop.k(), 2u);
+  EXPECT_EQ(pop.members_at(0), (std::vector<TupleId>{0}));
+  EXPECT_EQ(pop.members_at(1), (std::vector<TupleId>{2, 3}));
+  EXPECT_TRUE(pop.Validate().ok());
+  // A surviving cut still separates the two remaining partitions.
+  size_t live = 0;
+  for (const auto& cut : pop.cuts()) {
+    if (!cut.dropped) {
+      ++live;
+      EXPECT_EQ(pop.CutPos(cut), 1u);
+    }
+  }
+  EXPECT_GE(live, 1u);
+}
+
+TEST(PopTest, EmptyingHeadPartitionDropsEdgeCut) {
+  Pop pop;
+  pop.InitSingle(3);
+  pop.SplitPartition(pop.pid_at(0), {0}, {1, 2}, FakeTrapdoor(1), false);
+  pop.RemoveTuple(0);
+  EXPECT_EQ(pop.k(), 1u);
+  for (const auto& cut : pop.cuts()) EXPECT_TRUE(cut.dropped);
+  EXPECT_TRUE(pop.Validate().ok());
+}
+
+TEST(PopTest, EmptyingTailPartitionDropsEdgeCut) {
+  Pop pop;
+  pop.InitSingle(3);
+  pop.SplitPartition(pop.pid_at(0), {0, 1}, {2}, FakeTrapdoor(1), true);
+  pop.RemoveTuple(2);
+  EXPECT_EQ(pop.k(), 1u);
+  for (const auto& cut : pop.cuts()) EXPECT_TRUE(cut.dropped);
+  EXPECT_TRUE(pop.Validate().ok());
+}
+
+TEST(PopTest, MergeRetiresInteriorCutAndKeepsOuterOnes) {
+  Pop pop;
+  pop.InitSingle(6);
+  pop.SplitPartition(pop.pid_at(0), {0, 1}, {2, 3, 4, 5}, FakeTrapdoor(1),
+                     false);
+  pop.SplitPartition(pop.pid_at(1), {2, 3}, {4, 5}, FakeTrapdoor(2), false);
+  ASSERT_EQ(pop.k(), 3u);
+  pop.MergeAt(1);  // merge {2,3} and {4,5}
+  EXPECT_EQ(pop.k(), 2u);
+  EXPECT_EQ(pop.members_at(1).size(), 4u);
+  size_t live = 0;
+  for (const auto& cut : pop.cuts()) live += !cut.dropped;
+  EXPECT_EQ(live, 1u);  // only the first cut survives
+  EXPECT_TRUE(pop.Validate().ok());
+}
+
+TEST(PopTest, LinkBetweenCutsMakesThemInsertUsable) {
+  Pop pop;
+  pop.InitSingle(6);
+  const auto between = FakeTrapdoor(9, edbms::PredicateKind::kBetween);
+  const uint64_t c1 = pop.SplitPartition(pop.pid_at(0), {0, 1}, {2, 3, 4, 5},
+                                         between, false);
+  EXPECT_FALSE(pop.FindCut(c1)->UsableForInsert());
+  const uint64_t c2 =
+      pop.SplitPartition(pop.pid_at(1), {2, 3}, {4, 5}, between, true);
+  pop.LinkBetweenCuts(c1, c2);
+  EXPECT_TRUE(pop.FindCut(c1)->UsableForInsert());
+  EXPECT_TRUE(pop.FindCut(c2)->UsableForInsert());
+  // Dropping one end makes the other unusable again.
+  pop.RemoveTuple(0);
+  pop.RemoveTuple(1);  // head partition gone; c1 dropped
+  EXPECT_EQ(pop.FindCut(c1), nullptr);
+  EXPECT_FALSE(pop.FindCut(c2)->UsableForInsert());
+}
+
+TEST(PopTest, SizeBytesScalesWithTuplesAndCuts) {
+  Pop pop;
+  pop.InitSingle(1000);
+  const size_t base = pop.SizeBytes();
+  EXPECT_GE(base, 1000 * sizeof(TupleId));
+  std::vector<TupleId> left, right;
+  for (TupleId t = 0; t < 1000; ++t) (t < 500 ? left : right).push_back(t);
+  edbms::Trapdoor td = FakeTrapdoor(1);
+  td.blob.resize(41);
+  pop.SplitPartition(pop.pid_at(0), left, right, td, false);
+  EXPECT_GT(pop.SizeBytes(), base);
+}
+
+TEST(PopTest, ValidateAgainstPlainAcceptsBothOrientations) {
+  // Values: tid0=5, tid1=1, tid2=9. Ascending chain {1} {5} {9}.
+  std::vector<edbms::Value> plain = {5, 1, 9};
+  Pop pop;
+  pop.InitSingle(3);
+  pop.SplitPartition(pop.pid_at(0), {1}, {0, 2}, FakeTrapdoor(1), true);
+  pop.SplitPartition(pop.pid_at(1), {0}, {2}, FakeTrapdoor(2), true);
+  EXPECT_TRUE(pop.ValidateAgainstPlain(plain).ok());
+
+  // Descending chain {9} {5} {1} is equally valid knowledge.
+  Pop desc;
+  desc.InitSingle(3);
+  desc.SplitPartition(desc.pid_at(0), {2}, {0, 1}, FakeTrapdoor(1), true);
+  desc.SplitPartition(desc.pid_at(1), {0}, {1}, FakeTrapdoor(2), true);
+  EXPECT_TRUE(desc.ValidateAgainstPlain(plain).ok());
+}
+
+TEST(PopTest, ValidateAgainstPlainRejectsBrokenChain) {
+  // Chain {5} {1} {9} is neither ascending nor descending.
+  std::vector<edbms::Value> plain = {5, 1, 9};
+  Pop pop;
+  pop.InitSingle(3);
+  pop.SplitPartition(pop.pid_at(0), {0}, {1, 2}, FakeTrapdoor(1), true);
+  pop.SplitPartition(pop.pid_at(1), {1}, {2}, FakeTrapdoor(2), true);
+  EXPECT_FALSE(pop.ValidateAgainstPlain(plain).ok());
+}
+
+TEST(PopTest, ValidateAgainstPlainRejectsOverlappingRanges) {
+  // tid0=1, tid1=3, tid2=2: partitions {1,3} {2} overlap in range.
+  std::vector<edbms::Value> plain = {1, 3, 2};
+  Pop pop;
+  pop.InitSingle(3);
+  pop.SplitPartition(pop.pid_at(0), {0, 1}, {2}, FakeTrapdoor(1), true);
+  EXPECT_FALSE(pop.ValidateAgainstPlain(plain).ok());
+}
+
+}  // namespace
+}  // namespace prkb::core

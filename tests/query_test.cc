@@ -1,0 +1,180 @@
+#include "query/planner.h"
+
+#include "edbms/cipherbase_qpf.h"
+#include "gtest/gtest.h"
+#include "query/lexer.h"
+#include "query/parser.h"
+#include "tests/test_util.h"
+
+namespace prkb::query {
+namespace {
+
+using edbms::CipherbaseEdbms;
+using edbms::PlainPredicate;
+using edbms::PlainTable;
+using edbms::TupleId;
+using testutil::OracleSelectAll;
+using testutil::Sorted;
+
+// ------------------------------------------------------------------ Lexer
+
+TEST(LexerTest, TokenisesAllKinds) {
+  auto tokens = Lex("SELECT * FROM t WHERE a <= -42 AND b BETWEEN 1 AND 2;");
+  ASSERT_TRUE(tokens.ok());
+  const auto& t = *tokens;
+  ASSERT_EQ(t.size(), 15u);  // 14 tokens + end
+  EXPECT_EQ(t[0].kind, Token::Kind::kKeyword);
+  EXPECT_EQ(t[0].text, "SELECT");
+  EXPECT_EQ(t[1].kind, Token::Kind::kStar);
+  EXPECT_EQ(t[3].kind, Token::Kind::kIdentifier);
+  EXPECT_EQ(t[6].text, "<=");
+  EXPECT_EQ(t[7].number, -42);
+  EXPECT_EQ(t[14].kind, Token::Kind::kEnd);
+}
+
+TEST(LexerTest, KeywordsAreCaseInsensitive) {
+  auto tokens = Lex("select * From t wHeRe x < 1");
+  ASSERT_TRUE(tokens.ok());
+  EXPECT_EQ((*tokens)[0].text, "SELECT");
+  EXPECT_EQ((*tokens)[4].text, "WHERE");
+}
+
+TEST(LexerTest, RejectsUnknownCharacters) {
+  EXPECT_FALSE(Lex("SELECT * FROM t WHERE a ~ 3").ok());
+}
+
+TEST(LexerTest, RejectsOverflowingNumbers) {
+  EXPECT_FALSE(Lex("SELECT * FROM t WHERE a < 99999999999999999999999").ok());
+}
+
+// ----------------------------------------------------------------- Parser
+
+TEST(ParserTest, ParsesSimpleSelect) {
+  auto stmt = Parse("SELECT * FROM readings WHERE temp > 20 AND temp < 30");
+  ASSERT_TRUE(stmt.ok());
+  EXPECT_EQ(stmt->table, "readings");
+  ASSERT_EQ(stmt->conditions.size(), 2u);
+  EXPECT_EQ(stmt->conditions[0].column, "temp");
+  EXPECT_EQ(stmt->conditions[0].op, edbms::CompareOp::kGt);
+  EXPECT_EQ(stmt->conditions[0].lo, 20);
+}
+
+TEST(ParserTest, ParsesBetween) {
+  auto stmt = Parse("SELECT * FROM t WHERE x BETWEEN 5 AND 9");
+  ASSERT_TRUE(stmt.ok());
+  ASSERT_EQ(stmt->conditions.size(), 1u);
+  EXPECT_EQ(stmt->conditions[0].kind, Condition::Kind::kBetween);
+  EXPECT_EQ(stmt->conditions[0].lo, 5);
+  EXPECT_EQ(stmt->conditions[0].hi, 9);
+}
+
+TEST(ParserTest, ParsesNoWhere) {
+  auto stmt = Parse("SELECT * FROM t");
+  ASSERT_TRUE(stmt.ok());
+  EXPECT_TRUE(stmt->conditions.empty());
+}
+
+TEST(ParserTest, RejectsMalformedStatements) {
+  EXPECT_FALSE(Parse("SELECT a FROM t").ok());           // projection
+  EXPECT_FALSE(Parse("SELECT * t").ok());                // missing FROM
+  EXPECT_FALSE(Parse("SELECT * FROM t WHERE").ok());     // empty WHERE
+  EXPECT_FALSE(Parse("SELECT * FROM t WHERE a <").ok()); // missing literal
+  EXPECT_FALSE(Parse("SELECT * FROM t WHERE a = 1 OR b = 2").ok());  // OR
+  EXPECT_FALSE(Parse("SELECT * FROM t WHERE a BETWEEN 9 AND 5").ok());
+  EXPECT_FALSE(Parse("SELECT * FROM t WHERE a < 1 garbage").ok());
+}
+
+// ---------------------------------------------------------------- Planner
+
+class PlannerTest : public ::testing::Test {
+ protected:
+  PlannerTest()
+      : plain_(MakePlain()),
+        db_(CipherbaseEdbms::FromPlainTable(5, plain_)),
+        index_(&db_) {
+    catalog_.RegisterTable("readings", {"temp", "humidity"});
+    index_.EnableAttr(0);
+    index_.EnableAttr(1);
+  }
+
+  static PlainTable MakePlain() {
+    Rng rng(1);
+    return testutil::RandomTable(200, 2, &rng, 0, 100);
+  }
+
+  PlainTable plain_;
+  CipherbaseEdbms db_;
+  core::PrkbIndex index_;
+  Catalog catalog_;
+};
+
+TEST_F(PlannerTest, SingleComparisonRoutesToSd) {
+  Planner planner(&catalog_, &db_, &index_);
+  auto res = planner.ExecuteSql("SELECT * FROM readings WHERE temp < 50");
+  ASSERT_TRUE(res.ok());
+  EXPECT_EQ(res->plan, "prkb-sd");
+  PlainPredicate p{.attr = 0, .op = edbms::CompareOp::kLt, .lo = 50};
+  EXPECT_EQ(Sorted(res->rows), OracleSelectAll(plain_, {p}));
+}
+
+TEST_F(PlannerTest, BetweenRoutesToBetween) {
+  Planner planner(&catalog_, &db_, &index_);
+  auto res =
+      planner.ExecuteSql("SELECT * FROM readings WHERE temp BETWEEN 20 AND 60");
+  ASSERT_TRUE(res.ok());
+  EXPECT_EQ(res->plan, "prkb-between");
+  PlainPredicate p{.attr = 0, .kind = edbms::PredicateKind::kBetween,
+                   .lo = 20, .hi = 60};
+  EXPECT_EQ(Sorted(res->rows), OracleSelectAll(plain_, {p}));
+}
+
+TEST_F(PlannerTest, ConjunctionRoutesToMd) {
+  Planner planner(&catalog_, &db_, &index_);
+  auto res = planner.ExecuteSql(
+      "SELECT * FROM readings WHERE temp > 20 AND temp < 60 "
+      "AND humidity > 30 AND humidity < 70");
+  ASSERT_TRUE(res.ok());
+  EXPECT_EQ(res->plan, "prkb-md(4 trapdoors)");
+  std::vector<PlainPredicate> ps = {
+      {.attr = 0, .op = edbms::CompareOp::kGt, .lo = 20},
+      {.attr = 0, .op = edbms::CompareOp::kLt, .lo = 60},
+      {.attr = 1, .op = edbms::CompareOp::kGt, .lo = 30},
+      {.attr = 1, .op = edbms::CompareOp::kLt, .lo = 70},
+  };
+  EXPECT_EQ(Sorted(res->rows), OracleSelectAll(plain_, ps));
+}
+
+TEST_F(PlannerTest, MixedKindsRouteToSdPlus) {
+  Planner planner(&catalog_, &db_, &index_);
+  auto res = planner.ExecuteSql(
+      "SELECT * FROM readings WHERE temp BETWEEN 20 AND 60 AND humidity < 50");
+  ASSERT_TRUE(res.ok());
+  EXPECT_EQ(res->plan, "prkb-sd+(2 trapdoors)");
+  std::vector<PlainPredicate> ps = {
+      {.attr = 0, .kind = edbms::PredicateKind::kBetween, .lo = 20, .hi = 60},
+      {.attr = 1, .op = edbms::CompareOp::kLt, .lo = 50},
+  };
+  EXPECT_EQ(Sorted(res->rows), OracleSelectAll(plain_, ps));
+}
+
+TEST_F(PlannerTest, NoPredicateReturnsAllLiveRows) {
+  Planner planner(&catalog_, &db_, &index_);
+  db_.Delete(7);
+  auto res = planner.ExecuteSql("SELECT * FROM readings");
+  ASSERT_TRUE(res.ok());
+  EXPECT_EQ(res->rows.size(), 199u);
+  EXPECT_EQ(res->stats.qpf_uses, 0u);
+}
+
+TEST_F(PlannerTest, UnknownTableAndColumnFail) {
+  Planner planner(&catalog_, &db_, &index_);
+  EXPECT_EQ(planner.ExecuteSql("SELECT * FROM nosuch").status().code(),
+            Status::Code::kNotFound);
+  EXPECT_EQ(planner.ExecuteSql("SELECT * FROM readings WHERE nope < 1")
+                .status()
+                .code(),
+            Status::Code::kNotFound);
+}
+
+}  // namespace
+}  // namespace prkb::query

@@ -1,0 +1,106 @@
+// The paper's leakage argument, mechanised (Sec. 3.3): the PRKB is a pure
+// function of what the SP observed from the QPF. We record a live run's
+// transcript, rebuild the index against a ciphertext-free replay oracle that
+// knows ONLY that transcript, and require the rebuilt index to be
+// byte-identical.
+
+#include <vector>
+
+#include "common/serial.h"
+#include "edbms/cipherbase_qpf.h"
+#include "edbms/replay.h"
+#include "gtest/gtest.h"
+#include "prkb/selection.h"
+#include "tests/test_util.h"
+#include "workload/query_gen.h"
+
+namespace prkb::core {
+namespace {
+
+using edbms::QpfTranscript;
+using edbms::RecordingEdbms;
+using edbms::ReplayEdbms;
+using edbms::Trapdoor;
+
+std::vector<uint8_t> Fingerprint(const Pop& pop) {
+  Encoder enc;
+  pop.EncodeTo(&enc);
+  return enc.Release();
+}
+
+TEST(ReplayTest, IndexIsAPureFunctionOfTheTranscript) {
+  Rng data_rng(1);
+  const auto plain = testutil::RandomTable(400, 2, &data_rng, 0, 5000);
+  auto db = edbms::CipherbaseEdbms::FromPlainTable(77, plain);
+
+  // ---- Live run, recorded. ----
+  QpfTranscript transcript;
+  RecordingEdbms recorder(&db, &transcript);
+  PrkbIndex live(&recorder, PrkbOptions{.seed = 9});
+  live.EnableAttr(0);
+  live.EnableAttr(1);
+
+  std::vector<Trapdoor> issued;
+  workload::QueryGen gen(0, 5000, 3);
+  for (int i = 0; i < 60; ++i) {
+    if (i % 4 == 0) {
+      const auto lo = gen.rng()->UniformInt64(0, 4500);
+      issued.push_back(db.MakeBetween(0, lo, lo + 400));
+    } else {
+      const auto p = gen.RandomComparison(
+          static_cast<edbms::AttrId>(i % 2));
+      issued.push_back(db.MakeComparison(p.attr, p.op, p.lo));
+    }
+    live.Select(issued.back());
+  }
+  ASSERT_FALSE(transcript.entries.empty());
+
+  // ---- Replay run: no keys, no ciphertext — only the observed bits. ----
+  ReplayEdbms replay(db.num_attrs(), db.num_rows(), transcript);
+  PrkbIndex rebuilt(&replay, PrkbOptions{.seed = 9});
+  rebuilt.EnableAttr(0);
+  rebuilt.EnableAttr(1);
+  for (const Trapdoor& td : issued) rebuilt.Select(td);
+
+  EXPECT_EQ(replay.misses(), 0u);
+  for (edbms::AttrId a = 0; a < 2; ++a) {
+    EXPECT_EQ(Fingerprint(live.pop(a)), Fingerprint(rebuilt.pop(a)))
+        << "attr " << a;
+  }
+}
+
+TEST(ReplayTest, ReplayUsesNoMoreEvaluationsThanTheLiveRun) {
+  Rng data_rng(2);
+  const auto plain = testutil::RandomTable(200, 1, &data_rng, 0, 1000);
+  auto db = edbms::CipherbaseEdbms::FromPlainTable(88, plain);
+  QpfTranscript transcript;
+  RecordingEdbms recorder(&db, &transcript);
+  PrkbIndex live(&recorder, PrkbOptions{.seed = 5});
+  live.EnableAttr(0);
+  std::vector<Trapdoor> issued;
+  workload::QueryGen gen(0, 1000, 4);
+  for (int i = 0; i < 30; ++i) {
+    const auto p = gen.RandomComparison(0);
+    issued.push_back(db.MakeComparison(p.attr, p.op, p.lo));
+    live.Select(issued.back());
+  }
+
+  ReplayEdbms replay(1, db.num_rows(), transcript);
+  PrkbIndex rebuilt(&replay, PrkbOptions{.seed = 5});
+  rebuilt.EnableAttr(0);
+  for (const Trapdoor& td : issued) rebuilt.Select(td);
+  EXPECT_EQ(replay.uses(), transcript.entries.size());
+  EXPECT_EQ(replay.misses(), 0u);
+}
+
+TEST(ReplayTest, MissingTranscriptEntriesAreCounted) {
+  QpfTranscript empty;
+  ReplayEdbms replay(1, 10, empty);
+  Trapdoor td;
+  td.uid = 1;
+  replay.Eval(td, 3);
+  EXPECT_EQ(replay.misses(), 1u);
+}
+
+}  // namespace
+}  // namespace prkb::core

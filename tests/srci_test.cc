@@ -1,0 +1,247 @@
+#include "srci/srci.h"
+
+#include <algorithm>
+#include <set>
+
+#include "gtest/gtest.h"
+#include "srci/sse_index.h"
+#include "srci/tdag.h"
+#include "tests/test_util.h"
+
+namespace prkb::srci {
+namespace {
+
+using edbms::CipherbaseEdbms;
+using edbms::PlainPredicate;
+using edbms::PlainTable;
+using edbms::TupleId;
+using edbms::Value;
+using testutil::RandomTable;
+using testutil::Sorted;
+
+constexpr uint64_t kSeed = 2718;
+
+// ------------------------------------------------------------------- TDAG
+
+TEST(TdagTest, LevelsForCoversDomain) {
+  EXPECT_EQ(Tdag::LevelsFor(2), 1);
+  EXPECT_EQ(Tdag::LevelsFor(3), 2);
+  EXPECT_EQ(Tdag::LevelsFor(1024), 10);
+  EXPECT_EQ(Tdag::LevelsFor(1025), 11);
+}
+
+TEST(TdagTest, CoverNodesAllContainTheValue) {
+  Tdag t(10);
+  for (uint64_t v : {uint64_t{0}, uint64_t{1}, uint64_t{511}, uint64_t{512},
+                     uint64_t{1023}}) {
+    for (uint64_t id : t.Cover(v)) {
+      uint64_t lo, hi;
+      t.NodeRange(id, &lo, &hi);
+      EXPECT_LE(lo, v);
+      EXPECT_GE(hi, v);
+    }
+  }
+}
+
+TEST(TdagTest, BestCoverContainsRangeAndIsTight) {
+  Tdag t(12);
+  Rng rng(1);
+  for (int i = 0; i < 500; ++i) {
+    const uint64_t a = rng.UniformInt(0, t.domain_size() - 1);
+    const uint64_t b = rng.UniformInt(a, t.domain_size() - 1);
+    const uint64_t id = t.BestCover(a, b);
+    uint64_t lo, hi;
+    t.NodeRange(id, &lo, &hi);
+    ASSERT_LE(lo, a);
+    ASSERT_GE(hi, b);
+    // SRC tightness: the covering node is at most ~4x the range length.
+    const uint64_t range_len = b - a + 1;
+    const uint64_t node_len = hi - lo + 1;
+    EXPECT_LE(node_len, 4 * range_len);
+  }
+}
+
+TEST(TdagTest, BestCoverOfWholeDomainIsRoot) {
+  Tdag t(8);
+  const uint64_t id = t.BestCover(0, t.domain_size() - 1);
+  uint64_t lo, hi;
+  t.NodeRange(id, &lo, &hi);
+  EXPECT_EQ(lo, 0u);
+  EXPECT_EQ(hi, t.domain_size() - 1);
+}
+
+TEST(TdagTest, BestCoverIsAlwaysACoverNodeOfEveryRangeMember) {
+  // Soundness link between Cover() and BestCover(): the best cover of [a,b]
+  // must appear in Cover(v) for every v in [a,b] — otherwise a bulk-loaded
+  // index would miss it.
+  Tdag t(8);
+  Rng rng(2);
+  for (int i = 0; i < 200; ++i) {
+    const uint64_t a = rng.UniformInt(0, t.domain_size() - 1);
+    const uint64_t b =
+        rng.UniformInt(a, std::min(t.domain_size() - 1, a + 40));
+    const uint64_t id = t.BestCover(a, b);
+    for (uint64_t v = a; v <= b; ++v) {
+      const auto cover = t.Cover(v);
+      ASSERT_NE(std::find(cover.begin(), cover.end(), id), cover.end())
+          << "v=" << v << " a=" << a << " b=" << b;
+    }
+  }
+}
+
+// -------------------------------------------------------------------- SSE
+
+TEST(SseIndexTest, RoundTripsPostingsInOrder) {
+  SseIndex sse(std::vector<uint8_t>{1, 2, 3});
+  sse.Put(42, 100);
+  sse.Put(42, 200);
+  sse.Put(7, 300);
+  sse.Put(42, 400);
+  EXPECT_EQ(sse.Retrieve(sse.MakeToken(42)),
+            (std::vector<uint64_t>{100, 200, 400}));
+  EXPECT_EQ(sse.Retrieve(sse.MakeToken(7)), (std::vector<uint64_t>{300}));
+  EXPECT_TRUE(sse.Retrieve(sse.MakeToken(999)).empty());
+}
+
+TEST(SseIndexTest, StorageIsFlatAndOpaque) {
+  SseIndex sse(std::vector<uint8_t>{9});
+  for (uint64_t l = 0; l < 50; ++l) sse.Put(l, l * 11);
+  EXPECT_EQ(sse.entries(), 50u);
+  EXPECT_GT(sse.SizeBytes(), 50u * 16);
+}
+
+TEST(SseIndexTest, DifferentKeysProduceDisjointViews) {
+  SseIndex a(std::vector<uint8_t>{1});
+  SseIndex b(std::vector<uint8_t>{2});
+  a.Put(5, 123);
+  EXPECT_TRUE(b.Retrieve(b.MakeToken(5)).empty());
+  // And a's token does not retrieve from b even for the same label.
+  EXPECT_EQ(a.Retrieve(a.MakeToken(5)), (std::vector<uint64_t>{123}));
+}
+
+// ------------------------------------------------------------------ SRC-i
+
+PlainPredicate BetweenPred(Value lo, Value hi) {
+  return PlainPredicate{.attr = 0,
+                        .kind = edbms::PredicateKind::kBetween,
+                        .lo = lo,
+                        .hi = hi};
+}
+
+TEST(LogSrcITest, QueryMatchesOracle) {
+  Rng data_rng(1);
+  PlainTable plain = RandomTable(500, 1, &data_rng, 0, 4000);
+  auto db = CipherbaseEdbms::FromPlainTable(kSeed, plain);
+  LogSrcI srci(&db, 0, 0, 4000);
+  ASSERT_TRUE(srci.Build().ok());
+  Rng qrng(2);
+  for (int i = 0; i < 40; ++i) {
+    const Value lo = qrng.UniformInt64(0, 4000);
+    const Value hi = lo + qrng.UniformInt64(0, 500);
+    const auto got = srci.Query(lo, hi);
+    ASSERT_EQ(Sorted(got),
+              testutil::OracleSelect(plain, BetweenPred(lo, hi)))
+        << "lo=" << lo << " hi=" << hi;
+  }
+}
+
+TEST(LogSrcITest, QueryClampsOutOfDomainRanges) {
+  Rng data_rng(3);
+  PlainTable plain = RandomTable(100, 1, &data_rng, 10, 100);
+  auto db = CipherbaseEdbms::FromPlainTable(kSeed, plain);
+  LogSrcI srci(&db, 0, 10, 100);
+  ASSERT_TRUE(srci.Build().ok());
+  EXPECT_EQ(srci.Query(-50, 500).size(), 100u);
+  EXPECT_TRUE(srci.Query(200, 300).empty());
+  EXPECT_TRUE(srci.Query(50, 40).empty());
+}
+
+TEST(LogSrcITest, CandidatesAreASupersetConfirmedExactly) {
+  Rng data_rng(4);
+  PlainTable plain = RandomTable(400, 1, &data_rng, 0, 2000);
+  auto db = CipherbaseEdbms::FromPlainTable(kSeed, plain);
+  LogSrcI srci(&db, 0, 0, 2000);
+  ASSERT_TRUE(srci.Build().ok());
+  const auto cand = srci.QueryCandidates(500, 700);
+  const auto exact = srci.Confirm(cand, 500, 700);
+  const auto oracle = testutil::OracleSelect(plain, BetweenPred(500, 700));
+  EXPECT_EQ(Sorted(exact), oracle);
+  EXPECT_GE(cand.size(), oracle.size());
+  std::set<TupleId> cand_set(cand.begin(), cand.end());
+  for (TupleId tid : oracle) EXPECT_TRUE(cand_set.contains(tid));
+}
+
+TEST(LogSrcITest, InsertedTuplesAreRetrieved) {
+  Rng data_rng(5);
+  PlainTable plain = RandomTable(200, 1, &data_rng, 0, 1000);
+  auto db = CipherbaseEdbms::FromPlainTable(kSeed, plain);
+  LogSrcI srci(&db, 0, 0, 1000);
+  ASSERT_TRUE(srci.Build().ok());
+  for (Value v : {Value{50}, Value{500}, Value{999}}) {
+    const TupleId tid = db.Insert({v});
+    ASSERT_TRUE(srci.InsertTuple(tid).ok());
+    plain.AddRow({v});
+  }
+  Rng qrng(6);
+  for (int i = 0; i < 20; ++i) {
+    const Value lo = qrng.UniformInt64(0, 1000);
+    const Value hi = lo + qrng.UniformInt64(0, 300);
+    ASSERT_EQ(Sorted(srci.Query(lo, hi)),
+              testutil::OracleSelect(plain, BetweenPred(lo, hi)));
+  }
+}
+
+TEST(LogSrcITest, DeletedTuplesAreFilteredAtConfirmation) {
+  Rng data_rng(7);
+  PlainTable plain = RandomTable(100, 1, &data_rng, 0, 500);
+  auto db = CipherbaseEdbms::FromPlainTable(kSeed, plain);
+  LogSrcI srci(&db, 0, 0, 500);
+  ASSERT_TRUE(srci.Build().ok());
+  db.Delete(3);
+  db.Delete(42);
+  const auto got = srci.Query(0, 500);
+  EXPECT_EQ(got.size(), 98u);
+  for (TupleId tid : got) EXPECT_NE(tid, 3u);
+}
+
+TEST(LogSrcITest, CapacityExhaustionIsReported) {
+  PlainTable plain(1);
+  plain.AddRow({5});
+  auto db = CipherbaseEdbms::FromPlainTable(kSeed, plain);
+  LogSrcI srci(&db, 0, 0, 100);
+  ASSERT_TRUE(srci.Build(/*capacity_factor=*/1.0).ok());
+  // Capacity is max(16, 1); fill it up.
+  Status last = Status::Ok();
+  for (int i = 0; i < 40 && last.ok(); ++i) {
+    const TupleId tid = db.Insert({7});
+    last = srci.InsertTuple(tid);
+  }
+  EXPECT_EQ(last.code(), Status::Code::kOutOfRange);
+}
+
+TEST(LogSrcITest, DoubleBuildRejected) {
+  PlainTable plain(1);
+  plain.AddRow({1});
+  auto db = CipherbaseEdbms::FromPlainTable(kSeed, plain);
+  LogSrcI srci(&db, 0, 0, 10);
+  ASSERT_TRUE(srci.Build().ok());
+  EXPECT_EQ(srci.Build().code(), Status::Code::kNotSupported);
+}
+
+TEST(LogSrcITest, StorageFootprintDwarfsPrkbScale) {
+  // O(n lg n) replicated postings: storage grows with n and sits orders of
+  // magnitude above PRKB's ~4 bytes/tuple (the Table 3 contrast).
+  Rng data_rng(8);
+  PlainTable small = RandomTable(200, 1, &data_rng, 0, 10000);
+  PlainTable big = RandomTable(400, 1, &data_rng, 0, 10000);
+  auto db1 = CipherbaseEdbms::FromPlainTable(kSeed, small);
+  auto db2 = CipherbaseEdbms::FromPlainTable(kSeed, big);
+  LogSrcI s1(&db1, 0, 0, 10000), s2(&db2, 0, 0, 10000);
+  ASSERT_TRUE(s1.Build().ok());
+  ASSERT_TRUE(s2.Build().ok());
+  EXPECT_GE(s2.SizeBytes(), s1.SizeBytes() * 3 / 2);
+  EXPECT_GT(s1.SizeBytes(), 200u * 4 * 50);  // >50x PRKB's bytes/tuple
+}
+
+}  // namespace
+}  // namespace prkb::srci

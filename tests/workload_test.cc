@@ -1,0 +1,167 @@
+#include <algorithm>
+#include <set>
+
+#include "gtest/gtest.h"
+#include "workload/query_gen.h"
+#include "workload/real_emulators.h"
+#include "workload/synthetic_table.h"
+
+namespace prkb::workload {
+namespace {
+
+using edbms::Value;
+
+TEST(DistributionsTest, AllDistributionsStayInDomain) {
+  Rng rng(1);
+  for (Distribution d :
+       {Distribution::kUniform, Distribution::kNormal,
+        Distribution::kCorrelated, Distribution::kAntiCorrelated,
+        Distribution::kZipf, Distribution::kLogNormal}) {
+    for (int i = 0; i < 2000; ++i) {
+      const Value v = DrawValue(d, 100, 10000, rng.UniformDouble(), &rng);
+      EXPECT_GE(v, 100) << static_cast<int>(d);
+      EXPECT_LE(v, 10000) << static_cast<int>(d);
+    }
+  }
+}
+
+TEST(DistributionsTest, CorrelatedAttributesTrackTheLatent) {
+  Rng rng(2);
+  double low_base_sum = 0, high_base_sum = 0;
+  for (int i = 0; i < 3000; ++i) {
+    low_base_sum += static_cast<double>(
+        DrawValue(Distribution::kCorrelated, 0, 1000, 0.1, &rng));
+    high_base_sum += static_cast<double>(
+        DrawValue(Distribution::kCorrelated, 0, 1000, 0.9, &rng));
+  }
+  EXPECT_LT(low_base_sum, high_base_sum);
+}
+
+TEST(DistributionsTest, AntiCorrelatedAttributesInvertTheLatent) {
+  Rng rng(3);
+  double low_base_sum = 0, high_base_sum = 0;
+  for (int i = 0; i < 3000; ++i) {
+    low_base_sum += static_cast<double>(
+        DrawValue(Distribution::kAntiCorrelated, 0, 1000, 0.1, &rng));
+    high_base_sum += static_cast<double>(
+        DrawValue(Distribution::kAntiCorrelated, 0, 1000, 0.9, &rng));
+  }
+  EXPECT_GT(low_base_sum, high_base_sum);
+}
+
+TEST(SyntheticTableTest, BuildsRequestedShapeDeterministically) {
+  SyntheticSpec spec;
+  spec.rows = 500;
+  spec.attrs = 3;
+  spec.domain_lo = 1;
+  spec.domain_hi = 1000;
+  spec.seed = 7;
+  const auto t1 = MakeSyntheticTable(spec);
+  const auto t2 = MakeSyntheticTable(spec);
+  ASSERT_EQ(t1.num_rows(), 500u);
+  ASSERT_EQ(t1.num_attrs(), 3u);
+  for (edbms::TupleId tid = 0; tid < 500; ++tid) {
+    for (edbms::AttrId a = 0; a < 3; ++a) {
+      EXPECT_EQ(t1.at(a, tid), t2.at(a, tid));
+      EXPECT_GE(t1.at(a, tid), 1);
+      EXPECT_LE(t1.at(a, tid), 1000);
+    }
+  }
+}
+
+TEST(RealEmulatorsTest, CardinalitiesScale) {
+  const auto hospital = MakeHospitalCharges(0.001);
+  EXPECT_EQ(hospital.table.num_rows(), 2426u);
+  EXPECT_EQ(hospital.name, "Hospital");
+  const auto labor = MakeLaborSalary(0.001);
+  EXPECT_EQ(labor.table.num_rows(), 6156u);
+  const auto buildings = MakeUsBuildings(0.001);
+  EXPECT_EQ(buildings.table.num_rows(), 1122u);
+  EXPECT_EQ(buildings.table.num_attrs(), 2u);
+}
+
+TEST(RealEmulatorsTest, ValuesRespectDeclaredDomains) {
+  for (const auto& ds : {MakeHospitalCharges(0.002), MakeLaborSalary(0.001),
+                         MakeUsBuildings(0.002)}) {
+    for (size_t a = 0; a < ds.table.num_attrs(); ++a) {
+      for (edbms::TupleId t = 0; t < ds.table.num_rows(); ++t) {
+        EXPECT_GE(ds.table.at(a, t), ds.domain_lo[a]) << ds.name;
+        EXPECT_LE(ds.table.at(a, t), ds.domain_hi[a]) << ds.name;
+      }
+    }
+  }
+}
+
+TEST(RealEmulatorsTest, SalariesAreRoundedAndDuplicated) {
+  const auto labor = MakeLaborSalary(0.002);
+  std::set<Value> distinct;
+  for (edbms::TupleId t = 0; t < labor.table.num_rows(); ++t) {
+    EXPECT_EQ(labor.table.at(0, t) % 10, 0);
+    distinct.insert(labor.table.at(0, t));
+  }
+  EXPECT_LT(distinct.size(), labor.table.num_rows());
+}
+
+TEST(RealEmulatorsTest, BuildingsAreClustered) {
+  // Urban clustering => a small window around a dense point catches many
+  // rows, far more than a uniform spread would.
+  const auto b = MakeUsBuildings(0.01);
+  const size_t n = b.table.num_rows();
+  // Take the first clustered-looking point and count neighbours within 50km.
+  size_t best = 0;
+  for (edbms::TupleId probe = 0; probe < 20; ++probe) {
+    size_t close_count = 0;
+    const Value lat0 = b.table.at(0, probe), lon0 = b.table.at(1, probe);
+    for (edbms::TupleId t = 0; t < n; ++t) {
+      if (std::abs(b.table.at(0, t) - lat0) < 50 * kMicroDegPerKm &&
+          std::abs(b.table.at(1, t) - lon0) < 50 * kMicroDegPerKm) {
+        ++close_count;
+      }
+    }
+    best = std::max(best, close_count);
+  }
+  // Uniform density over the US bounding box would put well under 1% of
+  // points in a 100km x 100km window.
+  EXPECT_GT(best, n / 50);
+}
+
+TEST(QueryGenTest, RangeWidthMatchesSelectivity) {
+  QueryGen gen(0, 1'000'000, 5);
+  for (int i = 0; i < 50; ++i) {
+    const auto range = gen.RandomRange(0, 0.02);
+    ASSERT_EQ(range.size(), 2u);
+    EXPECT_EQ(range[0].op, edbms::CompareOp::kGt);
+    EXPECT_EQ(range[1].op, edbms::CompareOp::kLt);
+    EXPECT_EQ(range[1].lo - range[0].lo, 20000);
+    EXPECT_GE(range[0].lo, 0);
+    EXPECT_LE(range[1].lo, 1'000'000);
+  }
+}
+
+TEST(QueryGenTest, BoxCoversEveryRequestedAttr) {
+  QueryGen gen(0, 1000, 6);
+  const auto box = gen.RandomBox({0, 1, 2}, 0.1);
+  ASSERT_EQ(box.size(), 6u);
+  for (size_t d = 0; d < 3; ++d) {
+    EXPECT_EQ(box[2 * d].attr, d);
+    EXPECT_EQ(box[2 * d + 1].attr, d);
+  }
+}
+
+TEST(QueryGenTest, WindowHasFixedSide) {
+  QueryGen gen(0, 1000, 7);
+  const auto w = gen.RandomWindow({0, 1}, {0, 0}, {1000, 1000}, 100);
+  ASSERT_EQ(w.size(), 4u);
+  EXPECT_EQ(w[1].lo - w[0].lo, 100);
+  EXPECT_EQ(w[3].lo - w[2].lo, 100);
+}
+
+TEST(QueryGenTest, ComparisonOpsAreMixed) {
+  QueryGen gen(0, 1000, 8);
+  std::set<edbms::CompareOp> ops;
+  for (int i = 0; i < 100; ++i) ops.insert(gen.RandomComparison(0).op);
+  EXPECT_EQ(ops.size(), 4u);
+}
+
+}  // namespace
+}  // namespace prkb::workload

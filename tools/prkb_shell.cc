@@ -1,0 +1,159 @@
+// prkb_shell — interactive console over an encrypted demo table.
+//
+//   $ ./tools/prkb_shell [--rows=N] [--attrs=K] [--seed=S]
+//
+// Accepts the mini-SQL subset on stdin plus dot-commands:
+//   SELECT * FROM t WHERE c0 < 100 AND c1 BETWEEN 5 AND 9
+//   .stats            chain shape per attribute
+//   .insert v0 v1 ..  insert a row (one value per attribute)
+//   .delete <tid>     tombstone a tuple
+//   .save <path>      snapshot the PRKB
+//   .load <path>      restore a snapshot
+//   .help / .quit
+//
+// Useful both as a demo and for poking at the index by hand.
+
+#include <cstdio>
+#include <cstring>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "edbms/cipherbase_qpf.h"
+#include "prkb/prkb_io.h"
+#include "prkb/selection.h"
+#include "query/planner.h"
+#include "workload/synthetic_table.h"
+
+namespace {
+
+using namespace prkb;
+
+struct ShellOptions {
+  size_t rows = 20000;
+  size_t attrs = 2;
+  uint64_t seed = 42;
+};
+
+ShellOptions ParseOptions(int argc, char** argv) {
+  ShellOptions opt;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], "--rows=", 7) == 0) {
+      opt.rows = std::strtoull(argv[i] + 7, nullptr, 10);
+    } else if (std::strncmp(argv[i], "--attrs=", 8) == 0) {
+      opt.attrs = std::strtoull(argv[i] + 8, nullptr, 10);
+    } else if (std::strncmp(argv[i], "--seed=", 7) == 0) {
+      opt.seed = std::strtoull(argv[i] + 7, nullptr, 10);
+    }
+  }
+  return opt;
+}
+
+void PrintHelp() {
+  std::printf(
+      "commands:\n"
+      "  SELECT * FROM t WHERE c0 < 100 AND c1 BETWEEN 5 AND 9\n"
+      "  .stats | .insert v0 v1 .. | .delete <tid> | .save <p> | .load <p>\n"
+      "  .help | .quit\n");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const ShellOptions opt = ParseOptions(argc, argv);
+
+  workload::SyntheticSpec spec;
+  spec.rows = opt.rows;
+  spec.attrs = opt.attrs;
+  spec.domain_lo = 0;
+  spec.domain_hi = 1'000'000;
+  spec.seed = opt.seed;
+  auto db = edbms::CipherbaseEdbms::FromPlainTable(
+      opt.seed, workload::MakeSyntheticTable(spec));
+
+  core::PrkbIndex index(&db, core::PrkbOptions{.seed = opt.seed});
+  query::Catalog catalog;
+  std::vector<std::string> columns;
+  for (size_t a = 0; a < opt.attrs; ++a) {
+    columns.push_back("c" + std::to_string(a));
+    index.EnableAttr(static_cast<edbms::AttrId>(a));
+  }
+  catalog.RegisterTable("t", columns);
+  query::Planner planner(&catalog, &db, &index);
+
+  std::printf(
+      "prkb_shell: table 't' with %zu encrypted rows, columns c0..c%zu, "
+      "domain [0, 1000000]\n",
+      db.num_rows(), opt.attrs - 1);
+  PrintHelp();
+
+  std::string line;
+  while (true) {
+    std::printf("prkb> ");
+    std::fflush(stdout);
+    if (!std::getline(std::cin, line)) break;
+    if (line.empty()) continue;
+
+    if (line[0] == '.') {
+      std::istringstream in(line);
+      std::string cmd;
+      in >> cmd;
+      if (cmd == ".quit" || cmd == ".exit") break;
+      if (cmd == ".help") {
+        PrintHelp();
+      } else if (cmd == ".stats") {
+        std::printf("%s", index.DescribeStats().c_str());
+      } else if (cmd == ".insert") {
+        std::vector<edbms::Value> row;
+        edbms::Value v;
+        while (in >> v) row.push_back(v);
+        if (row.size() != opt.attrs) {
+          std::printf("need %zu values\n", opt.attrs);
+          continue;
+        }
+        edbms::SelectionStats st;
+        const auto tid = index.Insert(row, &st);
+        std::printf("inserted tuple %u (%llu QPF uses)\n", tid,
+                    static_cast<unsigned long long>(st.qpf_uses));
+      } else if (cmd == ".delete") {
+        edbms::TupleId tid;
+        if (!(in >> tid) || tid >= db.num_rows()) {
+          std::printf("usage: .delete <tid>\n");
+          continue;
+        }
+        index.Delete(tid);
+        std::printf("tombstoned tuple %u\n", tid);
+      } else if (cmd == ".save" || cmd == ".load") {
+        std::string path;
+        if (!(in >> path)) {
+          std::printf("usage: %s <path>\n", cmd.c_str());
+          continue;
+        }
+        const Status s = cmd == ".save" ? core::SavePrkb(index, path)
+                                        : core::LoadPrkb(&index, path);
+        std::printf("%s\n", s.ToString().c_str());
+      } else {
+        std::printf("unknown command %s\n", cmd.c_str());
+      }
+      continue;
+    }
+
+    auto res = planner.ExecuteSql(line);
+    if (!res.ok()) {
+      std::printf("error: %s\n", res.status().ToString().c_str());
+      continue;
+    }
+    std::printf("%zu rows  [%s, qpf_uses=%llu, %.2f ms]\n", res->rows.size(),
+                res->plan.c_str(),
+                static_cast<unsigned long long>(res->stats.qpf_uses),
+                res->stats.millis);
+    for (size_t i = 0; i < res->rows.size() && i < 10; ++i) {
+      std::printf("  tid %u\n", res->rows[i]);
+    }
+    if (res->rows.size() > 10) {
+      std::printf("  ... (%zu more)\n", res->rows.size() - 10);
+    }
+  }
+  return 0;
+}
