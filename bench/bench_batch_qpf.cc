@@ -1,0 +1,127 @@
+// Batched QPF pipeline microbenchmark: a no-index linear scan over a
+// 100k-tuple table (the paper's Baseline processing mode) swept over
+// batch size × worker count × simulated trusted-machine round-trip latency.
+//
+// The point the numbers make: the paper's cost metric (QPF uses) is
+// *identical* in every configuration — batching only changes how many
+// backend round trips those uses are packed into, which is where all the
+// wall-clock time goes once the TM round trip costs microseconds.
+//
+//   bench_batch_qpf [--scale=1.0] [--seed=n] [--queries=n] [--tmlat=ns]
+//                   [--json=path]
+//
+// --tmlat pins a single latency instead of the default {0, 1µs, 10µs}
+// sweep. --json writes the measurement rows for checked-in baselines
+// (BENCH_batch_qpf.json).
+
+#include <cstdio>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "common/stopwatch.h"
+#include "edbms/service_provider.h"
+#include "workload/synthetic_table.h"
+
+namespace prkb::bench {
+namespace {
+
+using edbms::BatchPolicy;
+using edbms::CipherbaseEdbms;
+using edbms::SelectionStats;
+using edbms::Trapdoor;
+
+constexpr size_t kPaperRows = 100000;
+
+struct Config {
+  size_t batch_size;
+  size_t workers;
+};
+
+int Run(int argc, char** argv) {
+  BenchArgs args = BenchArgs::Parse(argc, argv, /*default_scale=*/1.0);
+  const size_t rows = ScaledRows(kPaperRows, args.scale);
+  const int queries = args.queries > 0 ? args.queries : 3;
+  PrintBanner("bench_batch_qpf",
+              "the batched-pipeline speedup claim (ISSUE 1)", args,
+              "wall-clock drops ~linearly in round trips; uses are constant");
+
+  workload::SyntheticSpec spec;
+  spec.rows = rows;
+  spec.domain_lo = 0;
+  spec.domain_hi = 999;
+  spec.seed = args.seed;
+  const edbms::PlainTable plain = workload::MakeSyntheticTable(spec);
+  auto db = CipherbaseEdbms::FromPlainTable(args.seed, plain);
+
+  std::vector<uint64_t> latencies;
+  if (args.tm_latency_ns > 0) {
+    latencies.push_back(args.tm_latency_ns);
+  } else {
+    latencies = {0, 1000, 10000};
+  }
+  const Config configs[] = {{1, 1},   {64, 1},  {64, 4},
+                            {512, 1}, {512, 4}, {4096, 4}};
+
+  JsonBench json("bench_batch_qpf", args);
+  json.Config("rows", static_cast<double>(rows));
+  json.Config("queries", static_cast<double>(queries));
+
+  std::printf("%10s %6s %8s %12s %12s %12s %10s %9s\n", "tmlat_us", "batch",
+              "workers", "millis", "uses", "round_trips", "us/tuple",
+              "speedup");
+  for (uint64_t lat : latencies) {
+    double scalar_millis = 0.0;
+    uint64_t scalar_uses = 0;
+    for (const Config& cfg : configs) {
+      db.trusted_machine().set_call_latency_ns(lat);
+      db.ResetUses();
+      const edbms::BaselineScanner scanner(
+          &db, BatchPolicy{cfg.batch_size, cfg.workers});
+      Stopwatch watch;
+      size_t total_hits = 0;
+      for (int q = 0; q < queries; ++q) {
+        // Same predicate stream in every configuration (seeded per config).
+        Rng qrng(args.seed + 1000 + q);
+        const Trapdoor td = db.MakeComparison(
+            0, edbms::CompareOp::kLt, qrng.UniformInt64(0, 999));
+        total_hits += scanner.Select(td).size();
+      }
+      const double millis = watch.ElapsedMillis();
+      const uint64_t uses = db.uses();
+      const uint64_t trips = db.round_trips();
+      if (cfg.batch_size == 1 && cfg.workers == 1) {
+        scalar_millis = millis;
+        scalar_uses = uses;
+      }
+      const double speedup = millis > 0 ? scalar_millis / millis : 0.0;
+      std::printf("%10.1f %6zu %8zu %12.2f %12llu %12llu %10.3f %8.1fx\n",
+                  lat / 1000.0, cfg.batch_size, cfg.workers, millis,
+                  static_cast<unsigned long long>(uses),
+                  static_cast<unsigned long long>(trips),
+                  millis * 1000.0 / static_cast<double>(uses), speedup);
+      if (uses != scalar_uses) {
+        std::printf("!! QPF-use mismatch vs scalar: %llu != %llu\n",
+                    static_cast<unsigned long long>(uses),
+                    static_cast<unsigned long long>(scalar_uses));
+        return 1;
+      }
+      json.BeginRow();
+      json.Field("tmlat_ns", lat);
+      json.Field("batch_size", static_cast<uint64_t>(cfg.batch_size));
+      json.Field("workers", static_cast<uint64_t>(cfg.workers));
+      json.Field("millis", millis);
+      json.Field("qpf_uses", uses);
+      json.Field("round_trips", trips);
+      json.Field("speedup_vs_scalar", speedup);
+      json.Field("hits", static_cast<uint64_t>(total_hits));
+    }
+    std::printf("\n");
+  }
+  json.WriteIfRequested(args);
+  return 0;
+}
+
+}  // namespace
+}  // namespace prkb::bench
+
+int main(int argc, char** argv) { return prkb::bench::Run(argc, argv); }

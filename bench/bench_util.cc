@@ -18,6 +18,8 @@ BenchArgs BenchArgs::Parse(int argc, char** argv, double default_scale) {
       args.queries = std::atoi(a + 10);
     } else if (std::strncmp(a, "--tmlat=", 8) == 0) {
       args.tm_latency_ns = std::strtoull(a + 8, nullptr, 10);
+    } else if (std::strncmp(a, "--json=", 7) == 0) {
+      args.json_path = a + 7;
     } else {
       std::fprintf(stderr, "unknown flag: %s\n", a);
     }
@@ -39,6 +41,95 @@ void PrintBanner(const std::string& experiment, const std::string& paper_ref,
 size_t ScaledRows(size_t paper_rows, double scale) {
   const double rows = static_cast<double>(paper_rows) * scale;
   return rows < 1.0 ? 1 : static_cast<size_t>(rows);
+}
+
+namespace {
+
+/// Minimal JSON string escaping (quotes, backslashes, control bytes).
+std::string JsonEscape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size() + 2);
+  for (char c : s) {
+    if (c == '"' || c == '\\') {
+      out += '\\';
+      out += c;
+    } else if (static_cast<unsigned char>(c) < 0x20) {
+      char buf[8];
+      std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+      out += buf;
+    } else {
+      out += c;
+    }
+  }
+  return out;
+}
+
+std::string RenderNumber(double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.6g", v);
+  return buf;
+}
+
+void WriteEntries(std::FILE* f,
+                  const std::vector<std::pair<std::string, std::string>>& es,
+                  const char* indent) {
+  for (size_t i = 0; i < es.size(); ++i) {
+    std::fprintf(f, "%s\"%s\": %s%s\n", indent, JsonEscape(es[i].first).c_str(),
+                 es[i].second.c_str(), i + 1 < es.size() ? "," : "");
+  }
+}
+
+}  // namespace
+
+JsonBench::JsonBench(std::string bench_name, const BenchArgs& args)
+    : bench_name_(std::move(bench_name)) {
+  Config("scale", args.scale);
+  Config("seed", static_cast<double>(args.seed));
+  Config("tmlat_ns", static_cast<double>(args.tm_latency_ns));
+}
+
+void JsonBench::Config(const std::string& key, double value) {
+  config_.emplace_back(key, RenderNumber(value));
+}
+void JsonBench::Config(const std::string& key, const std::string& value) {
+  config_.emplace_back(key, "\"" + JsonEscape(value) + "\"");
+}
+void JsonBench::BeginRow() { rows_.emplace_back(); }
+void JsonBench::Field(const std::string& key, double value) {
+  rows_.back().emplace_back(key, RenderNumber(value));
+}
+void JsonBench::Field(const std::string& key, uint64_t value) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%llu",
+                static_cast<unsigned long long>(value));
+  rows_.back().emplace_back(key, buf);
+}
+void JsonBench::Field(const std::string& key, const std::string& value) {
+  rows_.back().emplace_back(key, "\"" + JsonEscape(value) + "\"");
+}
+
+bool JsonBench::WriteTo(const std::string& path) const {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "cannot write JSON output to %s\n", path.c_str());
+    return false;
+  }
+  std::fprintf(f, "{\n  \"bench\": \"%s\",\n  \"config\": {\n",
+               JsonEscape(bench_name_).c_str());
+  WriteEntries(f, config_, "    ");
+  std::fprintf(f, "  },\n  \"rows\": [\n");
+  for (size_t r = 0; r < rows_.size(); ++r) {
+    std::fprintf(f, "    {\n");
+    WriteEntries(f, rows_[r], "      ");
+    std::fprintf(f, "    }%s\n", r + 1 < rows_.size() ? "," : "");
+  }
+  std::fprintf(f, "  ]\n}\n");
+  std::fclose(f);
+  return true;
+}
+
+void JsonBench::WriteIfRequested(const BenchArgs& args) const {
+  if (!args.json_path.empty()) WriteTo(args.json_path);
 }
 
 int WarmToPartitions(core::PrkbIndex* index, edbms::Edbms* db,

@@ -4,6 +4,8 @@
 #include <cstdint>
 #include <cstdio>
 #include <string>
+#include <utility>
+#include <vector>
 
 #include "edbms/cipherbase_qpf.h"
 #include "prkb/selection.h"
@@ -22,14 +24,48 @@ namespace prkb::bench {
 ///   --tmlat=<ns>   artificial per-call trusted-machine latency (default 0;
 ///                  a few microseconds emulates FPGA/coprocessor round trips
 ///                  and reproduces the paper's absolute-time regime)
+///   --json=<path>  additionally writes the run's measurements as a
+///                  machine-readable JSON file (see JsonBench) so checked-in
+///                  baselines can track the perf trajectory across PRs
 struct BenchArgs {
   double scale;
   uint64_t seed = 42;
   int queries = -1;  // -1 = binary default
   uint64_t tm_latency_ns = 0;
+  std::string json_path;  // empty = no JSON output
 
   /// Parses argv; `default_scale` is the binary's laptop default.
   static BenchArgs Parse(int argc, char** argv, double default_scale);
+};
+
+/// Collects measurement rows and writes them as one flat JSON document:
+/// `{"bench": ..., "config": {...}, "rows": [{...}, ...]}`. Values are
+/// numbers or strings only — enough for diffing checked-in baselines.
+class JsonBench {
+ public:
+  JsonBench(std::string bench_name, const BenchArgs& args);
+
+  /// Adds a config-level key (emitted once, under "config").
+  void Config(const std::string& key, double value);
+  void Config(const std::string& key, const std::string& value);
+
+  /// Starts a new measurement row; subsequent Field calls land in it.
+  void BeginRow();
+  void Field(const std::string& key, double value);
+  void Field(const std::string& key, uint64_t value);
+  void Field(const std::string& key, const std::string& value);
+
+  /// Writes the document to `path`. Returns false (with a message on
+  /// stderr) if the file cannot be written.
+  bool WriteTo(const std::string& path) const;
+  /// Convenience: writes to args.json_path when --json= was given.
+  void WriteIfRequested(const BenchArgs& args) const;
+
+ private:
+  using Entry = std::pair<std::string, std::string>;  // key, rendered value
+  std::string bench_name_;
+  std::vector<Entry> config_;
+  std::vector<std::vector<Entry>> rows_;
 };
 
 /// Prints the standard experiment banner so every binary's output starts

@@ -1,0 +1,30 @@
+#ifndef PRKB_COMMON_LATENCY_H_
+#define PRKB_COMMON_LATENCY_H_
+
+#include <chrono>
+#include <cstdint>
+#include <thread>
+
+namespace prkb {
+
+/// Blocks the calling thread for `ns` nanoseconds to emulate a hardware or
+/// network round trip. Short waits are spun (sleeping would overshoot badly
+/// at microsecond scale); above the threshold the thread genuinely sleeps so
+/// latency benchmarks with many workers don't burn one core per worker.
+inline void SimulatedLatencyNanos(uint64_t ns) {
+  if (ns == 0) return;
+  constexpr uint64_t kSpinCeilingNs = 50'000;  // ~ scheduler quantum accuracy
+  const auto start = std::chrono::steady_clock::now();
+  if (ns >= kSpinCeilingNs) {
+    std::this_thread::sleep_for(std::chrono::nanoseconds(ns));
+    return;
+  }
+  while (std::chrono::duration_cast<std::chrono::nanoseconds>(
+             std::chrono::steady_clock::now() - start)
+             .count() < static_cast<int64_t>(ns)) {
+  }
+}
+
+}  // namespace prkb
+
+#endif  // PRKB_COMMON_LATENCY_H_

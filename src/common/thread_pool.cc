@@ -1,0 +1,99 @@
+#include "common/thread_pool.h"
+
+#include <algorithm>
+#include <atomic>
+#include <memory>
+
+namespace prkb {
+
+ThreadPool::ThreadPool(size_t num_threads) {
+  threads_.reserve(num_threads);
+  for (size_t i = 0; i < num_threads; ++i) {
+    threads_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stopping_ = true;
+  }
+  cv_.notify_all();
+  for (std::thread& t : threads_) t.join();
+}
+
+void ThreadPool::Submit(std::function<void()> fn) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    queue_.push_back(std::move(fn));
+  }
+  cv_.notify_one();
+}
+
+void ThreadPool::WorkerLoop() {
+  for (;;) {
+    std::function<void()> fn;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      cv_.wait(lock, [this] { return stopping_ || !queue_.empty(); });
+      if (queue_.empty()) return;  // stopping
+      fn = std::move(queue_.front());
+      queue_.pop_front();
+    }
+    fn();
+  }
+}
+
+void ThreadPool::ParallelFor(size_t n, const std::function<void(size_t)>& fn,
+                             size_t max_concurrency) {
+  if (n == 0) return;
+  if (max_concurrency == 0) max_concurrency = 1;
+  const size_t helpers = std::min({size(), n - 1, max_concurrency - 1});
+  if (helpers == 0) {
+    for (size_t i = 0; i < n; ++i) fn(i);
+    return;
+  }
+
+  // Shared work-claiming state; the caller participates so a busy pool can
+  // never stall the query issuing the scan.
+  struct Work {
+    std::atomic<size_t> next{0};
+    std::atomic<size_t> pending{0};
+    std::mutex mu;
+    std::condition_variable done;
+  };
+  auto work = std::make_shared<Work>();
+  work->pending.store(helpers, std::memory_order_relaxed);
+
+  auto drain = [work, n, &fn] {
+    size_t i;
+    while ((i = work->next.fetch_add(1, std::memory_order_relaxed)) < n) {
+      fn(i);
+    }
+  };
+  for (size_t h = 0; h < helpers; ++h) {
+    Submit([work, drain] {
+      drain();
+      if (work->pending.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+        std::lock_guard<std::mutex> lock(work->mu);
+        work->done.notify_one();
+      }
+    });
+  }
+  drain();
+  std::unique_lock<std::mutex> lock(work->mu);
+  work->done.wait(lock, [&work] {
+    return work->pending.load(std::memory_order_acquire) == 0;
+  });
+}
+
+ThreadPool& ThreadPool::Shared() {
+  static ThreadPool* pool = [] {
+    const unsigned hw = std::thread::hardware_concurrency();
+    const size_t n = std::min<size_t>(8, hw > 1 ? hw - 1 : 1);
+    return new ThreadPool(n);
+  }();
+  return *pool;
+}
+
+}  // namespace prkb

@@ -34,4 +34,14 @@ bool CipherbaseEdbms::DoEval(const Trapdoor& td, TupleId tid) {
   return tm_.EvalPredicate(td, table_.at(td.attr, tid));
 }
 
+BitVector CipherbaseEdbms::DoEvalBatch(const Trapdoor& td,
+                                       std::span<const TupleId> tids) {
+  // Gather the batch's ciphertexts and ship them into the TM in one round
+  // trip (Cipherbase-style predicate batching).
+  std::vector<const EncValue*> cells;
+  cells.reserve(tids.size());
+  for (TupleId tid : tids) cells.push_back(&table_.at(td.attr, tid));
+  return tm_.EvalPredicateBatch(td, cells);
+}
+
 }  // namespace prkb::edbms

@@ -41,6 +41,8 @@ class CipherbaseEdbms : public Edbms {
 
  private:
   bool DoEval(const Trapdoor& td, TupleId tid) override;
+  BitVector DoEvalBatch(const Trapdoor& td,
+                        std::span<const TupleId> tids) override;
 
   DataOwner do_;
   TrustedMachine tm_;

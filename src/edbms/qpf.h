@@ -1,8 +1,11 @@
 #ifndef PRKB_EDBMS_QPF_H_
 #define PRKB_EDBMS_QPF_H_
 
+#include <atomic>
 #include <cstdint>
+#include <span>
 
+#include "common/bitvector.h"
 #include "edbms/encryption.h"
 #include "edbms/types.h"
 
@@ -14,24 +17,88 @@ namespace prkb::edbms {
 ///
 /// Every evaluation is counted; "number of QPF uses" is the paper's primary
 /// cost metric, and the entire point of PRKB is to minimise it.
+///
+/// Transport cost is counted separately: each Eval/EvalBatch call is one
+/// *round trip* into the backend (a trusted-machine entry for Cipherbase, an
+/// MPC round for SDB). Batching many tuple evaluations into one round trip
+/// leaves the paper's QPF-use metric — and the bits the SP observes —
+/// unchanged while amortising the per-round latency.
+///
+/// Counters are atomic so parallel scan workers can share one oracle.
 class QpfOracle {
  public:
+  QpfOracle() = default;
   virtual ~QpfOracle() = default;
 
-  /// Θ(p̄, t̄) — counted.
+  // Atomics delete the implicit moves; backends are returned by value from
+  // factories, so snapshot the counters explicitly. Not thread-safe against
+  // concurrent Eval on the source (moving a live oracle is a caller bug).
+  QpfOracle(QpfOracle&& other) noexcept
+      : uses_(other.uses_.load(std::memory_order_relaxed)),
+        round_trips_(other.round_trips_.load(std::memory_order_relaxed)),
+        batches_(other.batches_.load(std::memory_order_relaxed)) {}
+  QpfOracle& operator=(QpfOracle&& other) noexcept {
+    uses_.store(other.uses_.load(std::memory_order_relaxed),
+                std::memory_order_relaxed);
+    round_trips_.store(other.round_trips_.load(std::memory_order_relaxed),
+                       std::memory_order_relaxed);
+    batches_.store(other.batches_.load(std::memory_order_relaxed),
+                   std::memory_order_relaxed);
+    return *this;
+  }
+
+  /// Θ(p̄, t̄) — counted as one use and one round trip.
   bool Eval(const Trapdoor& td, TupleId tid) {
-    ++uses_;
+    uses_.fetch_add(1, std::memory_order_relaxed);
+    round_trips_.fetch_add(1, std::memory_order_relaxed);
     return DoEval(td, tid);
   }
 
+  /// Θ applied to a batch of tuples in one round trip. Bit i of the result
+  /// is Θ(td, tids[i]). Counts |tids| uses but a single round trip; the
+  /// default implementation loops over DoEval so every backend gets correct
+  /// (if unamortised) behaviour for free.
+  BitVector EvalBatch(const Trapdoor& td, std::span<const TupleId> tids) {
+    if (tids.empty()) return BitVector();
+    uses_.fetch_add(tids.size(), std::memory_order_relaxed);
+    round_trips_.fetch_add(1, std::memory_order_relaxed);
+    batches_.fetch_add(1, std::memory_order_relaxed);
+    return DoEvalBatch(td, tids);
+  }
+
   /// Total evaluations since construction / last reset.
-  uint64_t uses() const { return uses_; }
-  void ResetUses() { uses_ = 0; }
+  uint64_t uses() const { return uses_.load(std::memory_order_relaxed); }
+  /// Total backend entries (scalar calls + batch calls).
+  uint64_t round_trips() const {
+    return round_trips_.load(std::memory_order_relaxed);
+  }
+  /// Of which batch calls.
+  uint64_t batches() const { return batches_.load(std::memory_order_relaxed); }
+  void ResetUses() {
+    uses_.store(0, std::memory_order_relaxed);
+    round_trips_.store(0, std::memory_order_relaxed);
+    batches_.store(0, std::memory_order_relaxed);
+  }
 
  private:
   virtual bool DoEval(const Trapdoor& td, TupleId tid) = 0;
 
-  uint64_t uses_ = 0;
+  /// Backend hook for amortised batch evaluation. Implementations must
+  /// return exactly the bits the scalar path would: PRKB's correctness and
+  /// the leakage argument both assume batching changes *when* bits travel,
+  /// never *which* bits.
+  virtual BitVector DoEvalBatch(const Trapdoor& td,
+                                std::span<const TupleId> tids) {
+    BitVector out(tids.size());
+    for (size_t i = 0; i < tids.size(); ++i) {
+      out.Assign(i, DoEval(td, tids[i]));
+    }
+    return out;
+  }
+
+  std::atomic<uint64_t> uses_{0};
+  std::atomic<uint64_t> round_trips_{0};
+  std::atomic<uint64_t> batches_{0};
 };
 
 }  // namespace prkb::edbms

@@ -54,6 +54,18 @@ class RecordingEdbms : public Edbms {
     return out;
   }
 
+  // Forward batches as batches (so the inner backend amortises its round
+  // trip) while still logging every observed bit in order.
+  BitVector DoEvalBatch(const Trapdoor& td,
+                        std::span<const TupleId> tids) override {
+    BitVector out = inner_->EvalBatch(td, tids);
+    for (size_t i = 0; i < tids.size(); ++i) {
+      transcript_->entries.push_back(
+          QpfTranscript::Entry{td.uid, tids[i], out.Get(i)});
+    }
+    return out;
+  }
+
   Edbms* inner_;
   QpfTranscript* transcript_;
 };

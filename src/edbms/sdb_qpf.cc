@@ -1,6 +1,6 @@
 #include "edbms/sdb_qpf.h"
 
-#include <chrono>
+#include "common/latency.h"
 
 namespace prkb::edbms {
 
@@ -44,25 +44,42 @@ Trapdoor SdbEdbms::MakeBetween(AttrId attr, Value lo, Value hi) {
 }
 
 void SdbEdbms::SimulateLatency() const {
-  if (round_latency_ns_ == 0) return;
-  const auto start = std::chrono::steady_clock::now();
-  while (std::chrono::duration_cast<std::chrono::nanoseconds>(
-             std::chrono::steady_clock::now() - start)
-             .count() < static_cast<int64_t>(round_latency_ns_)) {
-  }
+  SimulatedLatencyNanos(round_latency_ns_);
+}
+
+bool SdbEdbms::Reconstruct(const Trapdoor& td, const PlainPredicate& pred,
+                           TupleId tid) const {
+  // ---- DO endpoint (conceptually across the network) ----
+  const uint64_t share = share_cols_[td.attr][tid];
+  const uint64_t mask = do_.ShareMask(td.attr, tid);
+  return pred.Satisfies(static_cast<Value>(share - mask));
 }
 
 bool SdbEdbms::DoEval(const Trapdoor& td, TupleId tid) {
   // One request/response round: share + ids out, one bit back.
-  ++rounds_;
-  bytes_ += sizeof(uint64_t) + sizeof(TupleId) + sizeof(uint64_t) + 1;
+  rounds_.fetch_add(1, std::memory_order_relaxed);
+  bytes_.fetch_add(sizeof(uint64_t) + sizeof(TupleId) + sizeof(uint64_t) + 1,
+                   std::memory_order_relaxed);
   SimulateLatency();
+  return Reconstruct(td, do_.PlainFormOf(td.uid), tid);
+}
 
-  // ---- DO endpoint (conceptually across the network) ----
-  const uint64_t share = share_cols_[td.attr][tid];
-  const uint64_t mask = do_.ShareMask(td.attr, tid);
-  const Value v = static_cast<Value>(share - mask);
-  return do_.PlainFormOf(td.uid).Satisfies(v);
+BitVector SdbEdbms::DoEvalBatch(const Trapdoor& td,
+                                std::span<const TupleId> tids) {
+  // One MPC round for the whole batch: all shares and ids travel in a single
+  // request, the trapdoor uid once, and the answer is one packed bit vector.
+  rounds_.fetch_add(1, std::memory_order_relaxed);
+  bytes_.fetch_add(
+      tids.size() * (sizeof(uint64_t) + sizeof(TupleId)) + sizeof(uint64_t) +
+          (tids.size() + 7) / 8,
+      std::memory_order_relaxed);
+  SimulateLatency();
+  const PlainPredicate& pred = do_.PlainFormOf(td.uid);
+  BitVector out(tids.size());
+  for (size_t i = 0; i < tids.size(); ++i) {
+    out.Assign(i, Reconstruct(td, pred, tids[i]));
+  }
+  return out;
 }
 
 }  // namespace prkb::edbms

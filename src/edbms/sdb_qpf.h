@@ -1,6 +1,7 @@
 #ifndef PRKB_EDBMS_SDB_QPF_H_
 #define PRKB_EDBMS_SDB_QPF_H_
 
+#include <atomic>
 #include <vector>
 
 #include "common/bitvector.h"
@@ -29,6 +30,18 @@ class SdbEdbms : public Edbms {
   static SdbEdbms FromPlainTable(uint64_t master_seed,
                                  const PlainTable& plain);
 
+  // Atomic MPC counters delete the implicit move; snapshot them so the
+  // factory can return by value. Never move a backend mid-scan.
+  SdbEdbms(SdbEdbms&& other) noexcept
+      : Edbms(std::move(other)),
+        do_(std::move(other.do_)),
+        share_cols_(std::move(other.share_cols_)),
+        live_(std::move(other.live_)),
+        dead_count_(other.dead_count_),
+        rounds_(other.rounds_.load(std::memory_order_relaxed)),
+        bytes_(other.bytes_.load(std::memory_order_relaxed)),
+        round_latency_ns_(other.round_latency_ns_) {}
+
   TupleId Insert(const std::vector<Value>& row) override;
   void Delete(TupleId tid) override;
   Trapdoor MakeComparison(AttrId attr, CompareOp op, Value c) override;
@@ -43,9 +56,12 @@ class SdbEdbms : public Edbms {
     return num_rows() * num_attrs() * sizeof(uint64_t);
   }
 
-  /// MPC accounting.
-  uint64_t rounds() const { return rounds_; }
-  uint64_t bytes_transferred() const { return bytes_; }
+  /// MPC accounting. One batch evaluation costs one round: the SP packs the
+  /// whole share vector into a single request and gets a bit vector back.
+  uint64_t rounds() const { return rounds_.load(std::memory_order_relaxed); }
+  uint64_t bytes_transferred() const {
+    return bytes_.load(std::memory_order_relaxed);
+  }
   void set_round_latency_ns(uint64_t ns) { round_latency_ns_ = ns; }
 
   DataOwner& data_owner() { return do_; }
@@ -58,14 +74,18 @@ class SdbEdbms : public Edbms {
 
  private:
   bool DoEval(const Trapdoor& td, TupleId tid) override;
+  BitVector DoEvalBatch(const Trapdoor& td,
+                        std::span<const TupleId> tids) override;
   void SimulateLatency() const;
+  bool Reconstruct(const Trapdoor& td, const PlainPredicate& pred,
+                   TupleId tid) const;
 
   DataOwner do_;
   std::vector<std::vector<uint64_t>> share_cols_;
   BitVector live_;
   size_t dead_count_ = 0;
-  uint64_t rounds_ = 0;
-  uint64_t bytes_ = 0;
+  std::atomic<uint64_t> rounds_{0};
+  std::atomic<uint64_t> bytes_{0};
   uint64_t round_latency_ns_ = 0;
 };
 

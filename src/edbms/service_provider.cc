@@ -3,21 +3,45 @@
 #include "common/stopwatch.h"
 
 namespace prkb::edbms {
+namespace {
+
+std::vector<TupleId> LiveTuples(const Edbms& db) {
+  std::vector<TupleId> out;
+  const size_t n = db.num_rows();
+  out.reserve(n);
+  for (TupleId tid = 0; tid < n; ++tid) {
+    if (db.IsLive(tid)) out.push_back(tid);
+  }
+  return out;
+}
+
+}  // namespace
+
+void BaselineScanner::FillStats(SelectionStats* stats, uint64_t uses_before,
+                                uint64_t trips_before, uint64_t batches_before,
+                                double millis) const {
+  if (stats == nullptr) return;
+  stats->qpf_uses = db_->uses() - uses_before;
+  stats->qpf_round_trips = db_->round_trips() - trips_before;
+  stats->qpf_batches = db_->batches() - batches_before;
+  stats->millis = millis;
+}
 
 std::vector<TupleId> BaselineScanner::Select(const Trapdoor& td,
                                              SelectionStats* stats) const {
   Stopwatch watch;
   const uint64_t uses_before = db_->uses();
+  const uint64_t trips_before = db_->round_trips();
+  const uint64_t batches_before = db_->batches();
+
+  const std::vector<TupleId> live = LiveTuples(*db_);
+  const std::vector<uint8_t> hit = ScanTuples(db_, td, live, policy_);
   std::vector<TupleId> out;
-  const size_t n = db_->num_rows();
-  for (TupleId tid = 0; tid < n; ++tid) {
-    if (!db_->IsLive(tid)) continue;
-    if (db_->Eval(td, tid)) out.push_back(tid);
+  for (size_t i = 0; i < live.size(); ++i) {
+    if (hit[i]) out.push_back(live[i]);
   }
-  if (stats != nullptr) {
-    stats->qpf_uses = db_->uses() - uses_before;
-    stats->millis = watch.ElapsedMillis();
-  }
+  FillStats(stats, uses_before, trips_before, batches_before,
+            watch.ElapsedMillis());
   return out;
 }
 
@@ -25,23 +49,43 @@ std::vector<TupleId> BaselineScanner::SelectConjunction(
     const std::vector<Trapdoor>& tds, SelectionStats* stats) const {
   Stopwatch watch;
   const uint64_t uses_before = db_->uses();
+  const uint64_t trips_before = db_->round_trips();
+  const uint64_t batches_before = db_->batches();
   std::vector<TupleId> out;
-  const size_t n = db_->num_rows();
-  for (TupleId tid = 0; tid < n; ++tid) {
-    if (!db_->IsLive(tid)) continue;
-    bool all = true;
-    for (const Trapdoor& td : tds) {
-      if (!db_->Eval(td, tid)) {
-        all = false;
-        break;
+
+  if (!policy_.batched() && !policy_.parallel()) {
+    // Legacy scalar loop: left-to-right per tuple, stop at the first 0.
+    const size_t n = db_->num_rows();
+    for (TupleId tid = 0; tid < n; ++tid) {
+      if (!db_->IsLive(tid)) continue;
+      bool all = true;
+      for (const Trapdoor& td : tds) {
+        if (!db_->Eval(td, tid)) {
+          all = false;
+          break;
+        }
       }
+      if (all) out.push_back(tid);
     }
-    if (all) out.push_back(tid);
+  } else {
+    // Predicate-at-a-time over the survivor set: tuple t reaches predicate i
+    // iff predicates 0..i-1 all held — exactly the tuples the scalar loop
+    // evaluates predicate i on, so the QPF-use count is unchanged.
+    std::vector<TupleId> survivors = LiveTuples(*db_);
+    for (const Trapdoor& td : tds) {
+      if (survivors.empty()) break;
+      const std::vector<uint8_t> hit = ScanTuples(db_, td, survivors, policy_);
+      size_t w = 0;
+      for (size_t i = 0; i < survivors.size(); ++i) {
+        if (hit[i]) survivors[w++] = survivors[i];
+      }
+      survivors.resize(w);
+    }
+    out = std::move(survivors);
   }
-  if (stats != nullptr) {
-    stats->qpf_uses = db_->uses() - uses_before;
-    stats->millis = watch.ElapsedMillis();
-  }
+
+  FillStats(stats, uses_before, trips_before, batches_before,
+            watch.ElapsedMillis());
   return out;
 }
 

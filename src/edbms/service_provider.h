@@ -3,22 +3,31 @@
 
 #include <vector>
 
+#include "edbms/batch_scan.h"
 #include "edbms/edbms.h"
 
 namespace prkb::edbms {
 
-/// Result of a selection together with its cost, in the paper's two units.
+/// Result of a selection together with its cost, in the paper's two units —
+/// plus the transport-level breakdown the batched pipeline amortises.
 struct SelectionStats {
   uint64_t qpf_uses = 0;
+  /// Backend entries paid for: scalar QPF calls plus batch calls. This is
+  /// the unit per-round-trip latency is charged on.
+  uint64_t qpf_round_trips = 0;
+  /// Of which batched (EvalBatch) calls.
+  uint64_t qpf_batches = 0;
   double millis = 0.0;
 };
 
 /// The paper's *Baseline* processing mode (Sec. 3.2): the SP tests every
-/// live encrypted tuple with the QPF, one by one. This is what every
-/// PRKB-enabled run is compared against.
+/// live encrypted tuple with the QPF, one by one — or, with a batched
+/// policy, in chunked batch round trips that evaluate exactly the same
+/// (trapdoor, tuple) pairs.
 class BaselineScanner {
  public:
-  explicit BaselineScanner(Edbms* db) : db_(db) {}
+  explicit BaselineScanner(Edbms* db, BatchPolicy policy = {})
+      : db_(db), policy_(policy) {}
 
   /// Linear scan with one QPF use per live tuple.
   std::vector<TupleId> Select(const Trapdoor& td,
@@ -27,12 +36,19 @@ class BaselineScanner {
   /// Conjunction of trapdoors (e.g. a multi-dimensional range): per tuple,
   /// predicates are evaluated left to right and stop at the first 0 — the
   /// paper's footnote 5 ("EDBMS can stop processing for a tuple when one of
-  /// the predicates is not satisfied").
+  /// the predicates is not satisfied"). The batched variant evaluates
+  /// predicate i only on the survivors of predicates 0..i-1, which is the
+  /// same evaluation set, round-trip amortised.
   std::vector<TupleId> SelectConjunction(const std::vector<Trapdoor>& tds,
                                          SelectionStats* stats = nullptr) const;
 
  private:
+  void FillStats(SelectionStats* stats, uint64_t uses_before,
+                 uint64_t trips_before, uint64_t batches_before,
+                 double millis) const;
+
   Edbms* db_;
+  BatchPolicy policy_;
 };
 
 }  // namespace prkb::edbms

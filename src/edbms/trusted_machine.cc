@@ -1,6 +1,8 @@
 #include "edbms/trusted_machine.h"
 
-#include <chrono>
+#include <mutex>
+
+#include "common/latency.h"
 
 namespace prkb::edbms {
 namespace {
@@ -20,27 +22,44 @@ TrustedMachine::TrustedMachine(uint64_t master_seed)
       trapdoor_mac_(prf_.DeriveKey("trapdoor-mac")) {}
 
 void TrustedMachine::SimulateLatency() const {
-  if (call_latency_ns_ == 0) return;
-  const auto start = std::chrono::steady_clock::now();
-  while (std::chrono::duration_cast<std::chrono::nanoseconds>(
-             std::chrono::steady_clock::now() - start)
-             .count() < static_cast<int64_t>(call_latency_ns_)) {
-  }
+  SimulatedLatencyNanos(call_latency_ns_);
 }
 
 const TrapdoorPayload* TrustedMachine::Open(const Trapdoor& td) {
-  auto it = verified_.find(td.uid);
-  if (it != verified_.end()) return &it->second;
+  {
+    std::shared_lock<std::shared_mutex> lock(verified_mu_);
+    auto it = verified_.find(td.uid);
+    if (it != verified_.end()) return &it->second;
+  }
   TrapdoorPayload payload;
   if (!OpenTrapdoor(trapdoor_cipher_, trapdoor_mac_, td, &payload)) {
     return nullptr;
   }
-  return &verified_.emplace(td.uid, payload).first->second;
+  std::unique_lock<std::shared_mutex> lock(verified_mu_);
+  return &verified_.try_emplace(td.uid, payload).first->second;
+}
+
+bool TrustedMachine::Compare(const TrapdoorPayload& p, PredicateKind kind,
+                             const EncValue& cell) const {
+  const Value v = crypter_.Decrypt(cell);
+  if (kind == PredicateKind::kBetween) return p.lo <= v && v <= p.hi;
+  switch (p.op) {
+    case CompareOp::kLt:
+      return v < p.lo;
+    case CompareOp::kGt:
+      return v > p.lo;
+    case CompareOp::kLe:
+      return v <= p.lo;
+    case CompareOp::kGe:
+      return v >= p.lo;
+  }
+  return false;
 }
 
 bool TrustedMachine::EvalPredicate(const Trapdoor& td, const EncValue& cell,
                                    bool* ok) {
-  ++predicate_evals_;
+  predicate_evals_.fetch_add(1, std::memory_order_relaxed);
+  round_trips_.fetch_add(1, std::memory_order_relaxed);
   SimulateLatency();
   const TrapdoorPayload* p = Open(td);
   if (p == nullptr) {
@@ -48,23 +67,30 @@ bool TrustedMachine::EvalPredicate(const Trapdoor& td, const EncValue& cell,
     return false;
   }
   if (ok != nullptr) *ok = true;
-  const Value v = crypter_.Decrypt(cell);
-  if (td.kind == PredicateKind::kBetween) return p->lo <= v && v <= p->hi;
-  switch (p->op) {
-    case CompareOp::kLt:
-      return v < p->lo;
-    case CompareOp::kGt:
-      return v > p->lo;
-    case CompareOp::kLe:
-      return v <= p->lo;
-    case CompareOp::kGe:
-      return v >= p->lo;
+  return Compare(*p, td.kind, cell);
+}
+
+BitVector TrustedMachine::EvalPredicateBatch(
+    const Trapdoor& td, std::span<const EncValue* const> cells, bool* ok) {
+  BitVector out(cells.size());
+  predicate_evals_.fetch_add(cells.size(), std::memory_order_relaxed);
+  round_trips_.fetch_add(1, std::memory_order_relaxed);
+  SimulateLatency();  // the whole batch travels in one round trip
+  const TrapdoorPayload* p = Open(td);
+  if (p == nullptr) {
+    if (ok != nullptr) *ok = false;
+    return out;
   }
-  return false;
+  if (ok != nullptr) *ok = true;
+  for (size_t i = 0; i < cells.size(); ++i) {
+    out.Assign(i, Compare(*p, td.kind, *cells[i]));
+  }
+  return out;
 }
 
 Value TrustedMachine::DecryptValue(const EncValue& cell) {
-  ++value_decrypts_;
+  value_decrypts_.fetch_add(1, std::memory_order_relaxed);
+  round_trips_.fetch_add(1, std::memory_order_relaxed);
   SimulateLatency();
   return crypter_.Decrypt(cell);
 }

@@ -1,9 +1,13 @@
 #ifndef PRKB_EDBMS_TRUSTED_MACHINE_H_
 #define PRKB_EDBMS_TRUSTED_MACHINE_H_
 
+#include <atomic>
 #include <cstdint>
+#include <shared_mutex>
+#include <span>
 #include <unordered_map>
 
+#include "common/bitvector.h"
 #include "crypto/cipher.h"
 #include "crypto/hmac.h"
 #include "crypto/prf.h"
@@ -19,48 +23,94 @@ namespace prkb::edbms {
 ///
 /// Substitution note (see DESIGN.md): the paper runs this on an FPGA /
 /// crypto-coprocessor. Here the decrypt-and-compare really happens (portable
-/// AES), and an optional fixed per-call latency emulates the hardware round
+/// AES), and an optional fixed per-entry latency emulates the hardware round
 /// trip. Both the paper's cost metrics are preserved: the call count, and a
 /// per-call cost that dwarfs a plain comparison.
+///
+/// Entries come in two granularities: scalar EvalPredicate (one round trip
+/// per tuple) and EvalPredicateBatch (one round trip for a whole ciphertext
+/// batch, bulk AES-CTR decrypt inside). Counters are atomic and the verified
+/// trapdoor cache is lock-protected so parallel scan workers can drive one TM
+/// concurrently.
 class TrustedMachine {
  public:
   /// Provisioned with the same seed as the data owner.
   explicit TrustedMachine(uint64_t master_seed);
+
+  // The mutex and atomics delete the implicit move; the owning Edbms is
+  // returned by value from factories, so move explicitly (fresh mutex,
+  // counter snapshot). Never move a TM with scans in flight.
+  TrustedMachine(TrustedMachine&& other) noexcept
+      : prf_(std::move(other.prf_)),
+        crypter_(std::move(other.crypter_)),
+        trapdoor_cipher_(std::move(other.trapdoor_cipher_)),
+        trapdoor_mac_(std::move(other.trapdoor_mac_)),
+        verified_(std::move(other.verified_)),
+        predicate_evals_(
+            other.predicate_evals_.load(std::memory_order_relaxed)),
+        value_decrypts_(other.value_decrypts_.load(std::memory_order_relaxed)),
+        round_trips_(other.round_trips_.load(std::memory_order_relaxed)),
+        call_latency_ns_(other.call_latency_ns_) {}
 
   /// Θ's inner worker: verifies the trapdoor, decrypts the cell, compares.
   /// Returns false (and sets ok=false if provided) on a forged trapdoor.
   bool EvalPredicate(const Trapdoor& td, const EncValue& cell,
                      bool* ok = nullptr);
 
+  /// Batched TM entry: one simulated round trip for the whole batch, then a
+  /// bulk decrypt-and-compare of every cell. Bit i of the result corresponds
+  /// to cells[i]. Counts |cells| predicate evaluations but a single round
+  /// trip. All bits are false (ok=false) on a forged trapdoor.
+  BitVector EvalPredicateBatch(const Trapdoor& td,
+                               std::span<const EncValue* const> cells,
+                               bool* ok = nullptr);
+
   /// Decrypts a cell inside the TM (used by the Logarithmic-SRC-i
   /// confirmation step and index maintenance). Counted separately.
   Value DecryptValue(const EncValue& cell);
 
-  /// Configures an artificial busy-wait per TM entry, in nanoseconds, to
-  /// emulate hardware/transport latency. 0 (default) disables it.
+  /// Configures an artificial per-TM-entry delay, in nanoseconds, to emulate
+  /// hardware/transport latency. 0 (default) disables it. Short delays spin;
+  /// delays above ~50µs genuinely sleep (common/latency.h).
   void set_call_latency_ns(uint64_t ns) { call_latency_ns_ = ns; }
 
-  uint64_t predicate_evals() const { return predicate_evals_; }
-  uint64_t value_decrypts() const { return value_decrypts_; }
+  uint64_t predicate_evals() const {
+    return predicate_evals_.load(std::memory_order_relaxed);
+  }
+  uint64_t value_decrypts() const {
+    return value_decrypts_.load(std::memory_order_relaxed);
+  }
+  /// Number of TM entries: scalar calls plus batch calls (the unit the
+  /// simulated latency is charged per).
+  uint64_t round_trips() const {
+    return round_trips_.load(std::memory_order_relaxed);
+  }
   void ResetCounters() {
-    predicate_evals_ = 0;
-    value_decrypts_ = 0;
+    predicate_evals_.store(0, std::memory_order_relaxed);
+    value_decrypts_.store(0, std::memory_order_relaxed);
+    round_trips_.store(0, std::memory_order_relaxed);
   }
 
  private:
   void SimulateLatency() const;
   /// Opens (or fetches from the verified cache) the plain form of `td`.
   const TrapdoorPayload* Open(const Trapdoor& td);
+  /// Decrypt-and-compare of one cell under an opened trapdoor.
+  bool Compare(const TrapdoorPayload& p, PredicateKind kind,
+               const EncValue& cell) const;
 
   crypto::Prf prf_;
   ValueCrypter crypter_;
   crypto::AesCtr trapdoor_cipher_;
   crypto::HmacSha256 trapdoor_mac_;
   // Verified trapdoors, keyed by uid: MAC verification happens once per
-  // trapdoor, not once per tuple.
+  // trapdoor, not once per tuple. Guarded for parallel scan workers;
+  // unordered_map never moves values, so returned pointers stay valid.
+  std::shared_mutex verified_mu_;
   std::unordered_map<uint64_t, TrapdoorPayload> verified_;
-  uint64_t predicate_evals_ = 0;
-  uint64_t value_decrypts_ = 0;
+  std::atomic<uint64_t> predicate_evals_{0};
+  std::atomic<uint64_t> value_decrypts_{0};
+  std::atomic<uint64_t> round_trips_{0};
   uint64_t call_latency_ns_ = 0;
 };
 

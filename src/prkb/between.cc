@@ -123,17 +123,14 @@ std::vector<TupleId> PrkbIndex::SelectBetween(const Trapdoor& td) {
       scan_positions.end());
 
   // ---- Phase 3: exhaustive scan of the candidate end partitions. ----
+  // Each candidate partition is scanned in full either way, so the batched
+  // path evaluates exactly the scalar path's (trapdoor, tuple) pairs.
   std::map<size_t, ScannedPartition> scanned;
   for (size_t pos : scan_positions) {
     if (middle_begin <= pos && pos < middle_end) continue;  // known pure T
     ScannedPartition sp;
-    for (TupleId tid : pop.members_at(pos)) {
-      if (db_->Eval(td, tid)) {
-        sp.t_members.push_back(tid);
-      } else {
-        sp.f_members.push_back(tid);
-      }
-    }
+    ScanPartitionExact(pop, pos, td, db_, options_.scan_policy(),
+                       &sp.t_members, &sp.f_members);
     scanned.emplace(pos, std::move(sp));
   }
 

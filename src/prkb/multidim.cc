@@ -22,6 +22,7 @@
 #include <unordered_map>
 
 #include "common/bitvector.h"
+#include "edbms/batch_scan.h"
 #include "prkb/selection.h"
 
 namespace prkb::core {
@@ -63,6 +64,26 @@ struct PredCtx {
   }
 };
 
+/// Books one observed QPF output into the context: memoises the bit, updates
+/// the partition's T/F tallies and fires the early-stop inference of Sec. 6.2
+/// (a non-homogeneous NS partition implies its partner is homogeneous).
+void RecordOutcome(PredCtx* pc, TupleId tid, bool out) {
+  const PartitionId pid = pc->pop->partition_of(tid);
+  const int idx = pc->NsIndexOf(pid);
+  assert(idx >= 0);
+  PredCtx::Ns& ns = pc->ns[idx];
+  if (!ns.outcome.emplace(tid, out).second) return;  // already known
+  (out ? ns.t_count : ns.f_count)++;
+  if (ns.t_count > 0 && ns.f_count > 0 && pc->ns_count == 2) {
+    // This partition is the separating one; the partner is homogeneous with
+    // its outside label (early-stop inference, Sec. 6.2).
+    const int partner = 1 - idx;
+    if (pc->ns[partner].known == -1) {
+      pc->ns[partner].known = pc->outside_label(partner) ? 1 : 0;
+    }
+  }
+}
+
 /// Evaluates `td` on `tid` for this context, spending a QPF use only when the
 /// outcome is not already implied. Returns 0/1.
 bool EvalForTuple(PredCtx* pc, edbms::Edbms* db, TupleId tid) {
@@ -78,16 +99,7 @@ bool EvalForTuple(PredCtx* pc, edbms::Edbms* db, TupleId tid) {
     return it->second;
   }
   const bool out = db->Eval(*pc->td, tid);
-  ns.outcome.emplace(tid, out);
-  (out ? ns.t_count : ns.f_count)++;
-  if (ns.t_count > 0 && ns.f_count > 0 && pc->ns_count == 2) {
-    // This partition is the separating one; the partner is homogeneous with
-    // its outside label (early-stop inference, Sec. 6.2).
-    const int partner = 1 - idx;
-    if (pc->ns[partner].known == -1) {
-      pc->ns[partner].known = pc->outside_label(partner) ? 1 : 0;
-    }
-  }
+  RecordOutcome(pc, tid, out);
   return out;
 }
 
@@ -144,6 +156,7 @@ std::vector<TupleId> PrkbIndex::RunMd(const std::vector<Trapdoor>& tds) {
 
   std::vector<TupleId> result;
   BitVector visited(db_->num_rows());
+  const edbms::BatchPolicy policy = options_.scan_policy();
 
   // ---- Step 2: test tuples in the NS bands (Fig. 6b / Fig. 7). ----
   for (PredCtx& owner : preds) {
@@ -151,31 +164,100 @@ std::vector<TupleId> PrkbIndex::RunMd(const std::vector<Trapdoor>& tds) {
       // Copy: EvalForTuple never reorders members, but be explicit that the
       // iteration set is the membership at classification time.
       const auto& members = owner.pop->members(owner.ns[i].pid);
-      for (TupleId tid : members) {
-        if (visited.Get(tid)) continue;
-        visited.Set(tid);
 
-        // Cheap pass: reject on any sure-false trapdoor, collect the
-        // undecided ones.
-        bool rejected = false;
-        for (const PredCtx& pc : preds) {
-          if (ClassifyTuple(pc, tid) == 0) {
-            rejected = true;
-            break;
+      if (!policy.batched()) {
+        // Scalar path: per tuple, cheap classification pass, then undecided
+        // trapdoors in order with a stop at the first 0.
+        for (TupleId tid : members) {
+          if (visited.Get(tid)) continue;
+          visited.Set(tid);
+
+          // Cheap pass: reject on any sure-false trapdoor, collect the
+          // undecided ones.
+          bool rejected = false;
+          for (const PredCtx& pc : preds) {
+            if (ClassifyTuple(pc, tid) == 0) {
+              rejected = true;
+              break;
+            }
+          }
+          if (rejected) continue;
+
+          // Expensive pass: evaluate undecided trapdoors, stop at first 0.
+          bool all_true = true;
+          for (PredCtx& pc : preds) {
+            if (ClassifyTuple(pc, tid) == 1) continue;
+            if (!EvalForTuple(&pc, db_, tid)) {
+              all_true = false;
+              break;
+            }
+          }
+          if (all_true) result.push_back(tid);
+        }
+        continue;
+      }
+
+      // Batched path: process the band in chunks of batch_size. Tuples of a
+      // chunk advance in lockstep rounds — each round classifies every still-
+      // alive tuple, groups the ones needing an evaluation by their first
+      // undecided trapdoor, and ships one batch round trip per trapdoor.
+      // Per-tuple short-circuiting is preserved exactly (a tuple rejected by
+      // round r is never evaluated in round r+1); the partition-level early-
+      // stop inference fires with at most one chunk of slack, because bits
+      // already in flight within a batch are paid for.
+      for (size_t base = 0; base < members.size();
+           base += policy.batch_size) {
+        const size_t end =
+            std::min(members.size(), base + policy.batch_size);
+        std::vector<TupleId> alive;
+        alive.reserve(end - base);
+        for (size_t m = base; m < end; ++m) {
+          const TupleId tid = members[m];
+          if (visited.Get(tid)) continue;
+          visited.Set(tid);
+          alive.push_back(tid);
+        }
+        const std::vector<TupleId> chunk_order = alive;
+        std::unordered_map<TupleId, bool> won;
+
+        while (!alive.empty()) {
+          std::vector<std::vector<TupleId>> need(preds.size());
+          std::vector<TupleId> waiting;
+          for (TupleId tid : alive) {
+            bool rejected = false;
+            int first_undecided = -1;
+            for (size_t p = 0; p < preds.size(); ++p) {
+              const int8_t c = ClassifyTuple(preds[p], tid);
+              if (c == 0) {
+                rejected = true;
+                break;
+              }
+              if (c == -1 && first_undecided < 0) {
+                first_undecided = static_cast<int>(p);
+              }
+            }
+            if (rejected) continue;
+            if (first_undecided < 0) {
+              won.emplace(tid, true);  // sure-true under every trapdoor
+              continue;
+            }
+            need[first_undecided].push_back(tid);
+            waiting.push_back(tid);
+          }
+          alive = std::move(waiting);
+          if (alive.empty()) break;
+          for (size_t p = 0; p < preds.size(); ++p) {
+            if (need[p].empty()) continue;
+            const std::vector<uint8_t> bits =
+                edbms::ScanTuples(db_, *preds[p].td, need[p], policy);
+            for (size_t j = 0; j < need[p].size(); ++j) {
+              RecordOutcome(&preds[p], need[p][j], bits[j] != 0);
+            }
           }
         }
-        if (rejected) continue;
-
-        // Expensive pass: evaluate undecided trapdoors, stop at first 0.
-        bool all_true = true;
-        for (PredCtx& pc : preds) {
-          if (ClassifyTuple(pc, tid) == 1) continue;
-          if (!EvalForTuple(&pc, db_, tid)) {
-            all_true = false;
-            break;
-          }
+        for (TupleId tid : chunk_order) {
+          if (won.contains(tid)) result.push_back(tid);
         }
-        if (all_true) result.push_back(tid);
       }
     }
   }
@@ -212,9 +294,33 @@ std::vector<TupleId> PrkbIndex::RunMd(const std::vector<Trapdoor>& tds) {
       for (int i = 0; i < pc.ns_count; ++i) {
         PredCtx::Ns& ns = pc.ns[i];
         if (ns.known != -1) continue;
-        for (TupleId tid : pc.pop->members(ns.pid)) {
-          if (!ns.outcome.contains(tid)) EvalForTuple(&pc, db_, tid);
-          if (ns.known != -1) break;  // partner inference fired
+        if (!policy.batched()) {
+          for (TupleId tid : pc.pop->members(ns.pid)) {
+            if (!ns.outcome.contains(tid)) EvalForTuple(&pc, db_, tid);
+            if (ns.known != -1) break;  // partner inference fired
+          }
+          continue;
+        }
+        // Chunk-granular early stop: the inference check runs between batch
+        // round trips instead of between scalar calls.
+        const auto& members = pc.pop->members(ns.pid);
+        for (size_t base = 0;
+             base < members.size() && ns.known == -1;
+             base += policy.batch_size) {
+          const size_t end =
+              std::min(members.size(), base + policy.batch_size);
+          std::vector<TupleId> missing;
+          for (size_t m = base; m < end; ++m) {
+            if (!ns.outcome.contains(members[m])) {
+              missing.push_back(members[m]);
+            }
+          }
+          if (missing.empty()) continue;
+          const std::vector<uint8_t> bits =
+              edbms::ScanTuples(db_, *pc.td, missing, policy);
+          for (size_t j = 0; j < missing.size(); ++j) {
+            RecordOutcome(&pc, missing[j], bits[j] != 0);
+          }
         }
       }
     }

@@ -3,32 +3,37 @@
 #include <cassert>
 
 namespace prkb::core {
-namespace {
 
-/// Tests every tuple of the partition at `pos`, appending satisfied tuples
-/// to `true_out` and the rest to `false_out`.
-void ScanPartition(const Pop& pop, size_t pos, const edbms::Trapdoor& td,
-                   edbms::QpfOracle* qpf,
-                   std::vector<edbms::TupleId>* true_out,
-                   std::vector<edbms::TupleId>* false_out) {
-  for (edbms::TupleId tid : pop.members_at(pos)) {
-    if (qpf->Eval(td, tid)) {
-      true_out->push_back(tid);
-    } else {
-      false_out->push_back(tid);
+void ScanPartitionExact(const Pop& pop, size_t pos, const edbms::Trapdoor& td,
+                        edbms::QpfOracle* qpf,
+                        const edbms::BatchPolicy& policy,
+                        std::vector<edbms::TupleId>* true_out,
+                        std::vector<edbms::TupleId>* false_out) {
+  const std::vector<edbms::TupleId>& members = pop.members_at(pos);
+  if (!policy.batched() && !policy.parallel()) {
+    for (edbms::TupleId tid : members) {
+      if (qpf->Eval(td, tid)) {
+        true_out->push_back(tid);
+      } else {
+        false_out->push_back(tid);
+      }
     }
+    return;
+  }
+  const std::vector<uint8_t> hit = ScanTuples(qpf, td, members, policy);
+  for (size_t i = 0; i < members.size(); ++i) {
+    (hit[i] ? true_out : false_out)->push_back(members[i]);
   }
 }
 
-}  // namespace
-
 QScanResult QScan(const Pop& pop, const QFilterResult& filter,
-                  const edbms::Trapdoor& td, edbms::QpfOracle* qpf) {
+                  const edbms::Trapdoor& td, edbms::QpfOracle* qpf,
+                  const edbms::BatchPolicy& policy) {
   QScanResult out;
 
   // ---- First scan Pa (line 2) ----
   std::vector<edbms::TupleId> a_true, a_false;
-  ScanPartition(pop, filter.ns_a, td, qpf, &a_true, &a_false);
+  ScanPartitionExact(pop, filter.ns_a, td, qpf, policy, &a_true, &a_false);
   out.winners = a_true;
 
   const bool a_mixed = !a_true.empty() && !a_false.empty();
@@ -53,7 +58,7 @@ QScanResult QScan(const Pop& pop, const QFilterResult& filter,
   if (filter.ns_b == filter.ns_a) return out;
 
   std::vector<edbms::TupleId> b_true, b_false;
-  ScanPartition(pop, filter.ns_b, td, qpf, &b_true, &b_false);
+  ScanPartitionExact(pop, filter.ns_b, td, qpf, policy, &b_true, &b_false);
   out.scanned_b = true;
   out.winners.insert(out.winners.end(), b_true.begin(), b_true.end());
 

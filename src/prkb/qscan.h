@@ -3,6 +3,7 @@
 
 #include <vector>
 
+#include "edbms/batch_scan.h"
 #include "edbms/qpf.h"
 #include "prkb/pop.h"
 #include "prkb/qfilter.h"
@@ -37,8 +38,24 @@ struct QScanResult {
 /// with the early-stop strategy — if the first partition turns out
 /// non-homogeneous, the second one's QPF outputs are already implied by
 /// `filter.label_last` (labelb in the paper) and it is not scanned.
+///
+/// `policy` controls how the partition scans consume the QPF (chunked batch
+/// round trips, optionally issued by parallel workers). Each NS partition is
+/// still scanned exhaustively and the early stop between the two partitions
+/// is unchanged, so results and QPF-use counts are identical to the scalar
+/// path for every policy.
 QScanResult QScan(const Pop& pop, const QFilterResult& filter,
-                  const edbms::Trapdoor& td, edbms::QpfOracle* qpf);
+                  const edbms::Trapdoor& td, edbms::QpfOracle* qpf,
+                  const edbms::BatchPolicy& policy = {});
+
+/// Exhaustively tests every tuple of the partition at chain position `pos`,
+/// appending satisfied tuples to `true_out` and the rest to `false_out` in
+/// member order. Shared by QScan, BETWEEN processing and tests.
+void ScanPartitionExact(const Pop& pop, size_t pos, const edbms::Trapdoor& td,
+                        edbms::QpfOracle* qpf,
+                        const edbms::BatchPolicy& policy,
+                        std::vector<edbms::TupleId>* true_out,
+                        std::vector<edbms::TupleId>* false_out);
 
 }  // namespace prkb::core
 

@@ -13,6 +13,32 @@ using edbms::SelectionStats;
 using edbms::Trapdoor;
 using edbms::TupleId;
 
+namespace {
+
+/// Captures the oracle's cost counters so stats report the delta of one
+/// operation (uses, round trips, batches).
+struct CostSnapshot {
+  explicit CostSnapshot(const edbms::Edbms* db)
+      : uses(db->uses()),
+        round_trips(db->round_trips()),
+        batches(db->batches()) {}
+
+  void Fill(SelectionStats* stats, const edbms::Edbms* db,
+            const Stopwatch& watch) const {
+    if (stats == nullptr) return;
+    stats->qpf_uses = db->uses() - uses;
+    stats->qpf_round_trips = db->round_trips() - round_trips;
+    stats->qpf_batches = db->batches() - batches;
+    stats->millis = watch.ElapsedMillis();
+  }
+
+  uint64_t uses;
+  uint64_t round_trips;
+  uint64_t batches;
+};
+
+}  // namespace
+
 PrkbIndex::PrkbIndex(edbms::Edbms* db, PrkbOptions options)
     : db_(db), options_(options), rng_(options.seed) {}
 
@@ -63,7 +89,7 @@ std::vector<TupleId> PrkbIndex::SelectComparison(const Trapdoor& td) {
   if (pop.k() == 0) return {};  // empty table
 
   const QFilterResult filter = QFilter(pop, td, db_, &rng_);
-  QScanResult scan = QScan(pop, filter, td, db_);
+  QScanResult scan = QScan(pop, filter, td, db_, options_.scan_policy());
 
   // Assemble TW ∪ TWNS.
   std::vector<TupleId> result;
@@ -85,28 +111,25 @@ std::vector<TupleId> PrkbIndex::SelectComparison(const Trapdoor& td) {
 std::vector<TupleId> PrkbIndex::Select(const Trapdoor& td,
                                        SelectionStats* stats) {
   Stopwatch watch;
-  const uint64_t uses_before = db_->uses();
+  const CostSnapshot before(db_);
   std::vector<TupleId> result;
   if (!IsEnabled(td.attr)) {
     // No knowledge base on this attribute: plain QPF scan.
-    edbms::BaselineScanner scanner(db_);
+    edbms::BaselineScanner scanner(db_, options_.scan_policy());
     result = scanner.Select(td);
   } else if (td.kind == edbms::PredicateKind::kBetween) {
     result = SelectBetween(td);
   } else {
     result = SelectComparison(td);
   }
-  if (stats != nullptr) {
-    stats->qpf_uses = db_->uses() - uses_before;
-    stats->millis = watch.ElapsedMillis();
-  }
+  before.Fill(stats, db_, watch);
   return result;
 }
 
 std::vector<TupleId> PrkbIndex::SelectRangeSdPlus(
     const std::vector<Trapdoor>& tds, SelectionStats* stats) {
   Stopwatch watch;
-  const uint64_t uses_before = db_->uses();
+  const CostSnapshot before(db_);
 
   std::vector<TupleId> result;
   bool first = true;
@@ -126,17 +149,14 @@ std::vector<TupleId> PrkbIndex::SelectRangeSdPlus(
   if (!first) {
     for (uint32_t tid : mask.ToIndices()) result.push_back(tid);
   }
-  if (stats != nullptr) {
-    stats->qpf_uses = db_->uses() - uses_before;
-    stats->millis = watch.ElapsedMillis();
-  }
+  before.Fill(stats, db_, watch);
   return result;
 }
 
 std::vector<TupleId> PrkbIndex::SelectRangeMd(const std::vector<Trapdoor>& tds,
                                               SelectionStats* stats) {
   Stopwatch watch;
-  const uint64_t uses_before = db_->uses();
+  const CostSnapshot before(db_);
   // The grid algorithm requires comparison trapdoors on enabled attributes;
   // anything else routes through the SD+ path, which handles every case.
   bool md_capable = !tds.empty();
@@ -152,10 +172,7 @@ std::vector<TupleId> PrkbIndex::SelectRangeMd(const std::vector<Trapdoor>& tds,
   } else {
     result = SelectRangeSdPlus(tds);
   }
-  if (stats != nullptr) {
-    stats->qpf_uses = db_->uses() - uses_before;
-    stats->millis = watch.ElapsedMillis();
-  }
+  before.Fill(stats, db_, watch);
   return result;
 }
 

@@ -23,6 +23,19 @@ struct PrkbOptions {
   /// calls so updatePRKB can still split it (ablation: pay QPF now for a
   /// finer index later). The paper's algorithm corresponds to `false`.
   bool eager_md_update = false;
+  /// Tuples per QPF batch round trip on the scan paths (QScan, BETWEEN end
+  /// partitions, MD candidate bands, no-index linear scan). 1 = the paper's
+  /// literal scalar model; larger values amortise the per-round-trip latency
+  /// without changing which (trapdoor, tuple) pairs are evaluated on the
+  /// single-predicate paths.
+  size_t batch_size = 1;
+  /// Threads (including the caller) issuing batch round trips concurrently
+  /// when one partition yields multiple chunks. 1 = single-threaded scans.
+  size_t scan_workers = 1;
+
+  edbms::BatchPolicy scan_policy() const {
+    return edbms::BatchPolicy{batch_size, scan_workers};
+  }
 };
 
 /// The PRKB index of one table: one partial-order-partition chain per enabled

@@ -192,6 +192,7 @@ edbms::TupleId PrkbIndex::Insert(const std::vector<edbms::Value>& row,
                                  edbms::SelectionStats* stats) {
   Stopwatch watch;
   const uint64_t uses_before = db_->uses();
+  const uint64_t trips_before = db_->round_trips();
   const TupleId tid = db_->Insert(row);
   for (auto& [attr, pop] : pops_) {
     (void)pop;
@@ -199,6 +200,7 @@ edbms::TupleId PrkbIndex::Insert(const std::vector<edbms::Value>& row,
   }
   if (stats != nullptr) {
     stats->qpf_uses = db_->uses() - uses_before;
+    stats->qpf_round_trips = db_->round_trips() - trips_before;
     stats->millis = watch.ElapsedMillis();
   }
   return tid;
