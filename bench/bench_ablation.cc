@@ -57,6 +57,18 @@ int Main(int argc, char** argv) {
   workload::QueryGen warm_gen(spec.domain_lo, spec.domain_hi, args.seed + 3);
   WarmToPartitions(&index, &db, 0, &warm_gen, 250);
 
+  JsonBench json("bench_ablation", args);
+  json.Config("rows", static_cast<double>(rows));
+  // Each row is one (ablation, strategy) cell; "metric" names the unit.
+  auto emit = [&json](const std::string& ablation, const std::string& strategy,
+                      const std::string& metric, double value) {
+    json.BeginRow();
+    json.Field("ablation", ablation);
+    json.Field("strategy", strategy);
+    json.Field("metric", metric);
+    json.Field("value", value);
+  };
+
   // ---------------- (a) QFilter: binary search vs linear hunt ----------
   {
     workload::QueryGen gen(spec.domain_lo, spec.domain_hi, args.seed + 5);
@@ -80,6 +92,8 @@ int Main(int argc, char** argv) {
     tp.AddRow({"linear hunt", TablePrinter::Fmt(linear_cost.Mean(), 1),
                TablePrinter::Fmt(linear_cost.Max(), 0)});
     tp.Print();
+    emit("qfilter", "binary_search", "mean_qpf", binary_cost.Mean());
+    emit("qfilter", "linear_hunt", "mean_qpf", linear_cost.Mean());
   }
 
   // ---------------- (b) QScan: early stop vs scan-both -----------------
@@ -106,6 +120,8 @@ int Main(int argc, char** argv) {
     tp.AddRow({"early stop (paper)", TablePrinter::Fmt(early.Mean(), 0)});
     tp.AddRow({"scan both always", TablePrinter::Fmt(both.Mean(), 0)});
     tp.Print();
+    emit("qscan", "early_stop", "mean_qpf", early.Mean());
+    emit("qscan", "scan_both", "mean_qpf", both.Mean());
   }
 
   // ---------------- (c) MD updates: lazy vs eager -----------------------
@@ -158,6 +174,8 @@ int Main(int argc, char** argv) {
                TablePrinter::Fmt(eager_tail.Mean(), 0),
                std::to_string(k_eager)});
     tp.Print();
+    emit("md_update", "lazy", "total_qpf", static_cast<double>(lazy_total));
+    emit("md_update", "eager", "total_qpf", static_cast<double>(eager_total));
   }
 
   // ---------------- (d) backend cost structure --------------------------
@@ -190,6 +208,7 @@ int Main(int argc, char** argv) {
       }
       tp.AddRow({name, TablePrinter::Fmt(qpf.Mean(), 0),
                  TablePrinter::Fmt(ms.Mean(), 3)});
+      emit("backend", name, "mean_ms", ms.Mean());
     };
     run(&cb, "Cipherbase-style TM");
     run(&sdb, "SDB-style MPC (2us rounds)");
@@ -229,9 +248,12 @@ int Main(int argc, char** argv) {
                  TablePrinter::Fmt(prkb_ms.Mean(), 2),
                  TablePrinter::Fmt(base_ms.Mean(), 2),
                  TablePrinter::Fmt(base_ms.Mean() / prkb_ms.Mean(), 0) + "x"});
+      emit("tm_latency", std::to_string(latency_ns) + "ns", "speedup",
+           base_ms.Mean() / prkb_ms.Mean());
     }
     tp.Print();
   }
+  json.WriteIfRequested(args);
   return 0;
 }
 

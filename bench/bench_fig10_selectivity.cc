@@ -7,6 +7,7 @@
 #include "common/histogram.h"
 #include "common/table_printer.h"
 #include "edbms/service_provider.h"
+#include "obs/metrics.h"
 #include "srci/srci.h"
 #include "workload/query_gen.h"
 #include "workload/synthetic_table.h"
@@ -40,6 +41,16 @@ int Main(int argc, char** argv) {
   if (auto s = srci_index.Build(); !s.ok()) return 1;
   edbms::BaselineScanner baseline(&db);
 
+  // The metrics snapshot should describe the measured static-PRKB phase, not
+  // the warm-up growth — this is the worked example in docs/COST_MODEL.md
+  // (qfilter.probes / qfilter.invocations <= 2 + ceil(lg k) with k = 250).
+  obs::MetricsRegistry::Global().Reset();
+
+  JsonBench json("bench_fig10_selectivity", args);
+  json.Config("rows", static_cast<double>(rows));
+  json.Config("runs_per_selectivity", static_cast<double>(runs));
+  json.Config("warm_partitions", static_cast<double>(index.pop(0).k()));
+
   TablePrinter tp("average of " + std::to_string(runs) + " queries, " +
                   std::to_string(rows) + " rows");
   tp.SetHeader({"selectivity %", "PRKB #QPF", "PRKB ms", "SRC-i ms",
@@ -70,8 +81,16 @@ int Main(int argc, char** argv) {
                TablePrinter::Fmt(srci_ms.Mean(), 2),
                TablePrinter::Fmt(base_qpf.Mean(), 0),
                TablePrinter::Fmt(base_ms.Mean(), 2)});
+    json.BeginRow();
+    json.Field("selectivity_pct", static_cast<uint64_t>(sel));
+    json.Field("prkb_qpf_uses", prkb_qpf.Mean());
+    json.Field("prkb_ms", prkb_ms.Mean());
+    json.Field("srci_ms", srci_ms.Mean());
+    json.Field("baseline_qpf_uses", base_qpf.Mean());
+    json.Field("baseline_ms", base_ms.Mean());
   }
   tp.Print();
+  json.WriteIfRequested(args);
   return 0;
 }
 

@@ -67,6 +67,9 @@ int Main(int argc, char** argv) {
 
   const std::vector<size_t> paper_sizes = {2'000'000, 4'000'000, 6'000'000,
                                            8'000'000, 10'000'000};
+  JsonBench json("bench_fig11_md_size", args);
+  json.Config("runs_per_size", static_cast<double>(runs));
+  json.Config("dims", static_cast<double>(kDims));
   TablePrinter tp("average of " + std::to_string(runs) + " queries");
   tp.SetHeader({"paper rows", "SD+ #QPF", "SD+ ms", "MD #QPF", "MD ms",
                 "SRC-i ms"});
@@ -135,8 +138,17 @@ int Main(int argc, char** argv) {
                TablePrinter::Fmt(md_qpf.Mean(), 0),
                TablePrinter::Fmt(md_ms.Mean(), 2),
                TablePrinter::Fmt(srci_ms.Mean(), 2)});
+    json.BeginRow();
+    json.Field("paper_rows", static_cast<uint64_t>(paper_rows));
+    json.Field("rows", static_cast<uint64_t>(rows));
+    json.Field("sdplus_qpf_uses", sdp_qpf.Mean());
+    json.Field("sdplus_ms", sdp_ms.Mean());
+    json.Field("md_qpf_uses", md_qpf.Mean());
+    json.Field("md_ms", md_ms.Mean());
+    json.Field("srci_ms", srci_ms.Mean());
   }
   tp.Print();
+  json.WriteIfRequested(args);
   return 0;
 }
 

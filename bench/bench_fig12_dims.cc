@@ -55,6 +55,10 @@ int Main(int argc, char** argv) {
     if (auto s = srci_indexes.back().Build(); !s.ok()) return 1;
   }
 
+  JsonBench json("bench_fig12_dims", args);
+  json.Config("rows", static_cast<double>(rows));
+  json.Config("runs_per_dim", static_cast<double>(runs));
+
   TablePrinter tp("average of " + std::to_string(runs) + " queries, " +
                   std::to_string(rows) + " rows");
   tp.SetHeader({"d", "SD+ #QPF", "SD+ ms", "MD #QPF", "MD ms", "SRC-i ms"});
@@ -116,8 +120,16 @@ int Main(int argc, char** argv) {
                TablePrinter::Fmt(md_qpf.Mean(), 0),
                TablePrinter::Fmt(md_ms.Mean(), 2),
                TablePrinter::Fmt(srci_ms.Mean(), 2)});
+    json.BeginRow();
+    json.Field("dims", static_cast<uint64_t>(d));
+    json.Field("sdplus_qpf_uses", sdp_qpf.Mean());
+    json.Field("sdplus_ms", sdp_ms.Mean());
+    json.Field("md_qpf_uses", md_qpf.Mean());
+    json.Field("md_ms", md_ms.Mean());
+    json.Field("srci_ms", srci_ms.Mean());
   }
   tp.Print();
+  json.WriteIfRequested(args);
   return 0;
 }
 

@@ -48,6 +48,10 @@ int Main(int argc, char** argv) {
   edbms::BaselineScanner baseline(&db);
   workload::QueryGen gen(spec.domain_lo, spec.domain_hi, args.seed + 99);
 
+  JsonBench json("bench_fig8_growth", args);
+  json.Config("rows", static_cast<double>(rows));
+  json.Config("total_queries", static_cast<double>(total_queries));
+
   TablePrinter tp("cost of the i-th distinct query");
   tp.SetHeader({"query#", "PRKB(SD) #QPF", "PRKB(SD) ms", "SRC-i ms",
                 "Baseline #QPF", "Baseline ms", "k"});
@@ -82,6 +86,14 @@ int Main(int argc, char** argv) {
                  TablePrinter::Fmt(base_stats.qpf_uses),
                  TablePrinter::Fmt(base_stats.millis, 2),
                  std::to_string(index.pop(0).k())});
+      json.BeginRow();
+      json.Field("query", static_cast<uint64_t>(q));
+      json.Field("prkb_qpf_uses", prkb_stats.qpf_uses);
+      json.Field("prkb_ms", prkb_stats.millis);
+      json.Field("srci_ms", srci_stats.millis);
+      json.Field("baseline_qpf_uses", base_stats.qpf_uses);
+      json.Field("baseline_ms", base_stats.millis);
+      json.Field("k", static_cast<uint64_t>(index.pop(0).k()));
     }
   }
   tp.Print();
@@ -101,6 +113,10 @@ int Main(int argc, char** argv) {
                           static_cast<double>(rows),
                       2)});
   storage.Print();
+
+  json.Config("prkb_bytes", static_cast<double>(index.SizeBytes()));
+  json.Config("srci_bytes", static_cast<double>(srci_index.SizeBytes()));
+  json.WriteIfRequested(args);
   return 0;
 }
 

@@ -26,6 +26,8 @@ int Main(int argc, char** argv) {
   const std::vector<size_t> paper_sizes = {10'000'000, 12'000'000, 14'000'000,
                                            16'000'000, 18'000'000,
                                            20'000'000};
+  JsonBench json("bench_fig9_size", args);
+  json.Config("runs_per_size", static_cast<double>(runs));
   TablePrinter tp("average of " + std::to_string(runs) + " queries");
   tp.SetHeader({"paper rows", "PRKB #QPF", "PRKB ms", "SRC-i ms",
                 "Base #QPF", "Base ms"});
@@ -76,8 +78,17 @@ int Main(int argc, char** argv) {
                TablePrinter::Fmt(srci_ms.Mean(), 2),
                TablePrinter::Fmt(base_qpf.Mean(), 0),
                TablePrinter::Fmt(base_ms.Mean(), 2)});
+    json.BeginRow();
+    json.Field("paper_rows", static_cast<uint64_t>(paper_rows));
+    json.Field("rows", static_cast<uint64_t>(rows));
+    json.Field("prkb_qpf_uses", prkb_qpf.Mean());
+    json.Field("prkb_ms", prkb_ms.Mean());
+    json.Field("srci_ms", srci_ms.Mean());
+    json.Field("baseline_qpf_uses", base_qpf.Mean());
+    json.Field("baseline_ms", base_ms.Mean());
   }
   tp.Print();
+  json.WriteIfRequested(args);
   return 0;
 }
 

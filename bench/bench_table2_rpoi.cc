@@ -43,6 +43,7 @@ int Main(int argc, char** argv) {
   }
 
   const std::vector<int> checkpoints = {250, 1000, 10000, 100000, 1000000};
+  JsonBench json("bench_table2_rpoi", args);
   TablePrinter tp("RPOI (%) vs number of observed queries");
   tp.SetHeader({"Victim", "Size", "250", "1K", "10K", "100K", "1M"});
 
@@ -54,10 +55,16 @@ int Main(int argc, char** argv) {
     for (int cp : checkpoints) {
       for (; q < cp; ++q) rec.Observe(gen.RandomComparison(0));
       row.push_back(TablePrinter::Fmt(rec.Rpoi() * 100.0, 3));
+      json.BeginRow();
+      json.Field("victim", v.name);
+      json.Field("column_size", static_cast<uint64_t>(v.column.size()));
+      json.Field("observed_queries", static_cast<uint64_t>(cp));
+      json.Field("rpoi_pct", rec.Rpoi() * 100.0);
     }
     tp.AddRow(row);
   }
   tp.Print();
+  json.WriteIfRequested(args);
   std::printf(
       "\nPaper reference (paper-scale data): Hospital 0.007..2.846%%, "
       "Labor 0.042..5.807%%, Latitude 0.008..11.167%%, "

@@ -24,6 +24,7 @@ int Main(int argc, char** argv) {
                                            16'000'000, 18'000'000,
                                            20'000'000};
 
+  JsonBench json("bench_table3_storage", args);
   TablePrinter tp("index storage (MB)");
   tp.SetHeader({"paper rows", "actual rows", "PRKB-250", "PRKB-600",
                 "Log-SRC-i"});
@@ -56,8 +57,15 @@ int Main(int argc, char** argv) {
     tp.AddRow({std::to_string(paper_rows / 1'000'000) + "M",
                std::to_string(rows), TablePrinter::Fmt(prkb250, 2),
                TablePrinter::Fmt(prkb600, 2), TablePrinter::Fmt(srci_mb, 1)});
+    json.BeginRow();
+    json.Field("paper_rows", static_cast<uint64_t>(paper_rows));
+    json.Field("rows", static_cast<uint64_t>(rows));
+    json.Field("prkb250_mb", prkb250);
+    json.Field("prkb600_mb", prkb600);
+    json.Field("srci_mb", srci_mb);
   }
   tp.Print();
+  json.WriteIfRequested(args);
   std::printf(
       "\nPaper reference (10M..20M rows): PRKB-250 38.2..76.3 MB, PRKB-600 "
       "38.2..76.4 MB, Log-SRC-i 3589..6758 MB\n");

@@ -40,6 +40,10 @@ int Main(int argc, char** argv) {
   srci::LogSrcI srci_index(&db_srci, 0, spec.domain_lo, spec.domain_hi);
   if (auto s = srci_index.Build(/*capacity_factor=*/4.0); !s.ok()) return 1;
 
+  JsonBench json("bench_table4_update", args);
+  json.Config("base_rows", static_cast<double>(base_rows));
+  json.Config("batch_rows", static_cast<double>(batch_rows));
+
   TablePrinter tp("insert throughput (tuples/second), batches of " +
                   std::to_string(batch_rows));
   tp.SetHeader({"batch", "PRKB", "Log-SRC-i"});
@@ -68,8 +72,13 @@ int Main(int argc, char** argv) {
 
     tp.AddRow({std::to_string(batch), TablePrinter::Fmt(prkb_tps, 0),
                TablePrinter::Fmt(srci_tps, 0)});
+    json.BeginRow();
+    json.Field("batch", static_cast<uint64_t>(batch));
+    json.Field("prkb_tuples_per_s", prkb_tps);
+    json.Field("srci_tuples_per_s", srci_tps);
   }
   tp.Print();
+  json.WriteIfRequested(args);
   std::printf(
       "\nPaper reference (10M base, 2M batches): PRKB ~32,100-32,356 t/s "
       "flat; Log-SRC-i ~2,935-2,967 t/s\n");

@@ -3,6 +3,9 @@
 #include <cstdlib>
 #include <cstring>
 
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
 namespace prkb::bench {
 
 BenchArgs BenchArgs::Parse(int argc, char** argv, double default_scale) {
@@ -20,10 +23,13 @@ BenchArgs BenchArgs::Parse(int argc, char** argv, double default_scale) {
       args.tm_latency_ns = std::strtoull(a + 8, nullptr, 10);
     } else if (std::strncmp(a, "--json=", 7) == 0) {
       args.json_path = a + 7;
+    } else if (std::strncmp(a, "--trace=", 8) == 0) {
+      args.trace_path = a + 8;
     } else {
       std::fprintf(stderr, "unknown flag: %s\n", a);
     }
   }
+  if (!args.trace_path.empty()) obs::ObsTracer::Global().Enable();
   return args;
 }
 
@@ -79,6 +85,44 @@ void WriteEntries(std::FILE* f,
   }
 }
 
+std::string RenderU64(uint64_t v) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%llu", static_cast<unsigned long long>(v));
+  return buf;
+}
+
+std::string RenderI64(int64_t v) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%lld", static_cast<long long>(v));
+  return buf;
+}
+
+/// Flattens the registry snapshot to one-level key/value pairs so consumers
+/// (tools/obs_report, diff scripts) need no nested-JSON handling. Counters
+/// emit their name; gauges add `.max`; histograms expand to
+/// `.count/.sum/.mean/.max/.p50/.p90/.p99` (docs/BENCH_FORMAT.md).
+std::vector<std::pair<std::string, std::string>> FlattenMetrics(
+    const obs::MetricsSnapshot& snap) {
+  std::vector<std::pair<std::string, std::string>> out;
+  for (const auto& [name, value] : snap.counters) {
+    out.emplace_back(name, RenderU64(value));
+  }
+  for (const auto& g : snap.gauges) {
+    out.emplace_back(g.name, RenderI64(g.value));
+    out.emplace_back(g.name + ".max", RenderI64(g.max));
+  }
+  for (const auto& h : snap.histograms) {
+    out.emplace_back(h.name + ".count", RenderU64(h.count));
+    out.emplace_back(h.name + ".sum", RenderU64(h.sum));
+    out.emplace_back(h.name + ".mean", RenderNumber(h.Mean()));
+    out.emplace_back(h.name + ".max", RenderU64(h.max));
+    out.emplace_back(h.name + ".p50", RenderU64(h.ApproxPercentile(0.50)));
+    out.emplace_back(h.name + ".p90", RenderU64(h.ApproxPercentile(0.90)));
+    out.emplace_back(h.name + ".p99", RenderU64(h.ApproxPercentile(0.99)));
+  }
+  return out;
+}
+
 }  // namespace
 
 JsonBench::JsonBench(std::string bench_name, const BenchArgs& args)
@@ -123,13 +167,20 @@ bool JsonBench::WriteTo(const std::string& path) const {
     WriteEntries(f, rows_[r], "      ");
     std::fprintf(f, "    }%s\n", r + 1 < rows_.size() ? "," : "");
   }
-  std::fprintf(f, "  ]\n}\n");
+  const auto metrics =
+      FlattenMetrics(obs::MetricsRegistry::Global().Snapshot());
+  std::fprintf(f, "  ],\n  \"metrics\": {\n");
+  WriteEntries(f, metrics, "    ");
+  std::fprintf(f, "  }\n}\n");
   std::fclose(f);
   return true;
 }
 
 void JsonBench::WriteIfRequested(const BenchArgs& args) const {
   if (!args.json_path.empty()) WriteTo(args.json_path);
+  if (!args.trace_path.empty()) {
+    obs::ObsTracer::Global().ExportChromeTrace(args.trace_path);
+  }
 }
 
 int WarmToPartitions(core::PrkbIndex* index, edbms::Edbms* db,

@@ -27,20 +27,26 @@ namespace prkb::bench {
 ///   --json=<path>  additionally writes the run's measurements as a
 ///                  machine-readable JSON file (see JsonBench) so checked-in
 ///                  baselines can track the perf trajectory across PRs
+///   --trace=<path> enables the span tracer for the whole run and exports
+///                  a Chrome trace_event JSON (open in chrome://tracing or
+///                  https://ui.perfetto.dev) when the binary writes output
 struct BenchArgs {
   double scale;
   uint64_t seed = 42;
   int queries = -1;  // -1 = binary default
   uint64_t tm_latency_ns = 0;
-  std::string json_path;  // empty = no JSON output
+  std::string json_path;   // empty = no JSON output
+  std::string trace_path;  // empty = tracer stays disabled
 
   /// Parses argv; `default_scale` is the binary's laptop default.
   static BenchArgs Parse(int argc, char** argv, double default_scale);
 };
 
 /// Collects measurement rows and writes them as one flat JSON document:
-/// `{"bench": ..., "config": {...}, "rows": [{...}, ...]}`. Values are
-/// numbers or strings only — enough for diffing checked-in baselines.
+/// `{"bench": ..., "config": {...}, "rows": [{...}, ...], "metrics": {...}}`.
+/// Values are numbers or strings only — enough for diffing checked-in
+/// baselines. The "metrics" block is a flattened snapshot of the process
+/// obs registry taken at write time (docs/BENCH_FORMAT.md).
 class JsonBench {
  public:
   JsonBench(std::string bench_name, const BenchArgs& args);
@@ -55,10 +61,12 @@ class JsonBench {
   void Field(const std::string& key, uint64_t value);
   void Field(const std::string& key, const std::string& value);
 
-  /// Writes the document to `path`. Returns false (with a message on
-  /// stderr) if the file cannot be written.
+  /// Writes the document to `path`, snapshotting the obs registry into the
+  /// "metrics" block. Returns false (with a message on stderr) if the file
+  /// cannot be written.
   bool WriteTo(const std::string& path) const;
-  /// Convenience: writes to args.json_path when --json= was given.
+  /// Convenience: writes to args.json_path when --json= was given, and
+  /// exports the Chrome trace to args.trace_path when --trace= was given.
   void WriteIfRequested(const BenchArgs& args) const;
 
  private:

@@ -1,0 +1,44 @@
+#!/usr/bin/env bash
+# Checks intra-repository markdown links: every [text](target) whose target
+# is a relative path (not a URL or pure #anchor) must resolve to an existing
+# file or directory. Run from anywhere; operates on the repo root.
+#
+# Usage: scripts/check_links.sh [file.md ...]   (default: all tracked *.md)
+
+set -u
+
+root="$(cd "$(dirname "$0")/.." && pwd)"
+cd "$root"
+
+if [ "$#" -gt 0 ]; then
+  files=("$@")
+else
+  # Tracked markdown only, so build trees and third_party stay out of scope.
+  mapfile -t files < <(git ls-files '*.md')
+fi
+
+fail=0
+for f in "${files[@]}"; do
+  [ -f "$f" ] || { echo "MISSING FILE: $f"; fail=1; continue; }
+  dir="$(dirname "$f")"
+  # Extract (target) of every markdown link, dropping any #anchor suffix.
+  # Inline code spans are not parsed; false positives there would show up
+  # as failures, so docs keep literal parens out of code-span link examples.
+  while IFS= read -r target; do
+    case "$target" in
+      http://*|https://*|mailto:*|\#*|'') continue ;;
+    esac
+    path="${target%%#*}"
+    [ -n "$path" ] || continue
+    if [ ! -e "$dir/$path" ] && [ ! -e "$path" ]; then
+      echo "BROKEN LINK: $f -> $target"
+      fail=1
+    fi
+  done < <(grep -oE '\]\([^)]+\)' "$f" | sed -E 's/^\]\(//; s/\)$//')
+done
+
+if [ "$fail" -ne 0 ]; then
+  echo "link check FAILED"
+  exit 1
+fi
+echo "link check OK (${#files[@]} files)"

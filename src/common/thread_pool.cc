@@ -4,7 +4,31 @@
 #include <atomic>
 #include <memory>
 
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
 namespace prkb {
+namespace {
+
+/// Pool telemetry: queue_depth's high-water mark shows backlog under load;
+/// task_ns is per-task execution time, not queueing delay
+/// (docs/OBSERVABILITY.md).
+struct PoolMetrics {
+  obs::Counter* tasks;
+  obs::Gauge* queue_depth;
+  obs::LatencyHistogram* task_ns;
+
+  static const PoolMetrics& Get() {
+    static const PoolMetrics m = {
+        obs::MetricsRegistry::Global().GetCounter("threadpool.tasks"),
+        obs::MetricsRegistry::Global().GetGauge("threadpool.queue_depth"),
+        obs::MetricsRegistry::Global().GetHistogram("threadpool.task_ns"),
+    };
+    return m;
+  }
+};
+
+}  // namespace
 
 ThreadPool::ThreadPool(size_t num_threads) {
   threads_.reserve(num_threads);
@@ -26,6 +50,8 @@ void ThreadPool::Submit(std::function<void()> fn) {
   {
     std::lock_guard<std::mutex> lock(mu_);
     queue_.push_back(std::move(fn));
+    PoolMetrics::Get().queue_depth->Set(
+        static_cast<int64_t>(queue_.size()));
   }
   cv_.notify_one();
 }
@@ -39,8 +65,14 @@ void ThreadPool::WorkerLoop() {
       if (queue_.empty()) return;  // stopping
       fn = std::move(queue_.front());
       queue_.pop_front();
+      PoolMetrics::Get().queue_depth->Set(
+          static_cast<int64_t>(queue_.size()));
     }
+    const PoolMetrics& metrics = PoolMetrics::Get();
+    metrics.tasks->Add(1);
+    const uint64_t t0 = obs::ObsTracer::NowNs();
     fn();
+    metrics.task_ns->Record(obs::ObsTracer::NowNs() - t0);
   }
 }
 

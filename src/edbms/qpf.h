@@ -8,8 +8,32 @@
 #include "common/bitvector.h"
 #include "edbms/encryption.h"
 #include "edbms/types.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace prkb::edbms {
+
+/// Registry instruments shared by every oracle instance (the per-instance
+/// atomics below feed SelectionStats deltas; these feed process-wide
+/// snapshots). Names are catalogued in docs/OBSERVABILITY.md.
+struct QpfMetrics {
+  obs::Counter* uses;
+  obs::Counter* round_trips;
+  obs::Counter* batches;
+  obs::LatencyHistogram* round_trip_ns;
+  obs::LatencyHistogram* batch_tuples;
+
+  static const QpfMetrics& Get() {
+    static const QpfMetrics m = {
+        obs::MetricsRegistry::Global().GetCounter("qpf.uses"),
+        obs::MetricsRegistry::Global().GetCounter("qpf.round_trips"),
+        obs::MetricsRegistry::Global().GetCounter("qpf.batches"),
+        obs::MetricsRegistry::Global().GetHistogram("qpf.round_trip_ns"),
+        obs::MetricsRegistry::Global().GetHistogram("qpf.batch_tuples"),
+    };
+    return m;
+  }
+};
 
 /// The query processing function Θ of the paper's EDBMS model (Sec. 3.1):
 /// given an encrypted predicate (trapdoor) and an encrypted tuple, returns
@@ -51,7 +75,13 @@ class QpfOracle {
   bool Eval(const Trapdoor& td, TupleId tid) {
     uses_.fetch_add(1, std::memory_order_relaxed);
     round_trips_.fetch_add(1, std::memory_order_relaxed);
-    return DoEval(td, tid);
+    const QpfMetrics& m = QpfMetrics::Get();
+    m.uses->Add(1);
+    m.round_trips->Add(1);
+    const uint64_t t0 = obs::ObsTracer::NowNs();
+    const bool out = DoEval(td, tid);
+    m.round_trip_ns->Record(obs::ObsTracer::NowNs() - t0);
+    return out;
   }
 
   /// Θ applied to a batch of tuples in one round trip. Bit i of the result
@@ -63,7 +93,15 @@ class QpfOracle {
     uses_.fetch_add(tids.size(), std::memory_order_relaxed);
     round_trips_.fetch_add(1, std::memory_order_relaxed);
     batches_.fetch_add(1, std::memory_order_relaxed);
-    return DoEvalBatch(td, tids);
+    const QpfMetrics& m = QpfMetrics::Get();
+    m.uses->Add(tids.size());
+    m.round_trips->Add(1);
+    m.batches->Add(1);
+    m.batch_tuples->Record(tids.size());
+    const uint64_t t0 = obs::ObsTracer::NowNs();
+    BitVector out = DoEvalBatch(td, tids);
+    m.round_trip_ns->Record(obs::ObsTracer::NowNs() - t0);
+    return out;
   }
 
   /// Total evaluations since construction / last reset.

@@ -1,8 +1,26 @@
 #include "edbms/sdb_qpf.h"
 
 #include "common/latency.h"
+#include "obs/metrics.h"
 
 namespace prkb::edbms {
+namespace {
+
+/// MPC transport cost, process-wide (docs/OBSERVABILITY.md).
+struct SdbMetrics {
+  obs::Counter* rounds;
+  obs::Counter* bytes;
+
+  static const SdbMetrics& Get() {
+    static const SdbMetrics m = {
+        obs::MetricsRegistry::Global().GetCounter("sdb.mpc_rounds"),
+        obs::MetricsRegistry::Global().GetCounter("sdb.mpc_bytes"),
+    };
+    return m;
+  }
+};
+
+}  // namespace
 
 SdbEdbms::SdbEdbms(uint64_t master_seed, size_t num_attrs)
     : do_(master_seed), share_cols_(num_attrs) {}
@@ -57,9 +75,12 @@ bool SdbEdbms::Reconstruct(const Trapdoor& td, const PlainPredicate& pred,
 
 bool SdbEdbms::DoEval(const Trapdoor& td, TupleId tid) {
   // One request/response round: share + ids out, one bit back.
+  const uint64_t nbytes =
+      sizeof(uint64_t) + sizeof(TupleId) + sizeof(uint64_t) + 1;
   rounds_.fetch_add(1, std::memory_order_relaxed);
-  bytes_.fetch_add(sizeof(uint64_t) + sizeof(TupleId) + sizeof(uint64_t) + 1,
-                   std::memory_order_relaxed);
+  bytes_.fetch_add(nbytes, std::memory_order_relaxed);
+  SdbMetrics::Get().rounds->Add(1);
+  SdbMetrics::Get().bytes->Add(nbytes);
   SimulateLatency();
   return Reconstruct(td, do_.PlainFormOf(td.uid), tid);
 }
@@ -68,11 +89,12 @@ BitVector SdbEdbms::DoEvalBatch(const Trapdoor& td,
                                 std::span<const TupleId> tids) {
   // One MPC round for the whole batch: all shares and ids travel in a single
   // request, the trapdoor uid once, and the answer is one packed bit vector.
+  const uint64_t nbytes = tids.size() * (sizeof(uint64_t) + sizeof(TupleId)) +
+                          sizeof(uint64_t) + (tids.size() + 7) / 8;
   rounds_.fetch_add(1, std::memory_order_relaxed);
-  bytes_.fetch_add(
-      tids.size() * (sizeof(uint64_t) + sizeof(TupleId)) + sizeof(uint64_t) +
-          (tids.size() + 7) / 8,
-      std::memory_order_relaxed);
+  bytes_.fetch_add(nbytes, std::memory_order_relaxed);
+  SdbMetrics::Get().rounds->Add(1);
+  SdbMetrics::Get().bytes->Add(nbytes);
   SimulateLatency();
   const PlainPredicate& pred = do_.PlainFormOf(td.uid);
   BitVector out(tids.size());

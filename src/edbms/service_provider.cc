@@ -1,6 +1,9 @@
 #include "edbms/service_provider.h"
 
-#include "common/stopwatch.h"
+#include <string>
+
+#include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace prkb::edbms {
 namespace {
@@ -17,22 +20,36 @@ std::vector<TupleId> LiveTuples(const Edbms& db) {
 
 }  // namespace
 
-void BaselineScanner::FillStats(SelectionStats* stats, uint64_t uses_before,
-                                uint64_t trips_before, uint64_t batches_before,
-                                double millis) const {
-  if (stats == nullptr) return;
-  stats->qpf_uses = db_->uses() - uses_before;
-  stats->qpf_round_trips = db_->round_trips() - trips_before;
-  stats->qpf_batches = db_->batches() - batches_before;
-  stats->millis = millis;
+StatsScope::StatsScope(const Edbms* db, SelectionStats* stats, const char* op)
+    : db_(db),
+      stats_(stats),
+      op_(op),
+      uses_(db->uses()),
+      trips_(db->round_trips()),
+      batches_(db->batches()) {}
+
+void StatsScope::Finish() {
+  if (done_) return;
+  done_ = true;
+  const double millis = watch_.ElapsedMillis();
+  if (stats_ != nullptr) {
+    stats_->qpf_uses = db_->uses() - uses_;
+    stats_->qpf_round_trips = db_->round_trips() - trips_;
+    stats_->qpf_batches = db_->batches() - batches_;
+    stats_->millis = millis;
+  }
+  // Op-level registry mirror. The lookup-by-name cost is per operation, not
+  // per tuple, so the convenience beats caching pointers per op string.
+  auto& registry = obs::MetricsRegistry::Global();
+  registry.GetCounter(std::string(op_) + ".count")->Add(1);
+  registry.GetHistogram(std::string(op_) + ".duration_ns")
+      ->Record(static_cast<uint64_t>(millis * 1e6));
 }
 
 std::vector<TupleId> BaselineScanner::Select(const Trapdoor& td,
                                              SelectionStats* stats) const {
-  Stopwatch watch;
-  const uint64_t uses_before = db_->uses();
-  const uint64_t trips_before = db_->round_trips();
-  const uint64_t batches_before = db_->batches();
+  const obs::ObsTracer::Span span("baseline.scan");
+  StatsScope scope(db_, stats, "baseline.select");
 
   const std::vector<TupleId> live = LiveTuples(*db_);
   const std::vector<uint8_t> hit = ScanTuples(db_, td, live, policy_);
@@ -40,17 +57,13 @@ std::vector<TupleId> BaselineScanner::Select(const Trapdoor& td,
   for (size_t i = 0; i < live.size(); ++i) {
     if (hit[i]) out.push_back(live[i]);
   }
-  FillStats(stats, uses_before, trips_before, batches_before,
-            watch.ElapsedMillis());
   return out;
 }
 
 std::vector<TupleId> BaselineScanner::SelectConjunction(
     const std::vector<Trapdoor>& tds, SelectionStats* stats) const {
-  Stopwatch watch;
-  const uint64_t uses_before = db_->uses();
-  const uint64_t trips_before = db_->round_trips();
-  const uint64_t batches_before = db_->batches();
+  const obs::ObsTracer::Span span("baseline.conjunction");
+  StatsScope scope(db_, stats, "baseline.conjunction");
   std::vector<TupleId> out;
 
   if (!policy_.batched() && !policy_.parallel()) {
@@ -83,9 +96,6 @@ std::vector<TupleId> BaselineScanner::SelectConjunction(
     }
     out = std::move(survivors);
   }
-
-  FillStats(stats, uses_before, trips_before, batches_before,
-            watch.ElapsedMillis());
   return out;
 }
 

@@ -3,6 +3,7 @@
 
 #include <vector>
 
+#include "common/stopwatch.h"
 #include "edbms/batch_scan.h"
 #include "edbms/edbms.h"
 
@@ -18,6 +19,36 @@ struct SelectionStats {
   /// Of which batched (EvalBatch) calls.
   uint64_t qpf_batches = 0;
   double millis = 0.0;
+};
+
+/// Uniform SelectionStats accounting, routed through the obs registry.
+/// Snapshots the oracle's cost counters at construction; Finish() (or the
+/// destructor) overwrites EVERY field of *stats with this operation's delta,
+/// so a stats struct reused across calls never retains a stale field — the
+/// pre-obs code filled different subsets on different paths (e.g. Insert
+/// skipped qpf_batches). Also mirrors the operation into the registry as
+/// `<op>.count` and `<op>.duration_ns` (docs/OBSERVABILITY.md).
+class StatsScope {
+ public:
+  /// `op` is the registry metric prefix; `stats` may be null (the registry
+  /// mirroring still happens).
+  StatsScope(const Edbms* db, SelectionStats* stats, const char* op);
+  ~StatsScope() { Finish(); }
+  StatsScope(const StatsScope&) = delete;
+  StatsScope& operator=(const StatsScope&) = delete;
+
+  /// Idempotent; called by the destructor if not called explicitly.
+  void Finish();
+
+ private:
+  const Edbms* db_;
+  SelectionStats* stats_;
+  const char* op_;
+  uint64_t uses_;
+  uint64_t trips_;
+  uint64_t batches_;
+  Stopwatch watch_;
+  bool done_ = false;
 };
 
 /// The paper's *Baseline* processing mode (Sec. 3.2): the SP tests every
@@ -43,10 +74,6 @@ class BaselineScanner {
                                          SelectionStats* stats = nullptr) const;
 
  private:
-  void FillStats(SelectionStats* stats, uint64_t uses_before,
-                 uint64_t trips_before, uint64_t batches_before,
-                 double millis) const;
-
   Edbms* db_;
   BatchPolicy policy_;
 };

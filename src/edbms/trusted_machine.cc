@@ -3,9 +3,28 @@
 #include <mutex>
 
 #include "common/latency.h"
+#include "obs/metrics.h"
 
 namespace prkb::edbms {
 namespace {
+
+/// TM entries and per-entry work, process-wide (docs/OBSERVABILITY.md).
+struct TmMetrics {
+  obs::Counter* entries;
+  obs::Counter* evals;
+  obs::Counter* value_decrypts;
+  obs::LatencyHistogram* batch_cells;
+
+  static const TmMetrics& Get() {
+    static const TmMetrics m = {
+        obs::MetricsRegistry::Global().GetCounter("tm.entries"),
+        obs::MetricsRegistry::Global().GetCounter("tm.evals"),
+        obs::MetricsRegistry::Global().GetCounter("tm.value_decrypts"),
+        obs::MetricsRegistry::Global().GetHistogram("tm.batch_cells"),
+    };
+    return m;
+  }
+};
 
 std::vector<uint8_t> SeedBytes(uint64_t seed) {
   std::vector<uint8_t> out(8);
@@ -60,6 +79,8 @@ bool TrustedMachine::EvalPredicate(const Trapdoor& td, const EncValue& cell,
                                    bool* ok) {
   predicate_evals_.fetch_add(1, std::memory_order_relaxed);
   round_trips_.fetch_add(1, std::memory_order_relaxed);
+  TmMetrics::Get().entries->Add(1);
+  TmMetrics::Get().evals->Add(1);
   SimulateLatency();
   const TrapdoorPayload* p = Open(td);
   if (p == nullptr) {
@@ -75,6 +96,10 @@ BitVector TrustedMachine::EvalPredicateBatch(
   BitVector out(cells.size());
   predicate_evals_.fetch_add(cells.size(), std::memory_order_relaxed);
   round_trips_.fetch_add(1, std::memory_order_relaxed);
+  const TmMetrics& m = TmMetrics::Get();
+  m.entries->Add(1);
+  m.evals->Add(cells.size());
+  m.batch_cells->Record(cells.size());
   SimulateLatency();  // the whole batch travels in one round trip
   const TrapdoorPayload* p = Open(td);
   if (p == nullptr) {
@@ -91,6 +116,8 @@ BitVector TrustedMachine::EvalPredicateBatch(
 Value TrustedMachine::DecryptValue(const EncValue& cell) {
   value_decrypts_.fetch_add(1, std::memory_order_relaxed);
   round_trips_.fetch_add(1, std::memory_order_relaxed);
+  TmMetrics::Get().entries->Add(1);
+  TmMetrics::Get().value_decrypts->Add(1);
   SimulateLatency();
   return crypter_.Decrypt(cell);
 }

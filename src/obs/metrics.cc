@@ -1,0 +1,126 @@
+#include "obs/metrics.h"
+
+#include <cstdio>
+
+namespace prkb::obs {
+
+void LatencyHistogram::Reset() {
+  count_.store(0, std::memory_order_relaxed);
+  sum_.store(0, std::memory_order_relaxed);
+  max_.store(0, std::memory_order_relaxed);
+  for (auto& b : buckets_) b.store(0, std::memory_order_relaxed);
+}
+
+uint64_t HistogramSnapshot::ApproxPercentile(double p) const {
+  if (count == 0) return 0;
+  if (p < 0.0) p = 0.0;
+  if (p > 1.0) p = 1.0;
+  // Rank of the percentile sample, 1-based; walk buckets until covered.
+  const uint64_t rank =
+      static_cast<uint64_t>(p * static_cast<double>(count - 1)) + 1;
+  uint64_t seen = 0;
+  for (size_t b = 0; b < buckets.size(); ++b) {
+    seen += buckets[b];
+    if (seen >= rank) return LatencyHistogram::BucketUpper(b);
+  }
+  return max;
+}
+
+std::string MetricsSnapshot::ToText() const {
+  std::string out;
+  char line[256];
+  for (const auto& [name, value] : counters) {
+    std::snprintf(line, sizeof(line), "counter    %-34s %llu\n", name.c_str(),
+                  static_cast<unsigned long long>(value));
+    out += line;
+  }
+  for (const auto& g : gauges) {
+    std::snprintf(line, sizeof(line), "gauge      %-34s %lld (max %lld)\n",
+                  g.name.c_str(), static_cast<long long>(g.value),
+                  static_cast<long long>(g.max));
+    out += line;
+  }
+  for (const auto& h : histograms) {
+    std::snprintf(line, sizeof(line),
+                  "histogram  %-34s count=%llu mean=%.1f p50<=%llu "
+                  "p99<=%llu max=%llu\n",
+                  h.name.c_str(), static_cast<unsigned long long>(h.count),
+                  h.Mean(),
+                  static_cast<unsigned long long>(h.ApproxPercentile(0.50)),
+                  static_cast<unsigned long long>(h.ApproxPercentile(0.99)),
+                  static_cast<unsigned long long>(h.max));
+    out += line;
+  }
+  return out;
+}
+
+MetricsRegistry& MetricsRegistry::Global() {
+  static MetricsRegistry* registry = new MetricsRegistry();
+  return *registry;
+}
+
+Counter* MetricsRegistry::GetCounter(std::string_view name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = counters_.find(name);
+  if (it == counters_.end()) {
+    it = counters_.emplace(std::string(name), std::make_unique<Counter>())
+             .first;
+  }
+  return it->second.get();
+}
+
+Gauge* MetricsRegistry::GetGauge(std::string_view name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = gauges_.find(name);
+  if (it == gauges_.end()) {
+    it = gauges_.emplace(std::string(name), std::make_unique<Gauge>()).first;
+  }
+  return it->second.get();
+}
+
+LatencyHistogram* MetricsRegistry::GetHistogram(std::string_view name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = histograms_.find(name);
+  if (it == histograms_.end()) {
+    it = histograms_
+             .emplace(std::string(name), std::make_unique<LatencyHistogram>())
+             .first;
+  }
+  return it->second.get();
+}
+
+MetricsSnapshot MetricsRegistry::Snapshot() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  MetricsSnapshot snap;
+  snap.counters.reserve(counters_.size());
+  for (const auto& [name, c] : counters_) {
+    snap.counters.emplace_back(name, c->value());
+  }
+  snap.gauges.reserve(gauges_.size());
+  for (const auto& [name, g] : gauges_) {
+    snap.gauges.push_back({name, g->value(), g->max()});
+  }
+  snap.histograms.reserve(histograms_.size());
+  for (const auto& [name, h] : histograms_) {
+    HistogramSnapshot hs;
+    hs.name = name;
+    hs.count = h->count();
+    hs.sum = h->sum();
+    hs.max = h->max();
+    hs.buckets.resize(LatencyHistogram::kBuckets);
+    for (size_t b = 0; b < LatencyHistogram::kBuckets; ++b) {
+      hs.buckets[b] = h->bucket(b);
+    }
+    snap.histograms.push_back(std::move(hs));
+  }
+  return snap;
+}
+
+void MetricsRegistry::Reset() {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (auto& [name, c] : counters_) c->Reset();
+  for (auto& [name, g] : gauges_) g->Reset();
+  for (auto& [name, h] : histograms_) h->Reset();
+}
+
+}  // namespace prkb::obs

@@ -1,0 +1,168 @@
+#ifndef PRKB_OBS_METRICS_H_
+#define PRKB_OBS_METRICS_H_
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace prkb::obs {
+
+/// Monotonically increasing event count. All mutators are single relaxed
+/// atomics — safe to bump from any thread, including pool workers mid-scan.
+class Counter {
+ public:
+  void Add(uint64_t n = 1) { v_.fetch_add(n, std::memory_order_relaxed); }
+  uint64_t value() const { return v_.load(std::memory_order_relaxed); }
+  void Reset() { v_.store(0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<uint64_t> v_{0};
+};
+
+/// Instantaneous signed level (queue depth, chain length). Tracks the
+/// high-water mark since the last reset alongside the current value.
+class Gauge {
+ public:
+  void Set(int64_t v) {
+    v_.store(v, std::memory_order_relaxed);
+    RaiseMax(v);
+  }
+  void Add(int64_t d) {
+    RaiseMax(v_.fetch_add(d, std::memory_order_relaxed) + d);
+  }
+  int64_t value() const { return v_.load(std::memory_order_relaxed); }
+  int64_t max() const { return max_.load(std::memory_order_relaxed); }
+  void Reset() {
+    v_.store(0, std::memory_order_relaxed);
+    max_.store(0, std::memory_order_relaxed);
+  }
+
+ private:
+  void RaiseMax(int64_t v) {
+    int64_t cur = max_.load(std::memory_order_relaxed);
+    while (v > cur &&
+           !max_.compare_exchange_weak(cur, v, std::memory_order_relaxed)) {
+    }
+  }
+  std::atomic<int64_t> v_{0};
+  std::atomic<int64_t> max_{0};
+};
+
+/// Fixed-bucket histogram with power-of-two bucket boundaries, built for
+/// latencies but unit-agnostic (the metric name's suffix declares the unit:
+/// `_ns`, `_tuples`, ...). Bucket 0 counts the value 0; bucket b >= 1 counts
+/// values in [2^(b-1), 2^b - 1]; the last bucket absorbs everything larger.
+/// Recording is a handful of relaxed atomics — no locks on the fast path.
+class LatencyHistogram {
+ public:
+  static constexpr size_t kBuckets = 48;
+
+  /// Bucket index a value lands in (exposed for tests and renderers).
+  static size_t BucketOf(uint64_t v) {
+    size_t b = 0;
+    while (v > 0) {
+      ++b;
+      v >>= 1;
+    }
+    return b < kBuckets ? b : kBuckets - 1;
+  }
+  /// Inclusive upper bound of bucket `b` (2^b - 1; saturates at the top).
+  static uint64_t BucketUpper(size_t b) {
+    return b >= 64 ? ~uint64_t{0} : (uint64_t{1} << b) - 1;
+  }
+
+  void Record(uint64_t v) {
+    count_.fetch_add(1, std::memory_order_relaxed);
+    sum_.fetch_add(v, std::memory_order_relaxed);
+    buckets_[BucketOf(v)].fetch_add(1, std::memory_order_relaxed);
+    uint64_t cur = max_.load(std::memory_order_relaxed);
+    while (v > cur &&
+           !max_.compare_exchange_weak(cur, v, std::memory_order_relaxed)) {
+    }
+  }
+
+  uint64_t count() const { return count_.load(std::memory_order_relaxed); }
+  uint64_t sum() const { return sum_.load(std::memory_order_relaxed); }
+  uint64_t max() const { return max_.load(std::memory_order_relaxed); }
+  uint64_t bucket(size_t b) const {
+    return buckets_[b].load(std::memory_order_relaxed);
+  }
+  void Reset();
+
+ private:
+  std::atomic<uint64_t> count_{0};
+  std::atomic<uint64_t> sum_{0};
+  std::atomic<uint64_t> max_{0};
+  std::atomic<uint64_t> buckets_[kBuckets] = {};
+};
+
+/// Point-in-time copy of one histogram, with derived statistics.
+struct HistogramSnapshot {
+  std::string name;
+  uint64_t count = 0;
+  uint64_t sum = 0;
+  uint64_t max = 0;
+  std::vector<uint64_t> buckets;
+
+  double Mean() const {
+    return count == 0 ? 0.0
+                      : static_cast<double>(sum) / static_cast<double>(count);
+  }
+  /// Upper bound of the bucket containing the p-th percentile sample
+  /// (p in [0, 1]); exact to within one power-of-two bucket.
+  uint64_t ApproxPercentile(double p) const;
+};
+
+/// Point-in-time copy of the whole registry, detached from the live
+/// instruments. Name-sorted so renderings and JSON exports are stable.
+struct MetricsSnapshot {
+  std::vector<std::pair<std::string, uint64_t>> counters;
+  struct GaugeValue {
+    std::string name;
+    int64_t value = 0;
+    int64_t max = 0;
+  };
+  std::vector<GaugeValue> gauges;
+  std::vector<HistogramSnapshot> histograms;
+
+  /// Multi-line human-readable dump (one instrument per line).
+  std::string ToText() const;
+};
+
+/// Process-wide catalogue of named instruments. Lookup registers on first
+/// use under a mutex; the returned pointers are stable for the process
+/// lifetime, so call sites cache them in function-local statics and the
+/// steady-state cost of an update is the instrument's own atomics.
+///
+/// docs/OBSERVABILITY.md is the authoritative list of names this codebase
+/// registers; keep it in sync when instrumenting new call sites.
+class MetricsRegistry {
+ public:
+  static MetricsRegistry& Global();
+
+  Counter* GetCounter(std::string_view name);
+  Gauge* GetGauge(std::string_view name);
+  LatencyHistogram* GetHistogram(std::string_view name);
+
+  MetricsSnapshot Snapshot() const;
+  /// Zeroes every instrument. Registrations (and handed-out pointers)
+  /// survive — this is the uniform "start a fresh measurement" operation.
+  void Reset();
+
+ private:
+  mutable std::mutex mu_;
+  std::map<std::string, std::unique_ptr<Counter>, std::less<>> counters_;
+  std::map<std::string, std::unique_ptr<Gauge>, std::less<>> gauges_;
+  std::map<std::string, std::unique_ptr<LatencyHistogram>, std::less<>>
+      histograms_;
+};
+
+}  // namespace prkb::obs
+
+#endif  // PRKB_OBS_METRICS_H_

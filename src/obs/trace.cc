@@ -1,0 +1,116 @@
+#include "obs/trace.h"
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+
+namespace prkb::obs {
+namespace {
+
+/// Small stable per-thread id, assigned in first-use order (Chrome's viewer
+/// renders one row per tid; std::thread::id values are too wide to be
+/// readable).
+uint32_t ThisThreadId() {
+  static std::atomic<uint32_t> next{1};
+  thread_local const uint32_t id =
+      next.fetch_add(1, std::memory_order_relaxed);
+  return id;
+}
+
+}  // namespace
+
+ObsTracer& ObsTracer::Global() {
+  static ObsTracer* tracer = new ObsTracer();
+  return *tracer;
+}
+
+uint64_t ObsTracer::NowNs() {
+  using Clock = std::chrono::steady_clock;
+  static const Clock::time_point origin = Clock::now();
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(Clock::now() -
+                                                           origin)
+          .count());
+}
+
+void ObsTracer::Enable(size_t capacity) {
+  std::lock_guard<std::mutex> lock(mu_);
+  ring_.assign(capacity == 0 ? 1 : capacity, TraceEvent{});
+  next_seq_ = 0;
+  enabled_.store(true, std::memory_order_relaxed);
+}
+
+void ObsTracer::Disable() { enabled_.store(false, std::memory_order_relaxed); }
+
+void ObsTracer::Record(const char* name, uint64_t start_ns, uint64_t dur_ns) {
+  const uint32_t tid = ThisThreadId();
+  std::lock_guard<std::mutex> lock(mu_);
+  if (ring_.empty()) return;  // enabled flag raced an Enable(); drop
+  TraceEvent& slot = ring_[next_seq_ % ring_.size()];
+  slot.name = name;
+  slot.start_ns = start_ns;
+  slot.dur_ns = dur_ns;
+  slot.tid = tid;
+  slot.seq = next_seq_++;
+}
+
+std::vector<TraceEvent> ObsTracer::Snapshot() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<TraceEvent> out;
+  if (ring_.empty() || next_seq_ == 0) return out;
+  const uint64_t live = std::min<uint64_t>(next_seq_, ring_.size());
+  out.reserve(live);
+  for (uint64_t seq = next_seq_ - live; seq < next_seq_; ++seq) {
+    out.push_back(ring_[seq % ring_.size()]);
+  }
+  return out;
+}
+
+uint64_t ObsTracer::dropped() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return ring_.empty() || next_seq_ <= ring_.size() ? 0
+                                                    : next_seq_ - ring_.size();
+}
+
+uint64_t ObsTracer::recorded() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return next_seq_;
+}
+
+bool ObsTracer::ExportChromeTrace(const std::string& path) const {
+  const std::vector<TraceEvent> events = Snapshot();
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "cannot write trace to %s\n", path.c_str());
+    return false;
+  }
+  // Complete ("X" phase) events with microsecond timestamps — the minimal
+  // schema chrome://tracing and Perfetto both accept.
+  std::fprintf(f, "{\"traceEvents\":[\n");
+  for (size_t i = 0; i < events.size(); ++i) {
+    const TraceEvent& e = events[i];
+    std::fprintf(f,
+                 "{\"name\":\"%s\",\"cat\":\"prkb\",\"ph\":\"X\","
+                 "\"ts\":%.3f,\"dur\":%.3f,\"pid\":1,\"tid\":%u}%s\n",
+                 e.name, static_cast<double>(e.start_ns) / 1e3,
+                 static_cast<double>(e.dur_ns) / 1e3, e.tid,
+                 i + 1 < events.size() ? "," : "");
+  }
+  std::fprintf(f, "]}\n");
+  std::fclose(f);
+  return true;
+}
+
+std::string ObsTracer::DumpText() const {
+  std::string out;
+  char line[256];
+  for (const TraceEvent& e : Snapshot()) {
+    std::snprintf(line, sizeof(line), "%12.3f %10.3f  tid=%-3u %s\n",
+                  static_cast<double>(e.start_ns) / 1e3,
+                  static_cast<double>(e.dur_ns) / 1e3, e.tid, e.name);
+    out += line;
+  }
+  return out;
+}
+
+}  // namespace prkb::obs

@@ -1,0 +1,89 @@
+#ifndef PRKB_OBS_TRACE_H_
+#define PRKB_OBS_TRACE_H_
+
+#include <atomic>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace prkb::obs {
+
+/// One completed span. `name` must be a string literal (or otherwise outlive
+/// the tracer) — spans are recorded on hot-ish paths and never copy strings.
+struct TraceEvent {
+  const char* name = nullptr;
+  uint64_t start_ns = 0;  ///< Relative to the process-local trace clock.
+  uint64_t dur_ns = 0;
+  uint32_t tid = 0;  ///< Stable per-thread id (small integer, first-use order).
+  uint64_t seq = 0;  ///< Global record order; survivors are the newest.
+};
+
+/// Span-based tracer with a fixed-capacity ring buffer. Disabled (the
+/// default) it costs one relaxed atomic load per span; enabled, each span
+/// costs two clock reads and a short critical section. When the buffer wraps,
+/// the oldest events are overwritten and counted as dropped.
+///
+/// Export targets: Chrome's trace_event JSON (load via chrome://tracing or
+/// https://ui.perfetto.dev) and a flat text dump. See docs/OBSERVABILITY.md.
+class ObsTracer {
+ public:
+  static ObsTracer& Global();
+
+  /// Clears the buffer, (re)sizes it, and starts recording.
+  void Enable(size_t capacity = kDefaultCapacity);
+  void Disable();
+  bool enabled() const { return enabled_.load(std::memory_order_relaxed); }
+
+  /// Records one completed span (normally via Span, not directly).
+  void Record(const char* name, uint64_t start_ns, uint64_t dur_ns);
+
+  /// Surviving events, oldest first. Thread-safe; recording may continue.
+  std::vector<TraceEvent> Snapshot() const;
+  /// Events overwritten by ring-buffer wraparound since Enable().
+  uint64_t dropped() const;
+  /// Total events ever recorded since Enable().
+  uint64_t recorded() const;
+
+  /// Writes the surviving events as a Chrome trace_event JSON document.
+  /// Returns false (message on stderr) if the file cannot be written.
+  bool ExportChromeTrace(const std::string& path) const;
+  /// Flat text dump: one `start_us dur_us tid name` line per event.
+  std::string DumpText() const;
+
+  /// Nanoseconds on the tracer's monotonic clock (0 = process start-ish).
+  static uint64_t NowNs();
+
+  /// RAII span: samples the clock at construction and records itself at
+  /// destruction. Zero-cost (beyond one atomic load) while the tracer is
+  /// disabled; becoming enabled mid-span records a short tail, which is fine.
+  class Span {
+   public:
+    explicit Span(const char* name)
+        : name_(name),
+          start_ns_(Global().enabled() ? NowNs() : 0) {}
+    ~Span() {
+      if (start_ns_ != 0 && Global().enabled()) {
+        Global().Record(name_, start_ns_, NowNs() - start_ns_);
+      }
+    }
+    Span(const Span&) = delete;
+    Span& operator=(const Span&) = delete;
+
+   private:
+    const char* name_;
+    uint64_t start_ns_;
+  };
+
+ private:
+  static constexpr size_t kDefaultCapacity = 1 << 16;
+
+  std::atomic<bool> enabled_{false};
+  mutable std::mutex mu_;
+  std::vector<TraceEvent> ring_;
+  uint64_t next_seq_ = 0;  // also the total recorded count
+};
+
+}  // namespace prkb::obs
+
+#endif  // PRKB_OBS_TRACE_H_

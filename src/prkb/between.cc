@@ -17,6 +17,8 @@
 #include <cassert>
 #include <map>
 
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "prkb/selection.h"
 
 namespace prkb::core {
@@ -24,6 +26,24 @@ namespace {
 
 using edbms::Trapdoor;
 using edbms::TupleId;
+
+/// BETWEEN telemetry: probes are the Appendix-A anchor hunt plus the two
+/// end binary searches; end-partition scans are additionally counted by the
+/// shared qscan.* scan metrics (docs/OBSERVABILITY.md).
+struct BetweenMetrics {
+  obs::Counter* invocations;
+  obs::Counter* probes;
+  obs::Counter* end_scans;
+
+  static const BetweenMetrics& Get() {
+    static const BetweenMetrics m = {
+        obs::MetricsRegistry::Global().GetCounter("between.invocations"),
+        obs::MetricsRegistry::Global().GetCounter("between.probes"),
+        obs::MetricsRegistry::Global().GetCounter("between.end_scans"),
+    };
+    return m;
+  }
+};
 
 struct ScannedPartition {
   std::vector<TupleId> t_members;
@@ -38,11 +58,15 @@ std::vector<TupleId> PrkbIndex::SelectBetween(const Trapdoor& td) {
   Pop& pop = pops_.at(td.attr);
   const size_t k = pop.k();
   if (k == 0) return {};
+  const obs::ObsTracer::Span span("between.select");
+  const BetweenMetrics& metrics = BetweenMetrics::Get();
+  metrics.invocations->Add(1);
 
   // Cached sample labels per chain position (-1 unknown).
   std::vector<int8_t> sample(k, -1);
   auto probe = [&](size_t pos) -> bool {
     if (sample[pos] < 0) {
+      metrics.probes->Add(1);
       sample[pos] =
           db_->Eval(td, SamplePartition(pop, pos, &rng_)) ? 1 : 0;
     }
@@ -129,6 +153,7 @@ std::vector<TupleId> PrkbIndex::SelectBetween(const Trapdoor& td) {
   for (size_t pos : scan_positions) {
     if (middle_begin <= pos && pos < middle_end) continue;  // known pure T
     ScannedPartition sp;
+    metrics.end_scans->Add(1);
     ScanPartitionExact(pop, pos, td, db_, options_.scan_policy(),
                        &sp.t_members, &sp.f_members);
     scanned.emplace(pos, std::move(sp));

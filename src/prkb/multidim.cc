@@ -23,6 +23,8 @@
 
 #include "common/bitvector.h"
 #include "edbms/batch_scan.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "prkb/selection.h"
 
 namespace prkb::core {
@@ -31,6 +33,26 @@ namespace {
 using edbms::AttrId;
 using edbms::Trapdoor;
 using edbms::TupleId;
+
+/// PRKB(MD) telemetry: band_tuples is the NS-band candidate set the grid
+/// yields; evals is the QPF spend after free-classification pruning
+/// (docs/COST_MODEL.md).
+struct MdMetrics {
+  obs::Counter* invocations;
+  obs::Counter* band_tuples;
+  obs::Counter* evals;
+  obs::Counter* pruned_free;
+
+  static const MdMetrics& Get() {
+    static const MdMetrics m = {
+        obs::MetricsRegistry::Global().GetCounter("md.invocations"),
+        obs::MetricsRegistry::Global().GetCounter("md.band_tuples"),
+        obs::MetricsRegistry::Global().GetCounter("md.evals"),
+        obs::MetricsRegistry::Global().GetCounter("md.pruned_free"),
+    };
+    return m;
+  }
+};
 
 /// Per-trapdoor processing state.
 struct PredCtx {
@@ -98,6 +120,7 @@ bool EvalForTuple(PredCtx* pc, edbms::Edbms* db, TupleId tid) {
   if (auto it = ns.outcome.find(tid); it != ns.outcome.end()) {
     return it->second;
   }
+  MdMetrics::Get().evals->Add(1);
   const bool out = db->Eval(*pc->td, tid);
   RecordOutcome(pc, tid, out);
   return out;
@@ -123,6 +146,9 @@ int8_t ClassifyTuple(const PredCtx& pc, TupleId tid) {
 
 std::vector<TupleId> PrkbIndex::RunMd(const std::vector<Trapdoor>& tds) {
   assert(!tds.empty());
+  const obs::ObsTracer::Span span("md.select");
+  const MdMetrics& metrics = MdMetrics::Get();
+  metrics.invocations->Add(1);
 
   // ---- Step 1: QFilter every trapdoor; classify partitions. ----
   std::vector<PredCtx> preds(tds.size());
@@ -171,6 +197,7 @@ std::vector<TupleId> PrkbIndex::RunMd(const std::vector<Trapdoor>& tds) {
         for (TupleId tid : members) {
           if (visited.Get(tid)) continue;
           visited.Set(tid);
+          metrics.band_tuples->Add(1);
 
           // Cheap pass: reject on any sure-false trapdoor, collect the
           // undecided ones.
@@ -181,7 +208,10 @@ std::vector<TupleId> PrkbIndex::RunMd(const std::vector<Trapdoor>& tds) {
               break;
             }
           }
-          if (rejected) continue;
+          if (rejected) {
+            metrics.pruned_free->Add(1);
+            continue;
+          }
 
           // Expensive pass: evaluate undecided trapdoors, stop at first 0.
           bool all_true = true;
@@ -217,6 +247,7 @@ std::vector<TupleId> PrkbIndex::RunMd(const std::vector<Trapdoor>& tds) {
           visited.Set(tid);
           alive.push_back(tid);
         }
+        metrics.band_tuples->Add(alive.size());
         const std::vector<TupleId> chunk_order = alive;
         std::unordered_map<TupleId, bool> won;
 
@@ -248,6 +279,7 @@ std::vector<TupleId> PrkbIndex::RunMd(const std::vector<Trapdoor>& tds) {
           if (alive.empty()) break;
           for (size_t p = 0; p < preds.size(); ++p) {
             if (need[p].empty()) continue;
+            metrics.evals->Add(need[p].size());
             const std::vector<uint8_t> bits =
                 edbms::ScanTuples(db_, *preds[p].td, need[p], policy);
             for (size_t j = 0; j < need[p].size(); ++j) {

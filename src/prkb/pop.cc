@@ -3,10 +3,35 @@
 #include <algorithm>
 #include <cassert>
 
+#include "obs/metrics.h"
+
 namespace prkb::core {
 
 using edbms::TupleId;
 using edbms::Value;
+
+namespace {
+
+/// Chain-evolution telemetry: splits are the PRKB's knowledge growth, merges
+/// its deliberate coarsening; chain_k_after_split samples k as it grows
+/// (docs/OBSERVABILITY.md).
+struct PopMetrics {
+  obs::Counter* splits;
+  obs::Counter* merges;
+  obs::LatencyHistogram* chain_k_after_split;
+
+  static const PopMetrics& Get() {
+    static const PopMetrics m = {
+        obs::MetricsRegistry::Global().GetCounter("prkb.splits"),
+        obs::MetricsRegistry::Global().GetCounter("prkb.merges"),
+        obs::MetricsRegistry::Global().GetHistogram(
+            "prkb.chain_k_after_split"),
+    };
+    return m;
+  }
+};
+
+}  // namespace
 
 void Pop::InitSingle(size_t num_tuples) {
   std::vector<TupleId> all(num_tuples);
@@ -74,6 +99,8 @@ uint64_t Pop::SplitPartition(PartitionId pid,
   cut.left_label = left_label;
   cut_index_[cut.id] = cuts_.size();
   cuts_.push_back(std::move(cut));
+  PopMetrics::Get().splits->Add(1);
+  PopMetrics::Get().chain_k_after_split->Record(chain_.size());
   return cuts_.back().id;
 }
 
@@ -143,6 +170,7 @@ void Pop::RemoveTuple(TupleId tid) {
 
 PartitionId Pop::MergeAt(size_t pos) {
   assert(pos + 1 < chain_.size());
+  PopMetrics::Get().merges->Add(1);
   const PartitionId left = chain_[pos];
   const PartitionId right = chain_[pos + 1];
   auto& lm = slots_[left].members;

@@ -2,7 +2,32 @@
 
 #include <cassert>
 
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
 namespace prkb::core {
+namespace {
+
+/// QFilter telemetry: probe count is the measured side of the paper's
+/// 2 + ⌈lg k⌉ sample bound (docs/COST_MODEL.md).
+struct QFilterMetrics {
+  obs::Counter* invocations;
+  obs::Counter* probes;
+  obs::LatencyHistogram* chain_k;
+  obs::LatencyHistogram* probes_per_call;
+
+  static const QFilterMetrics& Get() {
+    static const QFilterMetrics m = {
+        obs::MetricsRegistry::Global().GetCounter("qfilter.invocations"),
+        obs::MetricsRegistry::Global().GetCounter("qfilter.probes"),
+        obs::MetricsRegistry::Global().GetHistogram("qfilter.chain_k"),
+        obs::MetricsRegistry::Global().GetHistogram("qfilter.probes_per_call"),
+    };
+    return m;
+  }
+};
+
+}  // namespace
 
 edbms::TupleId SamplePartition(const Pop& pop, size_t pos, Rng* rng) {
   const auto& members = pop.members_at(pos);
@@ -14,18 +39,29 @@ QFilterResult QFilter(const Pop& pop, const edbms::Trapdoor& td,
                       edbms::QpfOracle* qpf, Rng* rng) {
   const size_t k = pop.k();
   assert(k >= 1);
+  const obs::ObsTracer::Span span("qfilter.binary_search");
+  const QFilterMetrics& metrics = QFilterMetrics::Get();
+  metrics.invocations->Add(1);
+  metrics.chain_k->Record(k);
+  uint64_t probes = 0;
+  auto probe = [&](size_t pos) {
+    ++probes;
+    return qpf->Eval(td, SamplePartition(pop, pos, rng));
+  };
   QFilterResult out;
 
   if (k == 1) {
     // Degenerate POP₁: everything is the NS "pair"; QScan does a full scan.
     out.boundary_case = true;
-    const bool label = qpf->Eval(td, SamplePartition(pop, 0, rng));
+    const bool label = probe(0);
     out.label_first = out.label_last = label;
+    metrics.probes->Add(probes);
+    metrics.probes_per_call->Record(probes);
     return out;
   }
 
-  const bool label1 = qpf->Eval(td, SamplePartition(pop, 0, rng));
-  const bool labelk = qpf->Eval(td, SamplePartition(pop, k - 1, rng));
+  const bool label1 = probe(0);
+  const bool labelk = probe(k - 1);
   out.label_first = label1;
   out.label_last = labelk;
 
@@ -39,6 +75,8 @@ QFilterResult QFilter(const Pop& pop, const edbms::Trapdoor& td,
       out.win_begin = 1;
       out.win_end = k - 1;
     }
+    metrics.probes->Add(probes);
+    metrics.probes_per_call->Record(probes);
     return out;
   }
 
@@ -49,7 +87,7 @@ QFilterResult QFilter(const Pop& pop, const edbms::Trapdoor& td,
   bool label_a = label1;
   while (b - a > 1) {
     const size_t m = (a + b) / 2;
-    const bool label_m = qpf->Eval(td, SamplePartition(pop, m, rng));
+    const bool label_m = probe(m);
     if (label_m == label_a) {
       a = m;
       label_a = label_m;
@@ -68,6 +106,8 @@ QFilterResult QFilter(const Pop& pop, const edbms::Trapdoor& td,
     out.win_begin = b + 1;
     out.win_end = k;
   }
+  metrics.probes->Add(probes);
+  metrics.probes_per_call->Record(probes);
   return out;
 }
 

@@ -2,7 +2,35 @@
 
 #include <cassert>
 
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
 namespace prkb::core {
+namespace {
+
+/// QScan telemetry: tuples_scanned is the n/k-bound exhaustive work the
+/// paper charges per NS partition; early stops track how often the second
+/// scan is saved (docs/COST_MODEL.md).
+struct QScanMetrics {
+  obs::Counter* invocations;
+  obs::Counter* tuples_scanned;
+  obs::Counter* partitions_scanned;
+  obs::Counter* early_stops;
+  obs::LatencyHistogram* early_stop_pos;
+
+  static const QScanMetrics& Get() {
+    static const QScanMetrics m = {
+        obs::MetricsRegistry::Global().GetCounter("qscan.invocations"),
+        obs::MetricsRegistry::Global().GetCounter("qscan.tuples_scanned"),
+        obs::MetricsRegistry::Global().GetCounter("qscan.partitions_scanned"),
+        obs::MetricsRegistry::Global().GetCounter("qscan.early_stops"),
+        obs::MetricsRegistry::Global().GetHistogram("qscan.early_stop_pos"),
+    };
+    return m;
+  }
+};
+
+}  // namespace
 
 void ScanPartitionExact(const Pop& pop, size_t pos, const edbms::Trapdoor& td,
                         edbms::QpfOracle* qpf,
@@ -10,6 +38,9 @@ void ScanPartitionExact(const Pop& pop, size_t pos, const edbms::Trapdoor& td,
                         std::vector<edbms::TupleId>* true_out,
                         std::vector<edbms::TupleId>* false_out) {
   const std::vector<edbms::TupleId>& members = pop.members_at(pos);
+  const QScanMetrics& metrics = QScanMetrics::Get();
+  metrics.partitions_scanned->Add(1);
+  metrics.tuples_scanned->Add(members.size());
   if (!policy.batched() && !policy.parallel()) {
     for (edbms::TupleId tid : members) {
       if (qpf->Eval(td, tid)) {
@@ -29,6 +60,9 @@ void ScanPartitionExact(const Pop& pop, size_t pos, const edbms::Trapdoor& td,
 QScanResult QScan(const Pop& pop, const QFilterResult& filter,
                   const edbms::Trapdoor& td, edbms::QpfOracle* qpf,
                   const edbms::BatchPolicy& policy) {
+  const obs::ObsTracer::Span span("qscan.ns_pair");
+  const QScanMetrics& metrics = QScanMetrics::Get();
+  metrics.invocations->Add(1);
   QScanResult out;
 
   // ---- First scan Pa (line 2) ----
@@ -40,6 +74,8 @@ QScanResult QScan(const Pop& pop, const QFilterResult& filter,
   if (a_mixed) {
     // Early stop (lines 9-13): Pa is the separating partition; Pb is
     // homogeneous with the label QFilter sampled on the far end.
+    metrics.early_stops->Add(1);
+    metrics.early_stop_pos->Record(filter.ns_a);
     out.split_found = true;
     out.split_pos = filter.ns_a;
     out.split_true = std::move(a_true);

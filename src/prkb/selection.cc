@@ -5,39 +5,14 @@
 #include <cstdio>
 
 #include "common/bitvector.h"
-#include "common/stopwatch.h"
+#include "obs/trace.h"
 
 namespace prkb::core {
 
 using edbms::SelectionStats;
+using edbms::StatsScope;
 using edbms::Trapdoor;
 using edbms::TupleId;
-
-namespace {
-
-/// Captures the oracle's cost counters so stats report the delta of one
-/// operation (uses, round trips, batches).
-struct CostSnapshot {
-  explicit CostSnapshot(const edbms::Edbms* db)
-      : uses(db->uses()),
-        round_trips(db->round_trips()),
-        batches(db->batches()) {}
-
-  void Fill(SelectionStats* stats, const edbms::Edbms* db,
-            const Stopwatch& watch) const {
-    if (stats == nullptr) return;
-    stats->qpf_uses = db->uses() - uses;
-    stats->qpf_round_trips = db->round_trips() - round_trips;
-    stats->qpf_batches = db->batches() - batches;
-    stats->millis = watch.ElapsedMillis();
-  }
-
-  uint64_t uses;
-  uint64_t round_trips;
-  uint64_t batches;
-};
-
-}  // namespace
 
 PrkbIndex::PrkbIndex(edbms::Edbms* db, PrkbOptions options)
     : db_(db), options_(options), rng_(options.seed) {}
@@ -110,8 +85,8 @@ std::vector<TupleId> PrkbIndex::SelectComparison(const Trapdoor& td) {
 
 std::vector<TupleId> PrkbIndex::Select(const Trapdoor& td,
                                        SelectionStats* stats) {
-  Stopwatch watch;
-  const CostSnapshot before(db_);
+  const obs::ObsTracer::Span span("prkb.select");
+  StatsScope scope(db_, stats, "select");
   std::vector<TupleId> result;
   if (!IsEnabled(td.attr)) {
     // No knowledge base on this attribute: plain QPF scan.
@@ -122,14 +97,13 @@ std::vector<TupleId> PrkbIndex::Select(const Trapdoor& td,
   } else {
     result = SelectComparison(td);
   }
-  before.Fill(stats, db_, watch);
   return result;
 }
 
 std::vector<TupleId> PrkbIndex::SelectRangeSdPlus(
     const std::vector<Trapdoor>& tds, SelectionStats* stats) {
-  Stopwatch watch;
-  const CostSnapshot before(db_);
+  const obs::ObsTracer::Span span("prkb.select_sdplus");
+  StatsScope scope(db_, stats, "select_sdplus");
 
   std::vector<TupleId> result;
   bool first = true;
@@ -149,14 +123,12 @@ std::vector<TupleId> PrkbIndex::SelectRangeSdPlus(
   if (!first) {
     for (uint32_t tid : mask.ToIndices()) result.push_back(tid);
   }
-  before.Fill(stats, db_, watch);
   return result;
 }
 
 std::vector<TupleId> PrkbIndex::SelectRangeMd(const std::vector<Trapdoor>& tds,
                                               SelectionStats* stats) {
-  Stopwatch watch;
-  const CostSnapshot before(db_);
+  StatsScope scope(db_, stats, "select_md");
   // The grid algorithm requires comparison trapdoors on enabled attributes;
   // anything else routes through the SD+ path, which handles every case.
   bool md_capable = !tds.empty();
@@ -172,7 +144,6 @@ std::vector<TupleId> PrkbIndex::SelectRangeMd(const std::vector<Trapdoor>& tds,
   } else {
     result = SelectRangeSdPlus(tds);
   }
-  before.Fill(stats, db_, watch);
   return result;
 }
 

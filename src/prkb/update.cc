@@ -1,13 +1,32 @@
 #include <algorithm>
 #include <cassert>
 
-#include "common/stopwatch.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "prkb/selection.h"
 
 namespace prkb::core {
 namespace {
 
 using edbms::TupleId;
+
+/// Insertion-handling telemetry: evals is the O(lg k) re-evaluation budget of
+/// Sec. 7.1; coarsen_merges count the fallback that trades knowledge for
+/// placeability (docs/COST_MODEL.md).
+struct UpdateMetrics {
+  obs::Counter* placements;
+  obs::Counter* evals;
+  obs::Counter* coarsen_merges;
+
+  static const UpdateMetrics& Get() {
+    static const UpdateMetrics m = {
+        obs::MetricsRegistry::Global().GetCounter("update.placements"),
+        obs::MetricsRegistry::Global().GetCounter("update.evals"),
+        obs::MetricsRegistry::Global().GetCounter("update.coarsen_merges"),
+    };
+    return m;
+  }
+};
 
 /// Inclusive range of chain positions.
 struct Interval {
@@ -75,6 +94,8 @@ size_t CountClip(const std::vector<Interval>& ivs, size_t b, size_t e) {
 }  // namespace
 
 void PrkbIndex::PlaceTuple(edbms::AttrId attr, TupleId tid) {
+  const obs::ObsTracer::Span span("update.place_tuple");
+  UpdateMetrics::Get().placements->Add(1);
   Pop& pop = pops_.at(attr);
   if (pop.k() == 0) {
     pop.InitSingle(std::vector<TupleId>{tid});
@@ -163,6 +184,7 @@ void PrkbIndex::PlaceTuple(edbms::AttrId attr, TupleId tid) {
     }
     if (best == nullptr) break;  // no cut can narrow further
 
+    UpdateMetrics::Get().evals->Add(1);
     const bool output = db_->Eval(best->cut->trapdoor, tid);
     if (output == best->label_for_region) {
       cand = Clip(cand, best->region_b, best->region_e);
@@ -184,24 +206,20 @@ void PrkbIndex::PlaceTuple(edbms::AttrId attr, TupleId tid) {
   const size_t span_b = cand.front().b;
   size_t span_e = 0;
   for (const auto& iv : cand) span_e = std::max(span_e, iv.e);
+  UpdateMetrics::Get().coarsen_merges->Add(span_e - span_b);
   for (size_t i = span_b; i < span_e; ++i) pop.MergeAt(span_b);
   pop.AddTuple(pop.pid_at(span_b), tid);
 }
 
 edbms::TupleId PrkbIndex::Insert(const std::vector<edbms::Value>& row,
                                  edbms::SelectionStats* stats) {
-  Stopwatch watch;
-  const uint64_t uses_before = db_->uses();
-  const uint64_t trips_before = db_->round_trips();
+  // StatsScope fills every field (the old manual fill left qpf_batches
+  // stale when the caller reused a stats struct across operations).
+  edbms::StatsScope scope(db_, stats, "insert");
   const TupleId tid = db_->Insert(row);
   for (auto& [attr, pop] : pops_) {
     (void)pop;
     PlaceTuple(attr, tid);
-  }
-  if (stats != nullptr) {
-    stats->qpf_uses = db_->uses() - uses_before;
-    stats->qpf_round_trips = db_->round_trips() - trips_before;
-    stats->millis = watch.ElapsedMillis();
   }
   return tid;
 }

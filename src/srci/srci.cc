@@ -129,13 +129,11 @@ std::vector<TupleId> LogSrcI::Confirm(const std::vector<TupleId>& cand,
 
 std::vector<TupleId> LogSrcI::Query(Value lo, Value hi,
                                     edbms::SelectionStats* stats) {
-  Stopwatch watch;
-  auto result = Confirm(QueryCandidates(lo, hi), lo, hi);
-  if (stats != nullptr) {
-    stats->qpf_uses = 0;  // SRC-i works through its index, not the QPF
-    stats->millis = watch.ElapsedMillis();
-  }
-  return result;
+  // SRC-i works through its index, not the QPF, so the scope's deltas come
+  // out zero — but every stats field is (re)filled, matching the other
+  // selection paths' reset semantics.
+  edbms::StatsScope scope(db_, stats, "srci.query");
+  return Confirm(QueryCandidates(lo, hi), lo, hi);
 }
 
 Status LogSrcI::InsertTuple(TupleId tid) {

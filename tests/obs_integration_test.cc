@@ -1,0 +1,185 @@
+// Integration tests tying the obs registry to the paper-level accounting:
+// on a comparison-only workload, every QPF use a selection pays is either a
+// QFilter probe or a QScan partition-member evaluation, so the registry's
+// per-mechanism counters must reconcile exactly with SelectionStats.qpf_uses
+// — both on a live run and on a transcript replay. Also the regression test
+// for SelectionStats reuse across operations (StatsScope must overwrite
+// every field).
+
+#include <cmath>
+#include <vector>
+
+#include "edbms/cipherbase_qpf.h"
+#include "edbms/replay.h"
+#include "gtest/gtest.h"
+#include "obs/metrics.h"
+#include "prkb/selection.h"
+#include "workload/query_gen.h"
+#include "workload/synthetic_table.h"
+
+namespace prkb {
+namespace {
+
+using edbms::SelectionStats;
+using edbms::Trapdoor;
+
+struct QueryRec {
+  edbms::AttrId attr;
+  edbms::CompareOp op;
+  edbms::Value c;
+};
+
+/// Registry counters involved in comparison-selection accounting.
+struct ObsReading {
+  uint64_t qfilter_probes;
+  uint64_t qscan_tuples;
+  uint64_t qfilter_invocations;
+
+  static ObsReading Now() {
+    auto& reg = obs::MetricsRegistry::Global();
+    return ObsReading{
+        reg.GetCounter("qfilter.probes")->value(),
+        reg.GetCounter("qscan.tuples_scanned")->value(),
+        reg.GetCounter("qfilter.invocations")->value(),
+    };
+  }
+};
+
+TEST(ObsIntegrationTest, ProbeAndScanCountersReconcileWithSelectionStats) {
+  workload::SyntheticSpec spec;
+  spec.rows = 20000;
+  spec.seed = 7;
+  const auto plain = workload::MakeSyntheticTable(spec);
+  auto db = edbms::CipherbaseEdbms::FromPlainTable(3, plain);
+
+  core::PrkbIndex index(&db, core::PrkbOptions{.seed = 11});
+  index.EnableAttr(0);
+  workload::QueryGen gen(spec.domain_lo, spec.domain_hi, 13);
+
+  uint64_t stats_uses = 0;
+  const ObsReading before = ObsReading::Now();
+  for (int q = 0; q < 120; ++q) {
+    const auto p = gen.RandomComparison(0);
+    SelectionStats st;
+    index.Select(db.MakeComparison(p.attr, p.op, p.lo), &st);
+    stats_uses += st.qpf_uses;
+  }
+  const ObsReading after = ObsReading::Now();
+
+  // Comparison selections on an enabled attribute spend QPF uses in exactly
+  // two places: QFilter sampling probes and QScan NS-partition scans.
+  EXPECT_EQ((after.qfilter_probes - before.qfilter_probes) +
+                (after.qscan_tuples - before.qscan_tuples),
+            stats_uses);
+  EXPECT_EQ(after.qfilter_invocations - before.qfilter_invocations, 120u);
+}
+
+TEST(ObsIntegrationTest, ReplayedWorkloadReconcilesTheSameWay) {
+  workload::SyntheticSpec spec;
+  spec.rows = 10000;
+  spec.seed = 17;
+  const auto plain = workload::MakeSyntheticTable(spec);
+  auto live_db = edbms::CipherbaseEdbms::FromPlainTable(5, plain);
+
+  // Live run: record the full QPF transcript and the trapdoors used.
+  edbms::QpfTranscript transcript;
+  edbms::RecordingEdbms recorder(&live_db, &transcript);
+  std::vector<Trapdoor> tds;
+  {
+    core::PrkbIndex index(&recorder, core::PrkbOptions{.seed = 19});
+    index.EnableAttr(0);
+    workload::QueryGen gen(spec.domain_lo, spec.domain_hi, 23);
+    for (int q = 0; q < 60; ++q) {
+      const auto p = gen.RandomComparison(0);
+      tds.push_back(live_db.MakeComparison(p.attr, p.op, p.lo));
+      index.Select(tds.back());
+    }
+  }
+
+  // Replay against the transcript only. Selection must pull every answer
+  // from the recorded bits (misses() == 0), and the obs counters must still
+  // reconcile exactly with the per-query SelectionStats accounting.
+  edbms::ReplayEdbms replay(live_db.num_attrs(), live_db.num_rows(),
+                            transcript);
+  core::PrkbIndex replay_index(&replay, core::PrkbOptions{.seed = 19});
+  replay_index.EnableAttr(0);
+
+  uint64_t stats_uses = 0;
+  const ObsReading before = ObsReading::Now();
+  for (const Trapdoor& td : tds) {
+    SelectionStats st;
+    replay_index.Select(td, &st);
+    stats_uses += st.qpf_uses;
+  }
+  const ObsReading after = ObsReading::Now();
+
+  EXPECT_EQ(replay.misses(), 0u);
+  EXPECT_EQ((after.qfilter_probes - before.qfilter_probes) +
+                (after.qscan_tuples - before.qscan_tuples),
+            stats_uses);
+}
+
+TEST(ObsIntegrationTest, ProbesPerCallRespectsLgKBound) {
+  workload::SyntheticSpec spec;
+  spec.rows = 20000;
+  spec.seed = 29;
+  const auto plain = workload::MakeSyntheticTable(spec);
+  auto db = edbms::CipherbaseEdbms::FromPlainTable(7, plain);
+
+  core::PrkbIndex index(&db, core::PrkbOptions{.seed = 31});
+  index.EnableAttr(0);
+  workload::QueryGen gen(spec.domain_lo, spec.domain_hi, 37);
+
+  auto& reg = obs::MetricsRegistry::Global();
+  obs::LatencyHistogram* per_call =
+      reg.GetHistogram("qfilter.probes_per_call");
+  obs::LatencyHistogram* chain_k = reg.GetHistogram("qfilter.chain_k");
+
+  for (int q = 0; q < 300; ++q) {
+    const auto p = gen.RandomComparison(0);
+    index.Select(db.MakeComparison(p.attr, p.op, p.lo));
+  }
+  // Paper Sec. 6.1: QFilter costs at most 2 + ceil(lg k) sampled probes.
+  // The histograms are process-global (other tests also record into them),
+  // but the bound is monotone in k, so checking against the global chain-
+  // length max remains sound.
+  const double k_max = static_cast<double>(chain_k->max());
+  ASSERT_GT(k_max, 0.0);
+  const uint64_t bound =
+      2 + static_cast<uint64_t>(std::ceil(std::log2(k_max)));
+  EXPECT_LE(per_call->max(), bound);
+}
+
+TEST(ObsIntegrationTest, ReusedSelectionStatsNeverKeepsStaleFields) {
+  workload::SyntheticSpec spec;
+  spec.rows = 5000;
+  spec.seed = 41;
+  const auto plain = workload::MakeSyntheticTable(spec);
+  auto db = edbms::CipherbaseEdbms::FromPlainTable(9, plain);
+
+  // Batched scan policy so the selection records qpf_batches > 0.
+  core::PrkbIndex index(&db,
+                        core::PrkbOptions{.seed = 43, .batch_size = 256});
+  index.EnableAttr(0);
+  workload::QueryGen gen(spec.domain_lo, spec.domain_hi, 47);
+  for (int q = 0; q < 30; ++q) {  // grow a chain so selects batch-scan
+    const auto p = gen.RandomComparison(0);
+    index.Select(db.MakeComparison(p.attr, p.op, p.lo));
+  }
+
+  SelectionStats st;
+  const auto p = gen.RandomComparison(0);
+  index.Select(db.MakeComparison(p.attr, p.op, p.lo), &st);
+  ASSERT_GT(st.qpf_batches, 0u) << "select did not batch; test setup broken";
+
+  // Insert places the tuple with scalar QPF probes — no batches. Before
+  // StatsScope, Insert left qpf_batches untouched, so a reused struct
+  // reported the previous selection's value here.
+  index.Insert({123}, &st);
+  EXPECT_EQ(st.qpf_batches, 0u);
+  EXPECT_GT(st.qpf_uses, 0u);
+  EXPECT_EQ(st.qpf_round_trips, st.qpf_uses);
+}
+
+}  // namespace
+}  // namespace prkb

@@ -1,0 +1,218 @@
+// Unit tests for the obs subsystem: MetricsRegistry instruments under
+// concurrency, histogram bucket boundaries, and the span tracer's ring
+// buffer semantics.
+
+#include <atomic>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "gtest/gtest.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
+namespace prkb::obs {
+namespace {
+
+// Registry instruments are process-global; every test uses its own metric
+// names so tests stay independent regardless of execution order.
+
+TEST(CounterTest, ConcurrentIncrementsSumExactly) {
+  Counter* c = MetricsRegistry::Global().GetCounter("test.concurrent_sum");
+  constexpr int kThreads = 8;
+  constexpr int kIncrementsPerThread = 100000;
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([c] {
+      for (int i = 0; i < kIncrementsPerThread; ++i) c->Add(1);
+    });
+  }
+  for (auto& th : threads) th.join();
+  EXPECT_EQ(c->value(),
+            static_cast<uint64_t>(kThreads) * kIncrementsPerThread);
+}
+
+TEST(CounterTest, RegistryReturnsStablePointers) {
+  Counter* a = MetricsRegistry::Global().GetCounter("test.stable");
+  Counter* b = MetricsRegistry::Global().GetCounter("test.stable");
+  EXPECT_EQ(a, b);
+  // Registering more instruments must not move existing ones.
+  for (int i = 0; i < 100; ++i) {
+    MetricsRegistry::Global().GetCounter("test.stable_filler" +
+                                         std::to_string(i));
+  }
+  EXPECT_EQ(MetricsRegistry::Global().GetCounter("test.stable"), a);
+}
+
+TEST(GaugeTest, TracksValueAndHighWaterMark) {
+  Gauge* g = MetricsRegistry::Global().GetGauge("test.gauge");
+  g->Set(5);
+  g->Set(12);
+  g->Set(3);
+  EXPECT_EQ(g->value(), 3);
+  EXPECT_EQ(g->max(), 12);
+  g->Add(-10);
+  EXPECT_EQ(g->value(), -7);
+  EXPECT_EQ(g->max(), 12);
+}
+
+TEST(HistogramTest, BucketBoundariesArePowersOfTwo) {
+  // Bucket 0 holds the value 0; bucket b >= 1 holds [2^(b-1), 2^b - 1].
+  EXPECT_EQ(LatencyHistogram::BucketOf(0), 0u);
+  EXPECT_EQ(LatencyHistogram::BucketOf(1), 1u);
+  EXPECT_EQ(LatencyHistogram::BucketOf(2), 2u);
+  EXPECT_EQ(LatencyHistogram::BucketOf(3), 2u);
+  EXPECT_EQ(LatencyHistogram::BucketOf(4), 3u);
+  EXPECT_EQ(LatencyHistogram::BucketOf(7), 3u);
+  EXPECT_EQ(LatencyHistogram::BucketOf(8), 4u);
+  EXPECT_EQ(LatencyHistogram::BucketOf(1023), 10u);
+  EXPECT_EQ(LatencyHistogram::BucketOf(1024), 11u);
+  // Everything beyond the last boundary lands in the final bucket.
+  EXPECT_EQ(LatencyHistogram::BucketOf(~uint64_t{0}),
+            LatencyHistogram::kBuckets - 1);
+
+  EXPECT_EQ(LatencyHistogram::BucketUpper(0), 0u);
+  EXPECT_EQ(LatencyHistogram::BucketUpper(1), 1u);
+  EXPECT_EQ(LatencyHistogram::BucketUpper(3), 7u);
+  EXPECT_EQ(LatencyHistogram::BucketUpper(10), 1023u);
+}
+
+TEST(HistogramTest, RecordsCountSumMaxAndBuckets) {
+  LatencyHistogram* h =
+      MetricsRegistry::Global().GetHistogram("test.hist_basic");
+  for (uint64_t v : {0, 1, 2, 3, 4, 7, 8, 100}) h->Record(v);
+  EXPECT_EQ(h->count(), 8u);
+  EXPECT_EQ(h->sum(), 125u);
+  EXPECT_EQ(h->max(), 100u);
+  EXPECT_EQ(h->bucket(0), 1u);  // 0
+  EXPECT_EQ(h->bucket(1), 1u);  // 1
+  EXPECT_EQ(h->bucket(2), 2u);  // 2, 3
+  EXPECT_EQ(h->bucket(3), 2u);  // 4, 7
+  EXPECT_EQ(h->bucket(4), 1u);  // 8
+  EXPECT_EQ(h->bucket(7), 1u);  // 100 in [64, 127]
+}
+
+TEST(HistogramTest, ConcurrentRecordsSumExactly) {
+  LatencyHistogram* h =
+      MetricsRegistry::Global().GetHistogram("test.hist_concurrent");
+  constexpr int kThreads = 8;
+  constexpr int kRecordsPerThread = 50000;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([h] {
+      for (int i = 0; i < kRecordsPerThread; ++i) {
+        h->Record(static_cast<uint64_t>(i % 17));
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+  EXPECT_EQ(h->count(),
+            static_cast<uint64_t>(kThreads) * kRecordsPerThread);
+  uint64_t bucket_total = 0;
+  for (size_t b = 0; b < LatencyHistogram::kBuckets; ++b) {
+    bucket_total += h->bucket(b);
+  }
+  EXPECT_EQ(bucket_total, h->count());
+}
+
+TEST(SnapshotTest, PercentileIsBucketUpperBound) {
+  LatencyHistogram* h =
+      MetricsRegistry::Global().GetHistogram("test.hist_pctl");
+  for (int i = 0; i < 99; ++i) h->Record(1);
+  h->Record(1000);
+  const MetricsSnapshot snap = MetricsRegistry::Global().Snapshot();
+  const HistogramSnapshot* hs = nullptr;
+  for (const auto& s : snap.histograms) {
+    if (s.name == "test.hist_pctl") hs = &s;
+  }
+  ASSERT_NE(hs, nullptr);
+  EXPECT_EQ(hs->ApproxPercentile(0.5), 1u);
+  // 1000 lands in bucket [512, 1023]; its upper bound is the p100 answer.
+  EXPECT_EQ(hs->ApproxPercentile(1.0), 1023u);
+}
+
+TEST(SnapshotTest, ResetZeroesButKeepsRegistrations) {
+  Counter* c = MetricsRegistry::Global().GetCounter("test.reset_me");
+  c->Add(41);
+  MetricsRegistry::Global().Reset();
+  EXPECT_EQ(c->value(), 0u);
+  // Same pointer still registered and usable after Reset.
+  EXPECT_EQ(MetricsRegistry::Global().GetCounter("test.reset_me"), c);
+  c->Add(1);
+  EXPECT_EQ(c->value(), 1u);
+}
+
+TEST(TracerTest, RecordsNestedSpans) {
+  ObsTracer& tracer = ObsTracer::Global();
+  tracer.Enable(1024);
+  {
+    const ObsTracer::Span outer("test.outer");
+    const ObsTracer::Span inner("test.inner");
+  }
+  const auto events = tracer.Snapshot();
+  tracer.Disable();
+  ASSERT_EQ(events.size(), 2u);
+  // Spans record at destruction, so the inner span lands first; the outer
+  // one must fully contain it on the timeline.
+  EXPECT_STREQ(events[0].name, "test.inner");
+  EXPECT_STREQ(events[1].name, "test.outer");
+  EXPECT_LE(events[1].start_ns, events[0].start_ns);
+  EXPECT_GE(events[1].start_ns + events[1].dur_ns,
+            events[0].start_ns + events[0].dur_ns);
+}
+
+TEST(TracerTest, RingWrapsAndCountsDropped) {
+  ObsTracer& tracer = ObsTracer::Global();
+  tracer.Enable(/*capacity=*/8);
+  for (int i = 0; i < 20; ++i) {
+    const ObsTracer::Span span("test.wrap");
+  }
+  const auto events = tracer.Snapshot();
+  EXPECT_EQ(events.size(), 8u);
+  EXPECT_EQ(tracer.recorded(), 20u);
+  EXPECT_EQ(tracer.dropped(), 12u);
+  // Survivors are the newest events, in record order.
+  for (size_t i = 1; i < events.size(); ++i) {
+    EXPECT_GT(events[i].seq, events[i - 1].seq);
+  }
+  EXPECT_EQ(events.back().seq, 19u);
+  tracer.Disable();
+}
+
+TEST(TracerTest, DisabledSpansRecordNothing) {
+  ObsTracer& tracer = ObsTracer::Global();
+  tracer.Enable(64);
+  tracer.Disable();
+  {
+    const ObsTracer::Span span("test.disabled");
+  }
+  tracer.Enable(64);  // Enable clears the buffer
+  EXPECT_TRUE(tracer.Snapshot().empty());
+  tracer.Disable();
+}
+
+TEST(TracerTest, ChromeExportIsWellFormed) {
+  ObsTracer& tracer = ObsTracer::Global();
+  tracer.Enable(64);
+  {
+    const ObsTracer::Span span("test.export");
+  }
+  const std::string path = ::testing::TempDir() + "/obs_trace.json";
+  ASSERT_TRUE(tracer.ExportChromeTrace(path));
+  tracer.Disable();
+
+  std::FILE* f = std::fopen(path.c_str(), "r");
+  ASSERT_NE(f, nullptr);
+  std::string content;
+  char buf[4096];
+  size_t n;
+  while ((n = std::fread(buf, 1, sizeof(buf), f)) > 0) content.append(buf, n);
+  std::fclose(f);
+  EXPECT_NE(content.find("\"traceEvents\""), std::string::npos);
+  EXPECT_NE(content.find("\"test.export\""), std::string::npos);
+  EXPECT_NE(content.find("\"ph\":\"X\""), std::string::npos);
+}
+
+}  // namespace
+}  // namespace prkb::obs

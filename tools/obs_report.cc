@@ -1,0 +1,170 @@
+// Renders the "metrics" block of a bench JSON file (docs/BENCH_FORMAT.md)
+// as aligned tables, grouped by instrument kind. Usage:
+//
+//   obs_report <bench.json> [--prefix=<p>]
+//
+// With --prefix only metrics whose name starts with <p> are shown (e.g.
+// --prefix=qfilter.). The parser is deliberately line-based: bench JSON is
+// written one key per line by JsonBench, so no JSON library is needed.
+
+#include <cstdio>
+#include <cstring>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/table_printer.h"
+
+namespace prkb::tools {
+namespace {
+
+struct Entry {
+  std::string key;
+  std::string value;
+};
+
+/// Extracts `"key": value` pairs from the lines between `"metrics": {` and
+/// its closing brace. Returns false if the file has no metrics block.
+bool ParseMetricsBlock(std::FILE* f, std::vector<Entry>* out) {
+  char line[1024];
+  bool in_metrics = false;
+  while (std::fgets(line, sizeof(line), f) != nullptr) {
+    if (!in_metrics) {
+      if (std::strstr(line, "\"metrics\"") != nullptr &&
+          std::strchr(line, '{') != nullptr) {
+        in_metrics = true;
+      }
+      continue;
+    }
+    const char* q1 = std::strchr(line, '"');
+    if (q1 == nullptr) return true;  // closing brace line
+    const char* q2 = std::strchr(q1 + 1, '"');
+    if (q2 == nullptr) return true;
+    const char* colon = std::strchr(q2, ':');
+    if (colon == nullptr) return true;
+    std::string value = colon + 1;
+    while (!value.empty() &&
+           (value.back() == '\n' || value.back() == '\r' ||
+            value.back() == ',' || value.back() == ' ')) {
+      value.pop_back();
+    }
+    while (!value.empty() && value.front() == ' ') value.erase(0, 1);
+    out->push_back(Entry{std::string(q1 + 1, q2), std::move(value)});
+  }
+  return in_metrics;
+}
+
+/// Histogram-derived keys share the base name with a known stat suffix.
+const char* const kHistSuffixes[] = {".count", ".sum",  ".mean", ".max",
+                                     ".p50",   ".p90", ".p99"};
+
+bool SplitHistKey(const std::string& key, std::string* base,
+                  std::string* stat) {
+  for (const char* suffix : kHistSuffixes) {
+    const size_t len = std::strlen(suffix);
+    if (key.size() > len &&
+        key.compare(key.size() - len, len, suffix) == 0) {
+      *base = key.substr(0, key.size() - len);
+      *stat = suffix + 1;
+      return true;
+    }
+  }
+  return false;
+}
+
+int Main(int argc, char** argv) {
+  std::string path;
+  std::string prefix;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], "--prefix=", 9) == 0) {
+      prefix = argv[i] + 9;
+    } else if (argv[i][0] == '-') {
+      std::fprintf(stderr, "unknown flag: %s\n", argv[i]);
+      return 2;
+    } else {
+      path = argv[i];
+    }
+  }
+  if (path.empty()) {
+    std::fprintf(stderr, "usage: obs_report <bench.json> [--prefix=<p>]\n");
+    return 2;
+  }
+  std::FILE* f = std::fopen(path.c_str(), "r");
+  if (f == nullptr) {
+    std::fprintf(stderr, "cannot open %s\n", path.c_str());
+    return 1;
+  }
+  std::vector<Entry> entries;
+  const bool found = ParseMetricsBlock(f, &entries);
+  std::fclose(f);
+  if (!found) {
+    std::fprintf(stderr,
+                 "%s has no \"metrics\" block — re-run the bench with "
+                 "--json= (benches built before the obs subsystem, or "
+                 "bench_micro, do not emit one)\n",
+                 path.c_str());
+    return 1;
+  }
+
+  // A histogram contributes 7 keys; group them into one row per histogram.
+  // Everything else (counters, gauges, gauge .max) renders as scalars.
+  // Keys arrive name-sorted from the registry snapshot, so a histogram's
+  // stats are contiguous, but a std::map keeps this robust to hand edits.
+  std::map<std::string, std::map<std::string, std::string>> hists;
+  std::vector<Entry> scalars;
+  for (const Entry& e : entries) {
+    if (!prefix.empty() && e.key.compare(0, prefix.size(), prefix) != 0) {
+      continue;
+    }
+    std::string base, stat;
+    if (SplitHistKey(e.key, &base, &stat)) {
+      hists[base][stat] = e.value;
+    } else {
+      scalars.push_back(e);
+    }
+  }
+  // A gauge's plain key plus `.max` looks like a 1-stat histogram ("max");
+  // fold such singletons back into the scalar list.
+  for (auto it = hists.begin(); it != hists.end();) {
+    if (it->second.size() <= 1) {
+      for (const auto& [stat, value] : it->second) {
+        scalars.push_back(Entry{it->first + "." + stat, value});
+      }
+      it = hists.erase(it);
+    } else {
+      ++it;
+    }
+  }
+
+  if (!scalars.empty()) {
+    TablePrinter tp("counters and gauges");
+    tp.SetHeader({"metric", "value"});
+    for (const Entry& e : scalars) tp.AddRow({e.key, e.value});
+    tp.Print();
+    std::printf("\n");
+  }
+  if (!hists.empty()) {
+    TablePrinter tp("histograms (percentiles are bucket upper bounds)");
+    tp.SetHeader({"metric", "count", "sum", "mean", "p50", "p90", "p99",
+                  "max"});
+    for (const auto& [base, stats] : hists) {
+      auto get = [&stats](const char* k) {
+        auto it = stats.find(k);
+        return it == stats.end() ? std::string("-") : it->second;
+      };
+      tp.AddRow({base, get("count"), get("sum"), get("mean"), get("p50"),
+                 get("p90"), get("p99"), get("max")});
+    }
+    tp.Print();
+  }
+  if (scalars.empty() && hists.empty()) {
+    std::printf("no metrics%s\n",
+                prefix.empty() ? "" : (" matching prefix " + prefix).c_str());
+  }
+  return 0;
+}
+
+}  // namespace
+}  // namespace prkb::tools
+
+int main(int argc, char** argv) { return prkb::tools::Main(argc, argv); }
