@@ -1,0 +1,237 @@
+// Concurrent selection throughput: shared-lock striped serving with the
+// repeat-predicate fast path vs the pre-existing global-mutex facade.
+//
+// Workload model: a multi-client service provider answering single-predicate
+// selections where a fraction of the stream repeats a hot set of predicates
+// byte-identically (prepared-statement / dashboard traffic). Three modes:
+//   global          one std::mutex around PrkbIndex, fast path off — the
+//                   repo's previous ConcurrentPrkbIndex behaviour
+//   striped         ConcurrentPrkbIndex: shared_mutex + per-attribute lock
+//                   striping + zero-QPF repeat fast path (this is the mode
+//                   the service provider ships with)
+//   striped-nocache lock rewrite alone, fast path off (ablation: separates
+//                   the locking win from the QPF-elimination win)
+//
+// Extra flags beyond the common set (bench_util.h):
+//   --smoke   single tiny configuration (CI schema check)
+// The trusted-machine latency defaults to 2000 ns here (not 0) so repeats
+// have a realistic backend cost to avoid; override with --tmlat=<ns>.
+
+#include <cstring>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "common/stopwatch.h"
+#include "common/table_printer.h"
+#include "edbms/service_provider.h"
+#include "prkb/concurrent.h"
+#include "workload/synthetic_table.h"
+
+namespace prkb::bench {
+namespace {
+
+using edbms::TupleId;
+
+constexpr size_t kHotPredicates = 16;
+
+/// The pre-PR concurrency story, reconstructed as the baseline: every
+/// operation behind one exclusive mutex, no fast path.
+class GlobalMutexIndex {
+ public:
+  GlobalMutexIndex(edbms::Edbms* db, core::PrkbOptions options)
+      : index_(db, options) {}
+  std::vector<TupleId> Select(const edbms::Trapdoor& td) {
+    std::lock_guard<std::mutex> lock(mu_);
+    return index_.Select(td);
+  }
+  core::PrkbIndex& inner() { return index_; }
+
+ private:
+  std::mutex mu_;
+  core::PrkbIndex index_;
+};
+
+struct RunConfig {
+  std::string mode;
+  int threads;
+  int repeat_pct;
+  int ops_per_thread;
+};
+
+struct RunResult {
+  double millis = 0;
+  uint64_t total_ops = 0;
+  uint64_t qpf_uses = 0;
+  uint64_t cache_hits = 0;
+};
+
+/// Drives `select` with cfg.threads workers mixing hot repeats and fresh
+/// predicates. `hot` must be pre-warmed; `fresh[t]` is thread t's private
+/// stream of never-seen trapdoors.
+template <typename SelectFn>
+RunResult DriveWorkload(const RunConfig& cfg,
+                        const std::vector<edbms::Trapdoor>& hot,
+                        const std::vector<std::vector<edbms::Trapdoor>>& fresh,
+                        const edbms::Edbms& db, SelectFn&& select) {
+  RunResult res;
+  const uint64_t uses0 = db.uses();
+  const uint64_t hits0 =
+      obs::MetricsRegistry::Global().GetCounter("prkb.cache.hits")->value();
+  Stopwatch watch;
+  std::vector<std::thread> workers;
+  for (int t = 0; t < cfg.threads; ++t) {
+    workers.emplace_back([&, t] {
+      Rng rng(1000 + t);
+      size_t next_fresh = 0;
+      for (int i = 0; i < cfg.ops_per_thread; ++i) {
+        if (rng.UniformInt64(1, 100) <= cfg.repeat_pct) {
+          select(hot[rng.UniformInt64(0, hot.size() - 1)]);
+        } else {
+          select(fresh[t][next_fresh++ % fresh[t].size()]);
+        }
+      }
+    });
+  }
+  for (auto& w : workers) w.join();
+  res.millis = watch.ElapsedMillis();
+  res.total_ops = static_cast<uint64_t>(cfg.threads) * cfg.ops_per_thread;
+  res.qpf_uses = db.uses() - uses0;
+  res.cache_hits =
+      obs::MetricsRegistry::Global().GetCounter("prkb.cache.hits")->value() -
+      hits0;
+  return res;
+}
+
+int Main(int argc, char** argv) {
+  bool smoke = false;
+  bool tmlat_given = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--smoke") == 0) smoke = true;
+    if (std::strncmp(argv[i], "--tmlat=", 8) == 0) tmlat_given = true;
+  }
+  BenchArgs args = BenchArgs::Parse(argc, argv, /*default_scale=*/0.0004);
+  if (!tmlat_given) args.tm_latency_ns = 2000;
+
+  const size_t rows = ScaledRows(10'000'000, args.scale);
+  const int ops = args.queries > 0 ? args.queries : (smoke ? 50 : 400);
+  PrintBanner("Concurrent serving: striped shared locks + repeat fast path",
+              "beyond-paper concurrency experiment", args,
+              "global mode re-pays QFilter probes + NS scans on every repeat; "
+              "striped mode answers repeats from the chain with 0 QPF uses "
+              "under a shared lock");
+
+  workload::SyntheticSpec spec;
+  spec.rows = rows;
+  spec.seed = args.seed;
+  const auto plain = workload::MakeSyntheticTable(spec);
+
+  std::vector<RunConfig> configs;
+  const std::vector<std::string> modes = {"global", "striped-nocache",
+                                          "striped"};
+  const std::vector<int> thread_counts = smoke ? std::vector<int>{2}
+                                               : std::vector<int>{1, 2, 4, 8};
+  const std::vector<int> repeat_pcts =
+      smoke ? std::vector<int>{90} : std::vector<int>{50, 90, 99};
+  for (const auto& mode : modes) {
+    for (int threads : thread_counts) {
+      for (int pct : repeat_pcts) {
+        configs.push_back(RunConfig{mode, threads, pct, ops});
+      }
+    }
+  }
+
+  JsonBench json("bench_concurrent", args);
+  json.Config("rows", static_cast<double>(rows));
+  json.Config("hot_predicates", static_cast<double>(kHotPredicates));
+  json.Config("ops_per_thread", static_cast<double>(ops));
+  json.Config("smoke", smoke ? "true" : "false");
+
+  TablePrinter tp("selection throughput, " + std::to_string(rows) +
+                  " rows, tmlat " + std::to_string(args.tm_latency_ns) + "ns");
+  tp.SetHeader({"mode", "threads", "repeat %", "ops/s", "QPF uses",
+                "cache hits", "vs global"});
+
+  // ops_per_sec of the global baseline, keyed by (threads, repeat_pct).
+  std::vector<std::vector<double>> global_ops(9, std::vector<double>(101, 0));
+
+  for (const RunConfig& cfg : configs) {
+    // Fresh everything per configuration: the chain, the cache and the QPF
+    // counters must not leak across runs.
+    auto db = edbms::CipherbaseEdbms::FromPlainTable(args.seed, plain);
+    db.trusted_machine().set_call_latency_ns(args.tm_latency_ns);
+    core::PrkbOptions options;
+    options.seed = args.seed;
+    options.fast_path = cfg.mode == "striped";
+
+    // Hot pool (warmed = each predicate's cut is in the chain before
+    // measurement) and per-thread fresh streams, pre-issued because the
+    // DataOwner is outside the SP-side concurrency story.
+    std::vector<edbms::Trapdoor> hot;
+    const edbms::Value lo = spec.domain_lo, hi = spec.domain_hi;
+    for (size_t h = 0; h < kHotPredicates; ++h) {
+      hot.push_back(db.MakeComparison(
+          0, edbms::CompareOp::kLt,
+          lo + (hi - lo) * static_cast<edbms::Value>(h + 1) /
+                   (kHotPredicates + 1)));
+    }
+    std::vector<std::vector<edbms::Trapdoor>> fresh(cfg.threads);
+    Rng fresh_rng(args.seed + 7);
+    for (int t = 0; t < cfg.threads; ++t) {
+      for (int i = 0; i < cfg.ops_per_thread; ++i) {
+        fresh[t].push_back(db.MakeComparison(0, edbms::CompareOp::kLt,
+                                             fresh_rng.UniformInt64(lo, hi)));
+      }
+    }
+
+    RunResult res;
+    if (cfg.mode == "global") {
+      GlobalMutexIndex index(&db, options);
+      index.inner().EnableAttr(0);
+      for (const auto& td : hot) index.inner().Select(td);
+      res = DriveWorkload(cfg, hot, fresh, db,
+                          [&](const edbms::Trapdoor& td) { index.Select(td); });
+    } else {
+      core::ConcurrentPrkbIndex index(&db, options);
+      index.EnableAttr(0);
+      for (const auto& td : hot) index.Select(td);
+      res = DriveWorkload(cfg, hot, fresh, db,
+                          [&](const edbms::Trapdoor& td) { index.Select(td); });
+    }
+
+    const double ops_per_sec = res.total_ops / (res.millis / 1000.0);
+    if (cfg.mode == "global") {
+      global_ops[cfg.threads][cfg.repeat_pct] = ops_per_sec;
+    }
+    const double base = global_ops[cfg.threads][cfg.repeat_pct];
+    const double speedup = base > 0 ? ops_per_sec / base : 0.0;
+
+    tp.AddRow({cfg.mode, std::to_string(cfg.threads),
+               std::to_string(cfg.repeat_pct),
+               TablePrinter::Fmt(ops_per_sec, 0),
+               std::to_string(res.qpf_uses), std::to_string(res.cache_hits),
+               cfg.mode == "global" ? "1.00"
+                                    : TablePrinter::Fmt(speedup, 2) + "x"});
+    json.BeginRow();
+    json.Field("mode", cfg.mode);
+    json.Field("threads", static_cast<uint64_t>(cfg.threads));
+    json.Field("repeat_pct", static_cast<uint64_t>(cfg.repeat_pct));
+    json.Field("total_ops", res.total_ops);
+    json.Field("millis", res.millis);
+    json.Field("ops_per_sec", ops_per_sec);
+    json.Field("qpf_uses", res.qpf_uses);
+    json.Field("cache_hits", res.cache_hits);
+    json.Field("speedup_vs_global", speedup);
+  }
+
+  tp.Print();
+  json.WriteIfRequested(args);
+  return 0;
+}
+
+}  // namespace
+}  // namespace prkb::bench
+
+int main(int argc, char** argv) { return prkb::bench::Main(argc, argv); }

@@ -18,6 +18,21 @@ std::vector<TupleId> LiveTuples(const Edbms& db) {
   return out;
 }
 
+/// The PRKB fast-path cache counters live in the shared registry (the prkb
+/// layer registers the same names); snapshotting them here lets every
+/// operation report its cache delta without a dependency on that layer.
+struct CacheCounters {
+  obs::Counter* hits;
+  obs::Counter* misses;
+  static const CacheCounters& Get() {
+    static const CacheCounters c = {
+        obs::MetricsRegistry::Global().GetCounter("prkb.cache.hits"),
+        obs::MetricsRegistry::Global().GetCounter("prkb.cache.misses"),
+    };
+    return c;
+  }
+};
+
 }  // namespace
 
 StatsScope::StatsScope(const Edbms* db, SelectionStats* stats, const char* op)
@@ -26,7 +41,9 @@ StatsScope::StatsScope(const Edbms* db, SelectionStats* stats, const char* op)
       op_(op),
       uses_(db->uses()),
       trips_(db->round_trips()),
-      batches_(db->batches()) {}
+      batches_(db->batches()),
+      cache_hits_(CacheCounters::Get().hits->value()),
+      cache_misses_(CacheCounters::Get().misses->value()) {}
 
 void StatsScope::Finish() {
   if (done_) return;
@@ -36,6 +53,8 @@ void StatsScope::Finish() {
     stats_->qpf_uses = db_->uses() - uses_;
     stats_->qpf_round_trips = db_->round_trips() - trips_;
     stats_->qpf_batches = db_->batches() - batches_;
+    stats_->cache_hits = CacheCounters::Get().hits->value() - cache_hits_;
+    stats_->cache_misses = CacheCounters::Get().misses->value() - cache_misses_;
     stats_->millis = millis;
   }
   // Op-level registry mirror. The lookup-by-name cost is per operation, not

@@ -18,6 +18,13 @@ struct SelectionStats {
   uint64_t qpf_round_trips = 0;
   /// Of which batched (EvalBatch) calls.
   uint64_t qpf_batches = 0;
+  /// Repeat-predicate fast-path outcomes attributed to this operation. The
+  /// deltas come from the process-global `prkb.cache.{hits,misses}` counters,
+  /// so under concurrent callers they are approximate (another thread's hit
+  /// can land inside this operation's window); in single-threaded use they
+  /// are exact. 0/0 for operations that never consult the cache.
+  uint64_t cache_hits = 0;
+  uint64_t cache_misses = 0;
   double millis = 0.0;
 };
 
@@ -47,6 +54,8 @@ class StatsScope {
   uint64_t uses_;
   uint64_t trips_;
   uint64_t batches_;
+  uint64_t cache_hits_;
+  uint64_t cache_misses_;
   Stopwatch watch_;
   bool done_ = false;
 };

@@ -54,13 +54,15 @@ struct ScannedPartition {
 
 }  // namespace
 
-std::vector<TupleId> PrkbIndex::SelectBetween(const Trapdoor& td) {
+std::vector<TupleId> PrkbIndex::SelectBetween(const Trapdoor& td,
+                                              const TrapdoorFp* fp) {
   Pop& pop = pops_.at(td.attr);
   const size_t k = pop.k();
   if (k == 0) return {};
   const obs::ObsTracer::Span span("between.select");
   const BetweenMetrics& metrics = BetweenMetrics::Get();
   metrics.invocations->Add(1);
+  Rng rng = OpRng();
 
   // Cached sample labels per chain position (-1 unknown).
   std::vector<int8_t> sample(k, -1);
@@ -68,7 +70,7 @@ std::vector<TupleId> PrkbIndex::SelectBetween(const Trapdoor& td) {
     if (sample[pos] < 0) {
       metrics.probes->Add(1);
       sample[pos] =
-          db_->Eval(td, SamplePartition(pop, pos, &rng_)) ? 1 : 0;
+          db_->Eval(td, SamplePartition(pop, pos, &rng)) ? 1 : 0;
     }
     return sample[pos] == 1;
   };
@@ -76,7 +78,7 @@ std::vector<TupleId> PrkbIndex::SelectBetween(const Trapdoor& td) {
   // ---- Phase 1: hunt for a positive anchor among partition samples. ----
   std::vector<size_t> order(k);
   for (size_t i = 0; i < k; ++i) order[i] = i;
-  rng_.Shuffle(&order);
+  rng.Shuffle(&order);
   size_t anchor = k;  // k = not found
   for (size_t pos : order) {
     if (probe(pos)) {
@@ -207,6 +209,11 @@ std::vector<TupleId> PrkbIndex::SelectBetween(const Trapdoor& td) {
   }
   if (cut_ids.size() == 2) {
     pop.LinkBetweenCuts(cut_ids[0], cut_ids[1]);
+    // Both ends split: the satisfied band is exactly the run between the two
+    // sibling cuts, so the trapdoor is answerable from the chain alone from
+    // now on. One-ended outcomes stay uncached — the unsplit end's boundary
+    // is not pinned by any cut of ours.
+    if (fp != nullptr) pop.RememberBetween(*fp, cut_ids[0], cut_ids[1]);
   }
   return result;
 }

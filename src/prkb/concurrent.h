@@ -1,83 +1,195 @@
 #ifndef PRKB_PRKB_CONCURRENT_H_
 #define PRKB_PRKB_CONCURRENT_H_
 
+#include <array>
 #include <mutex>
+#include <shared_mutex>
+#include <string>
 #include <vector>
 
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "prkb/selection.h"
 
 namespace prkb::core {
 
+/// Lock telemetry for ConcurrentPrkbIndex (docs/OBSERVABILITY.md):
+/// acquisition counts per mode, time spent blocked acquiring any lock, and
+/// how often an optimistic shared-lock Select had to fall back to the
+/// exclusive mutation path.
+struct LockMetrics {
+  obs::Counter* shared_acquisitions;
+  obs::Counter* exclusive_acquisitions;
+  obs::Counter* select_retries;
+  obs::LatencyHistogram* wait_ns;
+
+  static const LockMetrics& Get() {
+    static const LockMetrics m = {
+        obs::MetricsRegistry::Global().GetCounter(
+            "prkb.lock.shared_acquisitions"),
+        obs::MetricsRegistry::Global().GetCounter(
+            "prkb.lock.exclusive_acquisitions"),
+        obs::MetricsRegistry::Global().GetCounter("prkb.lock.select_retries"),
+        obs::MetricsRegistry::Global().GetHistogram("prkb.lock.wait_ns"),
+    };
+    return m;
+  }
+};
+
 /// Thread-safe facade over PrkbIndex for multi-client service providers.
 ///
-/// PRKB selections are *writes*: answering a query may split partitions
-/// (updatePRKB), so every operation takes the exclusive lock. The value of
-/// this wrapper is a correct, boringly simple concurrency story — the
-/// underlying algorithms stay single-threaded and auditable, matching how
-/// the paper treats the index (a per-attribute SP-side structure mutated by
-/// its own query stream). Throughput scales by sharding tables across
-/// instances, not by intra-index parallelism.
+/// PRKB selections are *potential* writes: answering a fresh predicate may
+/// split partitions (updatePRKB). But a repeated predicate is answerable from
+/// the fast-path cache without touching the chain, and on realistic workloads
+/// repeats dominate — so serialising everything behind one mutex wastes
+/// nearly all available parallelism on the cheapest operations.
+///
+/// Locking protocol (two levels, strictly ordered — map before stripes,
+/// stripes in ascending index, never upgraded in place):
+///   - `map_mu_` guards the attr → chain map structure and, when held
+///     exclusively, every chain at once. Multi-attribute operations (Insert,
+///     Delete, MD/SD+ range queries, EnableAttr, WithLocked) take it
+///     exclusively and need no stripe locks.
+///   - 16 stripe locks (attr mod 16) guard individual chain contents among
+///     concurrent readers of `map_mu_`. Single-predicate Select first runs
+///     optimistically under map-shared + stripe-shared via
+///     PrkbIndex::TrySelectShared — cache hits, empty chains and no-index
+///     baseline scans complete here, concurrently with each other, even on
+///     the same attribute. When the attempt reports that answering would
+///     mutate the chain, all locks are released and the operation retries
+///     under map-shared + stripe-exclusive, which serialises mutations
+///     per-attribute while leaving other attributes' selections running.
+///
+/// The retry is a fresh acquisition, not an upgrade, so another thread may
+/// answer (and cache) the same predicate in between — the retry then simply
+/// takes Select's own cache-hit branch. The underlying algorithms stay
+/// single-threaded and auditable; sampling randomness is per-operation
+/// (PrkbIndex::OpRng), so shared-lock readers never contend on RNG state.
 class ConcurrentPrkbIndex {
  public:
   ConcurrentPrkbIndex(edbms::Edbms* db, PrkbOptions options = {})
       : index_(db, options) {}
 
   void EnableAttr(edbms::AttrId attr) {
-    std::lock_guard<std::mutex> lock(mu_);
+    const auto lock = LockExclusive(map_mu_);
     index_.EnableAttr(attr);
   }
 
   std::vector<edbms::TupleId> Select(const edbms::Trapdoor& td,
                                      edbms::SelectionStats* stats = nullptr) {
-    std::lock_guard<std::mutex> lock(mu_);
+    {
+      const auto map_lock = LockShared(map_mu_);
+      const auto stripe_lock = LockShared(StripeFor(td.attr));
+      std::vector<edbms::TupleId> out;
+      if (index_.TrySelectShared(td, &out, stats)) return out;
+    }
+    LockMetrics::Get().select_retries->Add(1);
+    const auto map_lock = LockShared(map_mu_);
+    const auto stripe_lock = LockExclusive(StripeFor(td.attr));
     return index_.Select(td, stats);
   }
 
   std::vector<edbms::TupleId> SelectRangeMd(
       const std::vector<edbms::Trapdoor>& tds,
       edbms::SelectionStats* stats = nullptr) {
-    std::lock_guard<std::mutex> lock(mu_);
+    const auto lock = LockExclusive(map_mu_);
     return index_.SelectRangeMd(tds, stats);
   }
 
   std::vector<edbms::TupleId> SelectRangeSdPlus(
       const std::vector<edbms::Trapdoor>& tds,
       edbms::SelectionStats* stats = nullptr) {
-    std::lock_guard<std::mutex> lock(mu_);
+    const auto lock = LockExclusive(map_mu_);
     return index_.SelectRangeSdPlus(tds, stats);
   }
 
   edbms::TupleId Insert(const std::vector<edbms::Value>& row,
                         edbms::SelectionStats* stats = nullptr) {
-    std::lock_guard<std::mutex> lock(mu_);
+    const auto lock = LockExclusive(map_mu_);
     return index_.Insert(row, stats);
   }
 
   void Delete(edbms::TupleId tid) {
-    std::lock_guard<std::mutex> lock(mu_);
+    const auto lock = LockExclusive(map_mu_);
     index_.Delete(tid);
   }
 
+  bool IsEnabled(edbms::AttrId attr) const {
+    const auto map_lock = LockShared(map_mu_);
+    return index_.IsEnabled(attr);
+  }
+
+  PrkbIndex::ChainStats StatsFor(edbms::AttrId attr) const {
+    const auto map_lock = LockShared(map_mu_);
+    const auto stripe_lock = LockShared(StripeFor(attr));
+    return index_.StatsFor(attr);
+  }
+
+  std::vector<edbms::AttrId> EnabledAttrs() const {
+    const auto map_lock = LockShared(map_mu_);
+    return index_.EnabledAttrs();
+  }
+
   size_t SizeBytes() const {
-    std::lock_guard<std::mutex> lock(mu_);
+    const auto map_lock = LockShared(map_mu_);
+    const auto stripe_locks = LockAllStripesShared();
     return index_.SizeBytes();
   }
 
   std::string DescribeStats() const {
-    std::lock_guard<std::mutex> lock(mu_);
+    const auto map_lock = LockShared(map_mu_);
+    const auto stripe_locks = LockAllStripesShared();
     return index_.DescribeStats();
   }
 
-  /// Runs `fn` under the lock with direct access to the inner index (for
-  /// snapshots, validation, or anything not covered above).
+  /// Runs `fn` under the exclusive lock with direct access to the inner
+  /// index (for snapshots, validation, or anything not covered above).
   template <typename Fn>
   auto WithLocked(Fn&& fn) {
-    std::lock_guard<std::mutex> lock(mu_);
+    const auto lock = LockExclusive(map_mu_);
     return fn(index_);
   }
 
  private:
-  mutable std::mutex mu_;
+  static constexpr size_t kStripes = 16;
+
+  std::shared_mutex& StripeFor(edbms::AttrId attr) const {
+    return stripes_[attr % kStripes];
+  }
+
+  static std::shared_lock<std::shared_mutex> LockShared(
+      std::shared_mutex& mu) {
+    const uint64_t t0 = obs::ObsTracer::NowNs();
+    std::shared_lock<std::shared_mutex> lock(mu);
+    const LockMetrics& m = LockMetrics::Get();
+    m.wait_ns->Record(obs::ObsTracer::NowNs() - t0);
+    m.shared_acquisitions->Add(1);
+    return lock;
+  }
+
+  static std::unique_lock<std::shared_mutex> LockExclusive(
+      std::shared_mutex& mu) {
+    const uint64_t t0 = obs::ObsTracer::NowNs();
+    std::unique_lock<std::shared_mutex> lock(mu);
+    const LockMetrics& m = LockMetrics::Get();
+    m.wait_ns->Record(obs::ObsTracer::NowNs() - t0);
+    m.exclusive_acquisitions->Add(1);
+    return lock;
+  }
+
+  /// Whole-index readers hold every stripe; ascending order keeps the
+  /// acquisition graph acyclic against the single-stripe paths.
+  std::array<std::shared_lock<std::shared_mutex>, kStripes>
+  LockAllStripesShared() const {
+    std::array<std::shared_lock<std::shared_mutex>, kStripes> locks;
+    for (size_t i = 0; i < kStripes; ++i) {
+      locks[i] = LockShared(stripes_[i]);
+    }
+    return locks;
+  }
+
+  mutable std::shared_mutex map_mu_;
+  mutable std::array<std::shared_mutex, kStripes> stripes_;
   PrkbIndex index_;
 };
 

@@ -1,0 +1,26 @@
+#include "prkb/fingerprint.h"
+
+#include "crypto/sha256.h"
+
+namespace prkb::core {
+
+TrapdoorFp FingerprintTrapdoor(const edbms::Trapdoor& td) {
+  crypto::Sha256 h;
+  uint8_t header[5];
+  header[0] = static_cast<uint8_t>(td.attr);
+  header[1] = static_cast<uint8_t>(td.attr >> 8);
+  header[2] = static_cast<uint8_t>(td.attr >> 16);
+  header[3] = static_cast<uint8_t>(td.attr >> 24);
+  header[4] = static_cast<uint8_t>(td.kind);
+  h.Update(header, sizeof(header));
+  h.Update(td.blob.data(), td.blob.size());
+  const crypto::Sha256::Digest d = h.Finalize();
+  auto load64 = [](const uint8_t* p) {
+    uint64_t v = 0;
+    for (int i = 0; i < 8; ++i) v |= static_cast<uint64_t>(p[i]) << (8 * i);
+    return v;
+  };
+  return TrapdoorFp{load64(d.data()), load64(d.data() + 8)};
+}
+
+}  // namespace prkb::core

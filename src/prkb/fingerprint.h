@@ -1,0 +1,45 @@
+#ifndef PRKB_PRKB_FINGERPRINT_H_
+#define PRKB_PRKB_FINGERPRINT_H_
+
+#include <cstddef>
+#include <cstdint>
+
+#include "edbms/encryption.h"
+
+namespace prkb::core {
+
+/// 128-bit digest of a trapdoor's SP-visible bytes (attr, kind, blob).
+///
+/// The repeat-predicate fast path keys its per-chain cache on this value: a
+/// client re-sending the *same issued trapdoor* re-sends the same blob, so
+/// equal fingerprints identify byte-identical predicates. Two different
+/// trapdoors for the same plaintext predicate get different blobs (fresh
+/// nonce) and therefore different fingerprints — the SP never learns more
+/// than "this exact ciphertext was seen before", which it could already
+/// observe by comparing blobs directly. Truncated SHA-256, so accidental
+/// collisions are out of the picture at any realistic cache size.
+struct TrapdoorFp {
+  uint64_t hi = 0;
+  uint64_t lo = 0;
+
+  bool operator==(const TrapdoorFp& o) const {
+    return hi == o.hi && lo == o.lo;
+  }
+  bool operator<(const TrapdoorFp& o) const {
+    return hi != o.hi ? hi < o.hi : lo < o.lo;
+  }
+};
+
+struct TrapdoorFpHash {
+  size_t operator()(const TrapdoorFp& fp) const {
+    return static_cast<size_t>(fp.hi ^ (fp.lo * 0x9E3779B97F4A7C15ULL));
+  }
+};
+
+/// Digests (attr, kind, blob). The uid is deliberately excluded: it is a
+/// transport handle, and equal uids do not imply predicate equivalence.
+TrapdoorFp FingerprintTrapdoor(const edbms::Trapdoor& td);
+
+}  // namespace prkb::core
+
+#endif  // PRKB_PRKB_FINGERPRINT_H_

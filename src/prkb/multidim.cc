@@ -58,6 +58,7 @@ struct MdMetrics {
 struct PredCtx {
   const Trapdoor* td = nullptr;
   Pop* pop = nullptr;
+  TrapdoorFp fp;
   QFilterResult filter;
 
   /// Known homogeneous QPF output per partition id (sure-True / sure-False
@@ -151,13 +152,32 @@ std::vector<TupleId> PrkbIndex::RunMd(const std::vector<Trapdoor>& tds) {
   metrics.invocations->Add(1);
 
   // ---- Step 1: QFilter every trapdoor; classify partitions. ----
+  Rng rng = OpRng();
   std::vector<PredCtx> preds(tds.size());
   for (size_t i = 0; i < tds.size(); ++i) {
     PredCtx& pc = preds[i];
     pc.td = &tds[i];
     pc.pop = &pops_.at(tds[i].attr);
     if (pc.pop->k() == 0) return {};
-    pc.filter = QFilter(*pc.pop, tds[i], db_, &rng_);
+    if (options_.fast_path) {
+      pc.fp = FingerprintTrapdoor(tds[i]);
+      if (const Pop::FastPathEntry* e = pc.pop->LookupFastPath(pc.fp)) {
+        // Already-cut trapdoor: every partition classifies for free off its
+        // own cut — sure-T on the satisfied side, sure-F on the other. No
+        // QFilter, no NS pair, zero QPF for this dimension.
+        CacheMetrics::Get().hits->Add(1);
+        const Pop::Cut* cut = pc.pop->FindCut(e->cut_id);
+        const size_t cpos = pc.pop->CutPos(*cut);
+        for (size_t pos = 0; pos < pc.pop->k(); ++pos) {
+          const bool label = (pos < cpos) == cut->left_label;
+          pc.label_by_pid.emplace(pc.pop->pid_at(pos), label ? 1 : 0);
+        }
+        pc.ns_count = 0;
+        continue;
+      }
+      CacheMetrics::Get().misses->Add(1);
+    }
+    pc.filter = QFilter(*pc.pop, tds[i], db_, &rng);
 
     const size_t k = pc.pop->k();
     pc.ns[0].pid = pc.pop->pid_at(pc.filter.ns_a);
@@ -437,8 +457,11 @@ std::vector<TupleId> PrkbIndex::RunMd(const std::vector<Trapdoor>& tds) {
             true_half_left ? std::move(t_members) : std::move(f_members);
         std::vector<TupleId> right =
             true_half_left ? std::move(f_members) : std::move(t_members);
-        pc.pop->SplitPartition(pid, std::move(left), std::move(right),
-                               *pc.td, true_half_left);
+        const uint64_t cut_id = pc.pop->SplitPartition(
+            pid, std::move(left), std::move(right), *pc.td, true_half_left);
+        // The split resolves this trapdoor's unique separating point, so the
+        // whole chain now sides exactly on this cut — cacheable.
+        if (options_.fast_path) pc.pop->RememberComparison(pc.fp, cut_id);
         // The halves now have known labels for every trapdoor that knew the
         // original partition; record ours and propagate the others.
         const PartitionId left_pid = pc.pop->pid_at(pos);

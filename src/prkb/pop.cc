@@ -46,6 +46,7 @@ void Pop::InitSingle(const std::vector<TupleId>& tuples) {
   part_of_.clear();
   cuts_.clear();
   cut_index_.clear();
+  fp_cache_.clear();
   num_tuples_ = tuples.size();
   if (tuples.empty()) return;  // empty table: empty chain
 
@@ -96,6 +97,7 @@ uint64_t Pop::SplitPartition(PartitionId pid,
   cut.id = next_cut_id_++;
   cut.left_pid = left_pid;
   cut.trapdoor = td;
+  cut.fp = FingerprintTrapdoor(td);
   cut.left_label = left_label;
   cut_index_[cut.id] = cuts_.size();
   cuts_.push_back(std::move(cut));
@@ -124,6 +126,14 @@ void Pop::AddTuple(PartitionId pid, TupleId tid) {
 void Pop::DropCut(size_t cut_idx) {
   Cut& cut = cuts_[cut_idx];
   if (cut.dropped) return;
+  // The fast-path entry keyed by this cut's fingerprint (if any) anchors
+  // through it (own-cut invariant), so it dies with the cut. BETWEEN entries
+  // reference two cuts sharing one fingerprint; dropping either end erases
+  // the entry.
+  if (auto it = fp_cache_.find(cut.fp); it != fp_cache_.end() &&
+      (it->second.cut_id == cut.id || it->second.cut_id2 == cut.id)) {
+    fp_cache_.erase(it);
+  }
   cut.dropped = true;
   if (cut.sibling != kNoCut) {
     auto it = cut_index_.find(cut.sibling);
@@ -158,8 +168,25 @@ void Pop::RemoveTuple(TupleId tid) {
     if (pos == 0 || chain_.empty()) {
       // The cut slid off the chain head; it separates nothing any more.
       DropCut(i);
+      continue;
+    }
+    const PartitionId dest = chain_[pos - 1];
+    // Re-anchoring onto a boundary that already hosts a live cut would stack
+    // two different thresholds on one boundary; a later insert into the
+    // emptied value gap could then satisfy one cut's label invariant and
+    // silently violate the other's. Coarsen instead of corrupting: retire
+    // the sliding cut.
+    bool occupied = false;
+    for (const Cut& other : cuts_) {
+      if (!other.dropped && other.left_pid == dest) {
+        occupied = true;
+        break;
+      }
+    }
+    if (occupied) {
+      DropCut(i);
     } else {
-      cut.left_pid = chain_[pos - 1];
+      cut.left_pid = dest;
     }
   }
   // Cuts that ended up on the chain tail edge separate nothing either.
@@ -208,6 +235,54 @@ const Pop::Cut* Pop::FindCut(uint64_t id) const {
   return cut.dropped ? nullptr : &cut;
 }
 
+void Pop::RememberComparison(const TrapdoorFp& fp, uint64_t cut_id) {
+  assert(FindCut(cut_id) != nullptr && FindCut(cut_id)->fp == fp);
+  fp_cache_.insert_or_assign(fp, FastPathEntry{cut_id, kNoCut});
+}
+
+void Pop::RememberBetween(const TrapdoorFp& fp, uint64_t low_cut,
+                          uint64_t high_cut) {
+  assert(FindCut(low_cut) != nullptr && FindCut(low_cut)->fp == fp);
+  assert(FindCut(high_cut) != nullptr && FindCut(high_cut)->fp == fp);
+  fp_cache_.insert_or_assign(fp, FastPathEntry{low_cut, high_cut});
+}
+
+const Pop::FastPathEntry* Pop::LookupFastPath(const TrapdoorFp& fp) const {
+  auto it = fp_cache_.find(fp);
+  return it == fp_cache_.end() ? nullptr : &it->second;
+}
+
+std::vector<TupleId> Pop::AssembleFastPath(const FastPathEntry& e) const {
+  const Cut* cut = FindCut(e.cut_id);
+  assert(cut != nullptr);
+  size_t begin, end;
+  if (e.cut_id2 == kNoCut) {
+    // Comparison: the satisfied run is the side whose homogeneous QPF
+    // output is 1 — chain-left iff the left label is 1.
+    const size_t cpos = CutPos(*cut);
+    begin = cut->left_label ? 0 : cpos;
+    end = cut->left_label ? cpos : chain_.size();
+  } else {
+    // BETWEEN: the satisfied band lies between the two sibling cuts. Chain
+    // mutations can shuffle which end sits lower, so order by position.
+    const Cut* cut2 = FindCut(e.cut_id2);
+    assert(cut2 != nullptr);
+    const size_t a = CutPos(*cut);
+    const size_t b = CutPos(*cut2);
+    begin = std::min(a, b);
+    end = std::max(a, b);
+  }
+  size_t n = 0;
+  for (size_t p = begin; p < end; ++p) n += slots_[chain_[p]].members.size();
+  std::vector<TupleId> out;
+  out.reserve(n);
+  for (size_t p = begin; p < end; ++p) {
+    const auto& m = slots_[chain_[p]].members;
+    out.insert(out.end(), m.begin(), m.end());
+  }
+  return out;
+}
+
 size_t Pop::SizeBytes() const {
   size_t bytes = 0;
   // Partition membership: the 4 bytes/tuple the paper's Table 3 reports.
@@ -219,6 +294,8 @@ size_t Pop::SizeBytes() const {
     if (cut.dropped) continue;
     bytes += sizeof(Cut) + cut.trapdoor.blob.size();
   }
+  // Repeat-predicate fast-path cache.
+  bytes += fp_cache_.size() * (sizeof(TrapdoorFp) + sizeof(FastPathEntry));
   return bytes;
 }
 
@@ -251,6 +328,18 @@ Status Pop::Validate() const {
     const size_t cpos = CutPos(cut);
     if (cpos < 1 || cpos > chain_.size() - 1) {
       return Status::Corruption("cut at chain edge");
+    }
+  }
+  for (const auto& [fp, e] : fp_cache_) {
+    const Cut* cut = FindCut(e.cut_id);
+    if (cut == nullptr || !(cut->fp == fp)) {
+      return Status::Corruption("fast-path entry with dead or alien anchor");
+    }
+    if (e.cut_id2 != kNoCut) {
+      const Cut* cut2 = FindCut(e.cut_id2);
+      if (cut2 == nullptr || !(cut2->fp == fp)) {
+        return Status::Corruption("fast-path entry with dead or alien anchor");
+      }
     }
   }
   return Status::Ok();

@@ -10,6 +10,7 @@
 #include "common/status.h"
 #include "edbms/encryption.h"
 #include "edbms/types.h"
+#include "prkb/fingerprint.h"
 
 namespace prkb::core {
 
@@ -39,6 +40,9 @@ class Pop {
     /// Partition immediately left of the cut in chain order.
     PartitionId left_pid = kNoPartition;
     edbms::Trapdoor trapdoor;
+    /// Fingerprint of `trapdoor`, cached so fast-path invalidation and
+    /// insert-time evaluation dedup never re-hash the blob.
+    TrapdoorFp fp;
     /// For comparison trapdoors: the QPF output of every tuple on the
     /// chain-left side of this cut.
     bool left_label = false;
@@ -120,6 +124,36 @@ class Pop {
   /// CutPos(). Always in [1, k-1] for live cuts.
   size_t CutPos(const Cut& cut) const { return pos_[cut.left_pid] + 1; }
 
+  /// --- Repeat-predicate fast path -----------------------------------------
+
+  /// A cached zero-QPF answer anchor: the cut(s) the fingerprinted trapdoor
+  /// itself carved into the chain. Comparison entries hold one cut (the
+  /// satisfied side follows from its left_label); BETWEEN entries hold both
+  /// sibling cuts (the satisfied band lies between them). Entries are never
+  /// anchored at another predicate's cut: an alias anchor goes stale when an
+  /// insert lands in the value gap between the two thresholds, whereas an
+  /// own cut stays exact because insertion placement evaluates the very same
+  /// trapdoor when siding the boundary.
+  struct FastPathEntry {
+    uint64_t cut_id = kNoCut;
+    uint64_t cut_id2 = kNoCut;  // kNoCut for comparison entries
+  };
+
+  /// Records the cut a comparison trapdoor created. `cut_id`'s Cut must
+  /// carry this fingerprint (own-cut invariant).
+  void RememberComparison(const TrapdoorFp& fp, uint64_t cut_id);
+  /// Records the two linked sibling cuts a BETWEEN trapdoor created.
+  void RememberBetween(const TrapdoorFp& fp, uint64_t low_cut,
+                       uint64_t high_cut);
+  /// nullptr when the fingerprint is unknown. Entries whose anchor cuts get
+  /// dropped are pruned eagerly by the mutating operations, so lookups never
+  /// mutate and are safe under a shared lock.
+  const FastPathEntry* LookupFastPath(const TrapdoorFp& fp) const;
+  /// Zero-QPF answer: concatenates the members of every partition on the
+  /// satisfied side of the entry's cut(s).
+  std::vector<edbms::TupleId> AssembleFastPath(const FastPathEntry& e) const;
+  size_t fast_path_entries() const { return fp_cache_.size(); }
+
   /// --- Accounting / diagnostics -------------------------------------------
 
   /// Index footprint (Table 3): partition membership plus retained trapdoors.
@@ -156,6 +190,7 @@ class Pop {
   std::vector<PartitionId> part_of_;    // tid -> pid
   std::vector<Cut> cuts_;
   std::unordered_map<uint64_t, size_t> cut_index_;  // cut id -> index
+  std::unordered_map<TrapdoorFp, FastPathEntry, TrapdoorFpHash> fp_cache_;
   uint64_t next_cut_id_ = 1;
   size_t num_tuples_ = 0;
 };

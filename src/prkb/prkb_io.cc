@@ -1,7 +1,10 @@
 #include "prkb/prkb_io.h"
 
+#include <algorithm>
 #include <cstdio>
 #include <unordered_map>
+#include <utility>
+#include <vector>
 
 #include "prkb/pop.h"
 
@@ -9,7 +12,10 @@ namespace prkb::core {
 namespace {
 
 constexpr uint32_t kMagic = 0x50524B42;  // "PRKB"
-constexpr uint8_t kVersion = 1;
+// v2 appends the repeat-predicate fast-path cache to each chain. Cut ids are
+// preserved across a round trip (they always were), which is what lets the
+// cache reference cuts by id.
+constexpr uint8_t kVersion = 2;
 
 void EncodeTrapdoor(Encoder* enc, const edbms::Trapdoor& td) {
   enc->PutU32(td.attr);
@@ -53,6 +59,19 @@ void Pop::EncodeTo(Encoder* enc) const {
     EncodeTrapdoor(enc, cut.trapdoor);
   }
   enc->PutU64(next_cut_id_);
+  // Fast-path cache, fingerprint-sorted so the encoding is deterministic
+  // (replay tests compare chains byte-for-byte).
+  std::vector<std::pair<TrapdoorFp, FastPathEntry>> entries(
+      fp_cache_.begin(), fp_cache_.end());
+  std::sort(entries.begin(), entries.end(),
+            [](const auto& a, const auto& b) { return a.first < b.first; });
+  enc->PutVarint(entries.size());
+  for (const auto& [fp, e] : entries) {
+    enc->PutU64(fp.hi);
+    enc->PutU64(fp.lo);
+    enc->PutU64(e.cut_id);
+    enc->PutU64(e.cut_id2);
+  }
 }
 
 Status Pop::DecodeFrom(Decoder* dec) {
@@ -62,6 +81,7 @@ Status Pop::DecodeFrom(Decoder* dec) {
   part_of_.clear();
   cuts_.clear();
   cut_index_.clear();
+  fp_cache_.clear();
   num_tuples_ = 0;
 
   uint64_t k;
@@ -106,10 +126,24 @@ Status Pop::DecodeFrom(Decoder* dec) {
     }
     cut.left_label = label != 0;
     cut.left_pid = chain_[left_pos];
+    cut.fp = FingerprintTrapdoor(cut.trapdoor);
     cut_index_[cut.id] = cuts_.size();
     cuts_.push_back(std::move(cut));
   }
   PRKB_RETURN_IF_ERROR(dec->GetU64(&next_cut_id_));
+  uint64_t nentries;
+  PRKB_RETURN_IF_ERROR(dec->GetVarint(&nentries));
+  for (uint64_t i = 0; i < nentries; ++i) {
+    TrapdoorFp fp;
+    FastPathEntry e;
+    PRKB_RETURN_IF_ERROR(dec->GetU64(&fp.hi));
+    PRKB_RETURN_IF_ERROR(dec->GetU64(&fp.lo));
+    PRKB_RETURN_IF_ERROR(dec->GetU64(&e.cut_id));
+    PRKB_RETURN_IF_ERROR(dec->GetU64(&e.cut_id2));
+    fp_cache_.insert_or_assign(fp, e);
+  }
+  // Validate() rejects entries whose anchors are missing or whose
+  // fingerprint does not match the anchor cut's trapdoor.
   return Validate();
 }
 

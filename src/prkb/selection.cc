@@ -14,8 +14,16 @@ using edbms::StatsScope;
 using edbms::Trapdoor;
 using edbms::TupleId;
 
+const CacheMetrics& CacheMetrics::Get() {
+  static const CacheMetrics m = {
+      obs::MetricsRegistry::Global().GetCounter("prkb.cache.hits"),
+      obs::MetricsRegistry::Global().GetCounter("prkb.cache.misses"),
+  };
+  return m;
+}
+
 PrkbIndex::PrkbIndex(edbms::Edbms* db, PrkbOptions options)
-    : db_(db), options_(options), rng_(options.seed) {}
+    : db_(db), options_(options) {}
 
 void PrkbIndex::EnableAttr(edbms::AttrId attr) {
   std::vector<TupleId> live;
@@ -59,11 +67,13 @@ uint64_t ApplyComparisonSplit(Pop* pop, const QFilterResult& filter,
                              /*left_label=*/true_half_left);
 }
 
-std::vector<TupleId> PrkbIndex::SelectComparison(const Trapdoor& td) {
+std::vector<TupleId> PrkbIndex::SelectComparison(const Trapdoor& td,
+                                                 const TrapdoorFp* fp) {
   Pop& pop = pops_.at(td.attr);
   if (pop.k() == 0) return {};  // empty table
 
-  const QFilterResult filter = QFilter(pop, td, db_, &rng_);
+  Rng rng = OpRng();
+  const QFilterResult filter = QFilter(pop, td, db_, &rng);
   QScanResult scan = QScan(pop, filter, td, db_, options_.scan_policy());
 
   // Assemble TW ∪ TWNS.
@@ -79,7 +89,15 @@ std::vector<TupleId> PrkbIndex::SelectComparison(const Trapdoor& td) {
   }
   result.insert(result.end(), scan.winners.begin(), scan.winners.end());
 
-  ApplyComparisonSplit(&pop, filter, std::move(scan), td);
+  const uint64_t cut_id =
+      ApplyComparisonSplit(&pop, filter, std::move(scan), td);
+  // Cache only a cut of our own making: the predicate's separating point is
+  // exactly there, so the chain sides stay exact across future inserts.
+  // A no-split outcome (boundary-aligned predicate) is NOT cacheable — its
+  // threshold lies somewhere in a value gap no retained cut pins down.
+  if (fp != nullptr && cut_id != Pop::kNoCut) {
+    pop.RememberComparison(*fp, cut_id);
+  }
   return result;
 }
 
@@ -92,12 +110,58 @@ std::vector<TupleId> PrkbIndex::Select(const Trapdoor& td,
     // No knowledge base on this attribute: plain QPF scan.
     edbms::BaselineScanner scanner(db_, options_.scan_policy());
     result = scanner.Select(td);
-  } else if (td.kind == edbms::PredicateKind::kBetween) {
-    result = SelectBetween(td);
-  } else {
-    result = SelectComparison(td);
+    return result;
   }
+  if (!options_.fast_path) {
+    result = td.kind == edbms::PredicateKind::kBetween
+                 ? SelectBetween(td, nullptr)
+                 : SelectComparison(td, nullptr);
+    return result;
+  }
+  const Pop& pop = pops_.at(td.attr);
+  const TrapdoorFp fp = FingerprintTrapdoor(td);
+  if (const Pop::FastPathEntry* e = pop.LookupFastPath(fp)) {
+    // The chain was already cut by this exact trapdoor: the answer is the
+    // satisfied side of its cut(s). Zero QPF uses, no probes, no split.
+    CacheMetrics::Get().hits->Add(1);
+    result = pop.AssembleFastPath(*e);
+    return result;
+  }
+  CacheMetrics::Get().misses->Add(1);
+  result = td.kind == edbms::PredicateKind::kBetween
+               ? SelectBetween(td, &fp)
+               : SelectComparison(td, &fp);
   return result;
+}
+
+bool PrkbIndex::TrySelectShared(const Trapdoor& td, std::vector<TupleId>* out,
+                                SelectionStats* stats) const {
+  if (IsEnabled(td.attr)) {
+    const Pop& pop = pops_.at(td.attr);
+    if (pop.k() == 0) {
+      const obs::ObsTracer::Span span("prkb.select");
+      StatsScope scope(db_, stats, "select");
+      out->clear();
+      return true;
+    }
+    if (!options_.fast_path) return false;
+    const Pop::FastPathEntry* e = pop.LookupFastPath(FingerprintTrapdoor(td));
+    // A miss bails out before spending any QPF; the exclusive retry both
+    // answers and records the miss, so cache accounting stays single-count.
+    if (e == nullptr) return false;
+    const obs::ObsTracer::Span span("prkb.select");
+    StatsScope scope(db_, stats, "select");
+    CacheMetrics::Get().hits->Add(1);
+    *out = pop.AssembleFastPath(*e);
+    return true;
+  }
+  // No chain to mutate: the baseline scan is read-only w.r.t. the index
+  // (the QPF oracle itself is thread-safe).
+  const obs::ObsTracer::Span span("prkb.select");
+  StatsScope scope(db_, stats, "select");
+  edbms::BaselineScanner scanner(db_, options_.scan_policy());
+  *out = scanner.Select(td);
+  return true;
 }
 
 std::vector<TupleId> PrkbIndex::SelectRangeSdPlus(

@@ -1,6 +1,7 @@
 #ifndef PRKB_PRKB_SELECTION_H_
 #define PRKB_PRKB_SELECTION_H_
 
+#include <atomic>
 #include <cstdint>
 #include <unordered_map>
 #include <vector>
@@ -8,6 +9,7 @@
 #include "common/rng.h"
 #include "edbms/edbms.h"
 #include "edbms/service_provider.h"
+#include "obs/metrics.h"
 #include "prkb/pop.h"
 #include "prkb/qfilter.h"
 #include "prkb/qscan.h"
@@ -32,6 +34,11 @@ struct PrkbOptions {
   /// Threads (including the caller) issuing batch round trips concurrently
   /// when one partition yields multiple chunks. 1 = single-threaded scans.
   size_t scan_workers = 1;
+  /// Repeat-predicate fast path: remember, per chain, the cut(s) each
+  /// trapdoor carved and answer a byte-identical re-sent trapdoor from the
+  /// chain alone — zero QPF uses, no probes, no split. `false` restores the
+  /// always-probe behaviour (ablation / the paper's literal algorithms).
+  bool fast_path = true;
 
   edbms::BatchPolicy scan_policy() const {
     return edbms::BatchPolicy{batch_size, scan_workers};
@@ -66,6 +73,16 @@ class PrkbIndex {
   /// scan when the attribute has no PRKB. The result is unordered.
   std::vector<edbms::TupleId> Select(const edbms::Trapdoor& td,
                                      edbms::SelectionStats* stats = nullptr);
+
+  /// Read-only selection attempt for shared-lock concurrent serving
+  /// (ConcurrentPrkbIndex): answers from the fast-path cache (or the
+  /// baseline scan / empty chain, which never mutate the index) and returns
+  /// true; returns false — without spending any QPF — when answering might
+  /// mutate the chain, in which case the caller must retry with Select()
+  /// under an exclusive lock. Never mutates the index.
+  bool TrySelectShared(const edbms::Trapdoor& td,
+                       std::vector<edbms::TupleId>* out,
+                       edbms::SelectionStats* stats = nullptr) const;
 
   /// Multi-dimensional range query, naive extension "PRKB(SD+)" (Sec. 6
   /// baseline): runs single-predicate processing per trapdoor and intersects.
@@ -107,24 +124,42 @@ class PrkbIndex {
   std::string DescribeStats() const;
 
   edbms::Edbms* db() { return db_; }
-  Rng* rng() { return &rng_; }
   const PrkbOptions& options() const { return options_; }
 
  private:
-  /// Sec. 5 driver for comparison trapdoors.
-  std::vector<edbms::TupleId> SelectComparison(const edbms::Trapdoor& td);
+  /// Sec. 5 driver for comparison trapdoors. `fp` non-null caches the
+  /// resulting cut (if any) under that fingerprint.
+  std::vector<edbms::TupleId> SelectComparison(const edbms::Trapdoor& td,
+                                               const TrapdoorFp* fp);
   /// Appendix A driver for BETWEEN trapdoors (between.cc).
-  std::vector<edbms::TupleId> SelectBetween(const edbms::Trapdoor& td);
+  std::vector<edbms::TupleId> SelectBetween(const edbms::Trapdoor& td,
+                                            const TrapdoorFp* fp);
   /// Places an already-stored tuple into the chain of `attr` (update.cc).
   void PlaceTuple(edbms::AttrId attr, edbms::TupleId tid);
 
   /// PRKB(MD) implementation detail (multidim.cc).
   std::vector<edbms::TupleId> RunMd(const std::vector<edbms::Trapdoor>& tds);
 
+  /// Per-operation sampling RNG: seeded from the shared seed and an atomic
+  /// sequence number, so concurrent shared-lock readers never contend on RNG
+  /// state and single-threaded runs stay bit-for-bit reproducible.
+  Rng OpRng() const {
+    const uint64_t seq = op_seq_.fetch_add(1, std::memory_order_relaxed);
+    return Rng(options_.seed ^ ((seq + 1) * 0x9E3779B97F4A7C15ULL));
+  }
+
   edbms::Edbms* db_;
   PrkbOptions options_;
-  Rng rng_;
+  mutable std::atomic<uint64_t> op_seq_{0};
   std::unordered_map<edbms::AttrId, Pop> pops_;
+};
+
+/// `prkb.cache.{hits,misses}` instruments shared by the selection paths
+/// (selection.cc, multidim.cc) — docs/OBSERVABILITY.md.
+struct CacheMetrics {
+  obs::Counter* hits;
+  obs::Counter* misses;
+  static const CacheMetrics& Get();
 };
 
 /// updatePRKB for the single-comparison flow (Sec. 5.3): applies the split

@@ -17,12 +17,14 @@ struct UpdateMetrics {
   obs::Counter* placements;
   obs::Counter* evals;
   obs::Counter* coarsen_merges;
+  obs::Counter* memo_hits;
 
   static const UpdateMetrics& Get() {
     static const UpdateMetrics m = {
         obs::MetricsRegistry::Global().GetCounter("update.placements"),
         obs::MetricsRegistry::Global().GetCounter("update.evals"),
         obs::MetricsRegistry::Global().GetCounter("update.coarsen_merges"),
+        obs::MetricsRegistry::Global().GetCounter("update.memo_hits"),
     };
     return m;
   }
@@ -142,6 +144,12 @@ void PrkbIndex::PlaceTuple(edbms::AttrId attr, TupleId tid) {
   }
   std::sort(cmp_by_pos.begin(), cmp_by_pos.end());
 
+  // Θ(trapdoor, tid) outcomes already paid for during this placement, keyed
+  // by trapdoor fingerprint: distinct cuts can share one trapdoor (BETWEEN
+  // sibling pairs, MD-fragmented splits), and the greedy search must never
+  // pay the backend twice for the same predicate.
+  std::unordered_map<TrapdoorFp, bool, TrapdoorFpHash> memo;
+
   // Greedy binary search: repeatedly evaluate the cut minimising the
   // worst-case surviving candidate count (≈ ⌈lg k⌉ QPF uses, Sec. 7.1).
   while (Total(cand) > 1) {
@@ -184,8 +192,16 @@ void PrkbIndex::PlaceTuple(edbms::AttrId attr, TupleId tid) {
     }
     if (best == nullptr) break;  // no cut can narrow further
 
-    UpdateMetrics::Get().evals->Add(1);
-    const bool output = db_->Eval(best->cut->trapdoor, tid);
+    bool output;
+    if (const auto it = memo.find(best->cut->fp);
+        options_.fast_path && it != memo.end()) {
+      UpdateMetrics::Get().memo_hits->Add(1);
+      output = it->second;
+    } else {
+      UpdateMetrics::Get().evals->Add(1);
+      output = db_->Eval(best->cut->trapdoor, tid);
+      memo.emplace(best->cut->fp, output);
+    }
     if (output == best->label_for_region) {
       cand = Clip(cand, best->region_b, best->region_e);
     } else {

@@ -1,0 +1,224 @@
+// Repeat-predicate fast path: a byte-identical re-sent trapdoor whose cut is
+// already in the chain must be answered from the chain alone — zero QPF uses,
+// zero QFilter/BETWEEN probes, no split — and stay oracle-exact across
+// inserts, deletes and snapshot round trips.
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "edbms/cipherbase_qpf.h"
+#include "gtest/gtest.h"
+#include "prkb/prkb_io.h"
+#include "prkb/selection.h"
+#include "tests/test_util.h"
+
+namespace prkb {
+namespace {
+
+using edbms::CompareOp;
+using edbms::PlainPredicate;
+using edbms::PredicateKind;
+using edbms::SelectionStats;
+using edbms::TupleId;
+using edbms::Value;
+
+uint64_t Probes() {
+  return obs::MetricsRegistry::Global().GetCounter("qfilter.probes")->value() +
+         obs::MetricsRegistry::Global().GetCounter("between.probes")->value();
+}
+
+PlainPredicate Cmp(edbms::AttrId attr, CompareOp op, Value c) {
+  PlainPredicate p;
+  p.attr = attr;
+  p.op = op;
+  p.lo = c;
+  return p;
+}
+
+PlainPredicate Btw(edbms::AttrId attr, Value lo, Value hi) {
+  PlainPredicate p;
+  p.attr = attr;
+  p.kind = PredicateKind::kBetween;
+  p.lo = lo;
+  p.hi = hi;
+  return p;
+}
+
+TEST(FastPathTest, RepeatedComparisonCostsZeroQpf) {
+  Rng data_rng(11);
+  auto plain = testutil::RandomTable(400, 1, &data_rng, 0, 999);
+  auto db = edbms::CipherbaseEdbms::FromPlainTable(42, plain);
+  core::PrkbIndex index(&db);
+  index.EnableAttr(0);
+
+  const PlainPredicate p = Cmp(0, CompareOp::kLt, 500);
+  const auto td = db.MakeComparison(p.attr, p.op, p.lo);
+  const auto expect = testutil::OracleSelect(plain, p);
+
+  SelectionStats first;
+  EXPECT_EQ(testutil::Sorted(index.Select(td, &first)), expect);
+  EXPECT_GT(first.qpf_uses, 0u);
+  EXPECT_EQ(first.cache_hits, 0u);
+  EXPECT_EQ(first.cache_misses, 1u);
+  EXPECT_EQ(index.pop(0).fast_path_entries(), 1u);
+
+  const uint64_t probes_before = Probes();
+  SelectionStats repeat;
+  EXPECT_EQ(testutil::Sorted(index.Select(td, &repeat)), expect);
+  EXPECT_EQ(repeat.qpf_uses, 0u);
+  EXPECT_EQ(repeat.qpf_round_trips, 0u);
+  EXPECT_EQ(repeat.cache_hits, 1u);
+  EXPECT_EQ(repeat.cache_misses, 0u);
+  EXPECT_EQ(Probes(), probes_before);
+}
+
+TEST(FastPathTest, RepeatedBetweenCostsZeroQpf) {
+  Rng data_rng(12);
+  auto plain = testutil::RandomTable(400, 1, &data_rng, 0, 999);
+  auto db = edbms::CipherbaseEdbms::FromPlainTable(43, plain);
+  core::PrkbIndex index(&db);
+  index.EnableAttr(0);
+
+  // A first comparison puts a boundary inside the band, so both BETWEEN ends
+  // land in distinct partitions and the two end splits get linked (the
+  // cacheable outcome; an interior (F,T,F) band in one partition is not).
+  const PlainPredicate warm = Cmp(0, CompareOp::kLt, 500);
+  index.Select(db.MakeComparison(warm.attr, warm.op, warm.lo));
+
+  const PlainPredicate p = Btw(0, 300, 700);
+  const auto td = db.MakeBetween(p.attr, p.lo, p.hi);
+  const auto expect = testutil::OracleSelect(plain, p);
+
+  SelectionStats first;
+  EXPECT_EQ(testutil::Sorted(index.Select(td, &first)), expect);
+  EXPECT_GT(first.qpf_uses, 0u);
+  EXPECT_EQ(index.pop(0).fast_path_entries(), 2u);
+
+  const uint64_t probes_before = Probes();
+  SelectionStats repeat;
+  EXPECT_EQ(testutil::Sorted(index.Select(td, &repeat)), expect);
+  EXPECT_EQ(repeat.qpf_uses, 0u);
+  EXPECT_EQ(repeat.cache_hits, 1u);
+  EXPECT_EQ(Probes(), probes_before);
+}
+
+TEST(FastPathTest, CacheSurvivesSnapshotRoundTrip) {
+  Rng data_rng(13);
+  auto plain = testutil::RandomTable(300, 1, &data_rng, 0, 999);
+  auto db = edbms::CipherbaseEdbms::FromPlainTable(44, plain);
+  core::PrkbIndex index(&db);
+  index.EnableAttr(0);
+
+  const PlainPredicate pc = Cmp(0, CompareOp::kGe, 400);
+  const PlainPredicate pb = Btw(0, 200, 600);
+  const auto tdc = db.MakeComparison(pc.attr, pc.op, pc.lo);
+  const auto tdb = db.MakeBetween(pb.attr, pb.lo, pb.hi);
+  index.Select(tdc);
+  index.Select(tdb);
+  const size_t entries = index.pop(0).fast_path_entries();
+  EXPECT_GE(entries, 1u);
+
+  const std::string path = testing::TempDir() + "/fast_path_snapshot.prkb";
+  ASSERT_TRUE(core::SavePrkb(index, path).ok());
+  core::PrkbIndex restored(&db);
+  ASSERT_TRUE(core::LoadPrkb(&restored, path).ok());
+  std::remove(path.c_str());
+  EXPECT_EQ(restored.pop(0).fast_path_entries(), entries);
+
+  SelectionStats repeat;
+  EXPECT_EQ(testutil::Sorted(restored.Select(tdc, &repeat)),
+            testutil::OracleSelect(plain, pc));
+  EXPECT_EQ(repeat.qpf_uses, 0u);
+  EXPECT_EQ(repeat.cache_hits, 1u);
+  EXPECT_EQ(testutil::Sorted(restored.Select(tdb, &repeat)),
+            testutil::OracleSelect(plain, pb));
+  EXPECT_EQ(repeat.qpf_uses, 0u);
+}
+
+TEST(FastPathTest, AblationFlagRestoresAlwaysProbe) {
+  Rng data_rng(14);
+  auto plain = testutil::RandomTable(300, 1, &data_rng, 0, 999);
+  auto db = edbms::CipherbaseEdbms::FromPlainTable(45, plain);
+  core::PrkbIndex index(&db, core::PrkbOptions{.fast_path = false});
+  index.EnableAttr(0);
+
+  const PlainPredicate p = Cmp(0, CompareOp::kLt, 500);
+  const auto td = db.MakeComparison(p.attr, p.op, p.lo);
+  const auto expect = testutil::OracleSelect(plain, p);
+
+  index.Select(td);
+  EXPECT_EQ(index.pop(0).fast_path_entries(), 0u);
+  SelectionStats repeat;
+  EXPECT_EQ(testutil::Sorted(index.Select(td, &repeat)), expect);
+  EXPECT_GT(repeat.qpf_uses, 0u);  // the paper's literal always-probe cost
+  EXPECT_EQ(repeat.cache_hits, 0u);
+  EXPECT_EQ(repeat.cache_misses, 0u);
+}
+
+TEST(FastPathTest, RepeatedMdPredicatesSkipQpf) {
+  Rng data_rng(15);
+  auto plain = testutil::RandomTable(400, 2, &data_rng, 0, 999);
+  auto db = edbms::CipherbaseEdbms::FromPlainTable(46, plain);
+  core::PrkbIndex index(&db);
+  index.EnableAttr(0);
+  index.EnableAttr(1);
+
+  const std::vector<PlainPredicate> box = {Cmp(0, CompareOp::kGe, 250),
+                                           Cmp(0, CompareOp::kLt, 750),
+                                           Cmp(1, CompareOp::kGe, 100),
+                                           Cmp(1, CompareOp::kLt, 600)};
+  std::vector<edbms::Trapdoor> tds;
+  for (const auto& p : box) tds.push_back(db.MakeComparison(p.attr, p.op, p.lo));
+
+  // Warm every dimension with its single-predicate flow.
+  for (const auto& td : tds) index.Select(td);
+
+  SelectionStats repeat;
+  EXPECT_EQ(testutil::Sorted(index.SelectRangeMd(tds, &repeat)),
+            testutil::OracleSelectAll(plain, box));
+  EXPECT_EQ(repeat.qpf_uses, 0u);
+  EXPECT_EQ(repeat.cache_hits, 4u);
+}
+
+TEST(FastPathTest, RepeatsStayExactAcrossChurn) {
+  Rng data_rng(16);
+  auto plain = testutil::RandomTable(300, 1, &data_rng, 0, 999);
+  auto db = edbms::CipherbaseEdbms::FromPlainTable(47, plain);
+  core::PrkbIndex index(&db);
+  index.EnableAttr(0);
+
+  const PlainPredicate p = Cmp(0, CompareOp::kLt, 500);
+  const auto td = db.MakeComparison(p.attr, p.op, p.lo);
+  index.Select(td);
+
+  // Cut-steered inserts must land each new tuple on the correct side of the
+  // remembered cut, and deletes must never leave the cache pointing at a
+  // dead or re-anchored cut that would mislabel survivors.
+  Rng churn_rng(17);
+  std::vector<TupleId> extra;
+  std::vector<Value> extra_val;
+  for (int i = 0; i < 40; ++i) {
+    const Value v = churn_rng.UniformInt64(0, 999);
+    extra.push_back(index.Insert({v}));
+    extra_val.push_back(v);
+  }
+  for (TupleId tid = 0; tid < 300; tid += 7) index.Delete(tid);
+
+  std::vector<TupleId> expect;
+  for (TupleId tid = 0; tid < 300; ++tid) {
+    if (db.IsLive(tid) && p.Satisfies(plain.at(0, tid))) expect.push_back(tid);
+  }
+  for (size_t i = 0; i < extra.size(); ++i) {
+    if (p.Satisfies(extra_val[i])) expect.push_back(extra[i]);
+  }
+
+  SelectionStats repeat;
+  EXPECT_EQ(testutil::Sorted(index.Select(td, &repeat)),
+            testutil::Sorted(expect));
+  EXPECT_EQ(repeat.qpf_uses, 0u);  // churn above never empties a partition
+  EXPECT_TRUE(index.pop(0).Validate().ok());
+}
+
+}  // namespace
+}  // namespace prkb

@@ -5,6 +5,12 @@
 // Accepts the mini-SQL subset on stdin plus dot-commands:
 //   SELECT * FROM t WHERE c0 < 100 AND c1 BETWEEN 5 AND 9
 //   .stats            chain shape per attribute
+//   .cache            repeat-predicate fast-path state (entries, hits/misses)
+//
+// Note: retyping a SELECT re-issues its trapdoor through the data owner,
+// which seals with a fresh nonce — different bytes, so the fast path misses
+// by design (DESIGN.md §9). Hits require re-sending the *same* trapdoor,
+// the prepared-statement model the fast-path tests and bench exercise.
 //   .insert v0 v1 ..  insert a row (one value per attribute)
 //   .delete <tid>     tombstone a tuple
 //   .save <path>      snapshot the PRKB
@@ -54,7 +60,8 @@ void PrintHelp() {
   std::printf(
       "commands:\n"
       "  SELECT * FROM t WHERE c0 < 100 AND c1 BETWEEN 5 AND 9\n"
-      "  .stats | .insert v0 v1 .. | .delete <tid> | .save <p> | .load <p>\n"
+      "  .stats | .cache | .insert v0 v1 .. | .delete <tid> | .save <p> |"
+      " .load <p>\n"
       "  .help | .quit\n");
 }
 
@@ -104,6 +111,15 @@ int main(int argc, char** argv) {
         PrintHelp();
       } else if (cmd == ".stats") {
         std::printf("%s", index.DescribeStats().c_str());
+      } else if (cmd == ".cache") {
+        for (const edbms::AttrId attr : index.EnabledAttrs()) {
+          std::printf("attr %u: %zu cached predicate(s)\n", attr,
+                      index.pop(attr).fast_path_entries());
+        }
+        const core::CacheMetrics& cm = core::CacheMetrics::Get();
+        std::printf("session: %llu hit(s), %llu miss(es)\n",
+                    static_cast<unsigned long long>(cm.hits->value()),
+                    static_cast<unsigned long long>(cm.misses->value()));
       } else if (cmd == ".insert") {
         std::vector<edbms::Value> row;
         edbms::Value v;
