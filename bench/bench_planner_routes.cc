@@ -1,0 +1,216 @@
+// Cost-based planner routing vs the old fixed rules, on the ad-hoc
+// cold-deployment regime (the left edge of the paper's Fig. 11/12 curves,
+// where every chain still has k = 1).
+//
+// Workload model: an analyst fires two-attribute box conjunctions
+//   `a0 > L0 AND a0 < H0 AND a1 > L1 AND a1 < H1`
+// at a freshly loaded deployment (snapshot restore, staging copy, or a
+// first-touch table) — each query pays the cold-chain cost. A fraction of
+// the boxes is contradictory (inverted windows from user input).  Two modes:
+//   fixed-md    the repo's previous routing rule: every all-comparison
+//               conjunction becomes one PRKB(MD) call with four trapdoors
+//   cost-based  query::Planner: each same-attribute pair collapses into one
+//               BETWEEN (contradictions short-circuit to an empty plan);
+//               the two BETWEENs run as an SD+ intersection
+//
+// On cold chains the collapsed route reads each attribute's no-index window
+// once per BETWEEN instead of once per comparison, and contradictions cost
+// zero QPF instead of a full scan — the cost-based planner must be
+// measurably no slower than the fixed rule here.  (On developed chains the
+// MD grid's cross-dimension pruning wins instead; that crossover is what
+// the estimator in src/exec/cost.cc encodes and exec_test pins.)
+//
+// Extra flags beyond the common set (bench_util.h):
+//   --smoke   single tiny configuration (CI schema check)
+
+#include <algorithm>
+#include <cstring>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "common/stopwatch.h"
+#include "common/table_printer.h"
+#include "query/planner.h"
+#include "workload/synthetic_table.h"
+
+namespace prkb::bench {
+namespace {
+
+using edbms::CompareOp;
+using edbms::TupleId;
+using edbms::Value;
+
+struct Box {
+  Value lo0, hi0, lo1, hi1;
+  bool contradictory;
+};
+
+/// The box stream is deterministic in the seed so both modes answer the
+/// same logical queries. Contradictory boxes invert attribute 0's window.
+std::vector<Box> MakeBoxes(int queries, int contra_pct, uint64_t seed,
+                           Value domain_lo, Value domain_hi) {
+  std::vector<Box> boxes;
+  Rng rng(seed + 101);
+  const Value span = domain_hi - domain_lo;
+  for (int q = 0; q < queries; ++q) {
+    Box b;
+    b.lo0 = domain_lo + rng.UniformInt64(0, span / 2);
+    b.hi0 = b.lo0 + rng.UniformInt64(span / 8, span / 2);
+    b.lo1 = domain_lo + rng.UniformInt64(0, span / 2);
+    b.hi1 = b.lo1 + rng.UniformInt64(span / 8, span / 2);
+    b.contradictory = rng.UniformInt64(1, 100) <= contra_pct;
+    if (b.contradictory) std::swap(b.lo0, b.hi0);
+    boxes.push_back(b);
+  }
+  return boxes;
+}
+
+struct RunResult {
+  double millis = 0;
+  uint64_t qpf_uses = 0;
+  uint64_t round_trips = 0;
+  std::vector<std::vector<TupleId>> rows;  // per-query, sorted
+};
+
+/// Runs the whole stream in one mode. Every query gets a fresh deployment
+/// (the cold-start regime under study), built outside the timed section.
+RunResult RunMode(const std::string& mode, const std::vector<Box>& boxes,
+                  const edbms::PlainTable& plain, const BenchArgs& args) {
+  RunResult res;
+  for (const Box& b : boxes) {
+    auto db = edbms::CipherbaseEdbms::FromPlainTable(args.seed, plain);
+    db.trusted_machine().set_call_latency_ns(args.tm_latency_ns);
+    core::PrkbIndex index(&db, core::PrkbOptions{.seed = args.seed});
+    index.EnableAttr(0);
+    index.EnableAttr(1);
+
+    std::vector<TupleId> rows;
+    const uint64_t uses0 = db.uses();
+    const uint64_t rt0 = db.round_trips();
+    Stopwatch watch;
+    if (mode == "fixed-md") {
+      // The pre-refactor rule: all-comparison conjunction => PRKB(MD).
+      rows = index.SelectRangeMd({
+          db.MakeComparison(0, CompareOp::kGt, b.lo0),
+          db.MakeComparison(0, CompareOp::kLt, b.hi0),
+          db.MakeComparison(1, CompareOp::kGt, b.lo1),
+          db.MakeComparison(1, CompareOp::kLt, b.hi1),
+      });
+    } else {
+      query::Catalog catalog;
+      catalog.RegisterTable("t", {"a0", "a1"});
+      query::Planner planner(&catalog, &db, &index);
+      char sql[256];
+      std::snprintf(sql, sizeof(sql),
+                    "SELECT * FROM t WHERE a0 > %lld AND a0 < %lld "
+                    "AND a1 > %lld AND a1 < %lld",
+                    static_cast<long long>(b.lo0),
+                    static_cast<long long>(b.hi0),
+                    static_cast<long long>(b.lo1),
+                    static_cast<long long>(b.hi1));
+      auto r = planner.ExecuteSql(sql);
+      if (!r.ok()) {
+        std::fprintf(stderr, "planner error: %s\n",
+                     r.status().ToString().c_str());
+        continue;
+      }
+      rows = std::move(r->rows);
+    }
+    res.millis += watch.ElapsedMillis();
+    res.qpf_uses += db.uses() - uses0;
+    res.round_trips += db.round_trips() - rt0;
+    std::sort(rows.begin(), rows.end());
+    res.rows.push_back(std::move(rows));
+  }
+  return res;
+}
+
+int Main(int argc, char** argv) {
+  bool smoke = false;
+  bool tmlat_given = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--smoke") == 0) smoke = true;
+    if (std::strncmp(argv[i], "--tmlat=", 8) == 0) tmlat_given = true;
+  }
+  BenchArgs args = BenchArgs::Parse(argc, argv, /*default_scale=*/0.00006);
+  if (!tmlat_given) args.tm_latency_ns = 2000;
+
+  const size_t rows = ScaledRows(10'000'000, args.scale);
+  const int queries = args.queries > 0 ? args.queries : (smoke ? 4 : 20);
+  PrintBanner("Planner routing: cost-based collapse vs old fixed MD rule",
+              "cold-chain regime of Fig. 11/12 (k = 1)", args,
+              "each box query runs against a fresh deployment; the collapsed "
+              "SD+ route scans each no-index window twice (once per BETWEEN) "
+              "where fixed MD scans it four times (once per comparison), and "
+              "contradictory boxes cost the planner zero QPF");
+
+  workload::SyntheticSpec spec;
+  spec.rows = rows;
+  spec.attrs = 2;
+  spec.seed = args.seed;
+  const auto plain = workload::MakeSyntheticTable(spec);
+
+  const std::vector<int> contra_pcts =
+      smoke ? std::vector<int>{25} : std::vector<int>{0, 25};
+
+  JsonBench json("bench_planner_routes", args);
+  json.Config("rows", static_cast<double>(rows));
+  json.Config("queries", static_cast<double>(queries));
+  json.Config("smoke", smoke ? "true" : "false");
+
+  TablePrinter tp("cold-deployment box conjunctions, " + std::to_string(rows) +
+                  " rows, " + std::to_string(queries) + " queries");
+  tp.SetHeader({"mode", "contra %", "QPF uses", "QPF/query", "round trips",
+                "millis", "vs fixed-md"});
+
+  for (int contra_pct : contra_pcts) {
+    const auto boxes =
+        MakeBoxes(queries, contra_pct, args.seed, spec.domain_lo,
+                  spec.domain_hi);
+    const RunResult fixed = RunMode("fixed-md", boxes, plain, args);
+    const RunResult cost = RunMode("cost-based", boxes, plain, args);
+
+    bool match = fixed.rows == cost.rows;
+    for (const auto& mode_res :
+         {std::make_pair("fixed-md", &fixed),
+          std::make_pair("cost-based", &cost)}) {
+      const RunResult& r = *mode_res.second;
+      const double ratio =
+          fixed.qpf_uses > 0
+              ? static_cast<double>(r.qpf_uses) / fixed.qpf_uses
+              : 0.0;
+      tp.AddRow({mode_res.first, std::to_string(contra_pct),
+                 std::to_string(r.qpf_uses),
+                 TablePrinter::Fmt(static_cast<double>(r.qpf_uses) / queries,
+                                   1),
+                 std::to_string(r.round_trips), TablePrinter::Fmt(r.millis, 1),
+                 TablePrinter::Fmt(ratio, 2) + "x"});
+      json.BeginRow();
+      json.Field("mode", std::string(mode_res.first));
+      json.Field("contradiction_pct", static_cast<uint64_t>(contra_pct));
+      json.Field("queries", static_cast<uint64_t>(queries));
+      json.Field("qpf_uses", r.qpf_uses);
+      json.Field("qpf_round_trips", r.round_trips);
+      json.Field("millis", r.millis);
+      json.Field("qpf_vs_fixed", ratio);
+      json.Field("results_match", match ? "true" : "false");
+    }
+    if (!match) {
+      std::fprintf(stderr,
+                   "FATAL: routes disagree on results (contra %d%%)\n",
+                   contra_pct);
+      return 1;
+    }
+  }
+
+  tp.Print();
+  json.WriteIfRequested(args);
+  return 0;
+}
+
+}  // namespace
+}  // namespace prkb::bench
+
+int main(int argc, char** argv) { return prkb::bench::Main(argc, argv); }

@@ -1,0 +1,77 @@
+#!/usr/bin/env bash
+# Golden-EXPLAIN snapshot check: drives tools/prkb_shell over a fixed
+# deployment (--rows/--attrs/--seed pinned below) with a fixed statement
+# script, extracts every rendered plan tree, and diffs the result against
+# tests/golden/explain.golden. Plan shapes, estimated costs, and
+# post-execution actual QPF costs are all deterministic for a fixed seed
+# (the same property replay_test pins), so any diff is a real plan-shape or
+# cost-model regression — review it, then re-bless with --update if the
+# change is intended.
+#
+# Usage: scripts/check_explain.sh [--update] [path/to/prkb_shell]
+
+set -eu
+cd "$(dirname "$0")/.."
+
+update=0
+shell_bin="build/tools/prkb_shell"
+for arg in "$@"; do
+  if [ "$arg" = "--update" ]; then
+    update=1
+  else
+    shell_bin="$arg"
+  fi
+done
+golden="tests/golden/explain.golden"
+
+if [ ! -x "$shell_bin" ]; then
+  echo "check_explain: $shell_bin not built (cmake --build build --target prkb_shell)" >&2
+  exit 2
+fi
+
+# The statement script covers every route the planner can choose: single
+# comparison, same-attribute collapse to BETWEEN, explicit BETWEEN,
+# multi-attribute MD grid, a contradiction, and one executed statement
+# re-explained so the golden also pins per-operator *actual* QPF costs.
+raw=$("$shell_bin" --rows=400 --attrs=3 --seed=7 <<'EOF'
+EXPLAIN SELECT * FROM t WHERE c0 < 500000
+EXPLAIN SELECT * FROM t WHERE c0 > 100000 AND c0 < 900000
+EXPLAIN SELECT * FROM t WHERE c1 BETWEEN 200000 AND 700000
+EXPLAIN SELECT * FROM t WHERE c0 > 100000 AND c1 < 800000 AND c2 > 50000
+EXPLAIN SELECT * FROM t WHERE c0 > 900000 AND c0 < 100000
+SELECT * FROM t WHERE c0 < 500000
+.explain
+.quit
+EOF
+)
+
+# Keep only plan output: the "plan: <summary>" headers and operator lines
+# (every operator line carries an "(est ...)" annotation). Prompts are glued
+# to the first line of each response because the shell prints "prkb> "
+# without a newline.
+actual=$(printf '%s\n' "$raw" | sed 's/^\(prkb> \)*//' \
+         | grep -E '^plan:|\(est ' || true)
+
+if [ -z "$actual" ]; then
+  echo "check_explain: no plan output captured from $shell_bin" >&2
+  exit 1
+fi
+
+if [ "$update" -eq 1 ]; then
+  mkdir -p "$(dirname "$golden")"
+  printf '%s\n' "$actual" > "$golden"
+  echo "check_explain: wrote $(printf '%s\n' "$actual" | wc -l | tr -d ' ') lines to $golden"
+  exit 0
+fi
+
+if [ ! -f "$golden" ]; then
+  echo "check_explain: $golden missing (run scripts/check_explain.sh --update)" >&2
+  exit 1
+fi
+
+if ! diff -u "$golden" <(printf '%s\n' "$actual"); then
+  echo "check_explain: plan shapes diverged from $golden" >&2
+  echo "check_explain: if intended, re-bless with scripts/check_explain.sh --update" >&2
+  exit 1
+fi
+echo "check_explain: plans match $golden"

@@ -1,0 +1,48 @@
+#!/usr/bin/env bash
+# Runs clang-tidy (profile: .clang-tidy — modernize + bugprone + performance)
+# over the first-party sources using the compile database exported by CMake
+# (CMAKE_EXPORT_COMPILE_COMMANDS is ON in the top-level CMakeLists.txt).
+#
+# Exits 0 with a notice when clang-tidy is not installed so local builds on
+# minimal containers are not blocked; CI installs clang-tidy and treats its
+# findings (WarningsAsErrors in .clang-tidy) as failures.
+#
+# Usage: scripts/run_clang_tidy.sh [build_dir] [clang-tidy-binary]
+
+set -u
+cd "$(dirname "$0")/.."
+
+build_dir="${1:-build}"
+tidy_bin="${2:-clang-tidy}"
+
+if ! command -v "$tidy_bin" >/dev/null 2>&1; then
+  echo "run_clang_tidy: $tidy_bin not installed; skipping (CI runs it)"
+  exit 0
+fi
+
+db="$build_dir/compile_commands.json"
+if [ ! -f "$db" ]; then
+  echo "run_clang_tidy: $db missing — configure first: cmake -B $build_dir -S ." >&2
+  exit 2
+fi
+
+# First-party translation units only; third-party and generated code are
+# outside the profile's scope.
+mapfile -t sources < <(git ls-files 'src/**/*.cc' 'tools/*.cc' 'bench/*.cc')
+if [ "${#sources[@]}" -eq 0 ]; then
+  echo "run_clang_tidy: no sources found" >&2
+  exit 2
+fi
+
+echo "run_clang_tidy: ${#sources[@]} file(s) against $db"
+status=0
+# run-clang-tidy parallelises when available; otherwise iterate.
+if command -v run-clang-tidy >/dev/null 2>&1; then
+  run-clang-tidy -clang-tidy-binary "$tidy_bin" -p "$build_dir" -quiet \
+    "${sources[@]}" || status=$?
+else
+  for f in "${sources[@]}"; do
+    "$tidy_bin" -p "$build_dir" --quiet "$f" || status=$?
+  done
+fi
+exit $status

@@ -1,0 +1,64 @@
+#include "exec/cost.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace prkb::exec {
+
+const CostConstants& CostConstants::Defaults() {
+  static const CostConstants c;
+  return c;
+}
+
+double CeilLg(size_t k) {
+  if (k <= 1) return 0.0;
+  return std::ceil(std::log2(static_cast<double>(k)));
+}
+
+CostEstimate EstimateLinearScan(size_t live_rows, const CostConstants&) {
+  return CostEstimate{0.0, static_cast<double>(live_rows)};
+}
+
+CostEstimate EstimateComparison(size_t k, size_t n, const CostConstants& c) {
+  if (k == 0) return {};
+  const double kk = static_cast<double>(k);
+  const double nn = static_cast<double>(n);
+  CostEstimate est;
+  // A probe never repeats a partition, so k itself caps the bound.
+  est.probes = std::min(kk, c.qfilter_overhead + CeilLg(k));
+  est.scans = std::min(nn, c.comparison_scan_partitions * nn / kk);
+  return est;
+}
+
+CostEstimate EstimateBetween(size_t k, size_t n, const CostConstants& c) {
+  if (k == 0) return {};
+  const double kk = static_cast<double>(k);
+  const double nn = static_cast<double>(n);
+  CostEstimate est;
+  // Anchor hunt, then one binary search per band end (each ≤ ⌈lg k⌉ fresh
+  // samples); the sample-label memo keeps the sum below k.
+  est.probes =
+      std::min(kk, c.between_anchor_probes + 2.0 * CeilLg(k));
+  est.scans = std::min(nn, c.between_end_partitions * nn / kk);
+  return est;
+}
+
+CostEstimate EstimateMdGrid(const std::vector<MdDim>& dims,
+                            const CostConstants& c) {
+  CostEstimate est;
+  double band = 0.0;
+  for (const MdDim& d : dims) {
+    if (d.k == 0) continue;
+    est.probes += std::min(static_cast<double>(d.k),
+                           c.qfilter_overhead + CeilLg(d.k));
+    band += std::min(static_cast<double>(d.n),
+                     c.md_band_partitions * static_cast<double>(d.n) /
+                         static_cast<double>(d.k));
+  }
+  // Each surviving band tuple costs ≈ one evaluation: the cheap-pass grid
+  // rejection is free and the expensive pass short-circuits on the first 0.
+  est.scans = c.md_band_eval_factor * band;
+  return est;
+}
+
+}  // namespace prkb::exec

@@ -1,0 +1,83 @@
+#ifndef PRKB_EXEC_COST_H_
+#define PRKB_EXEC_COST_H_
+
+#include <cstddef>
+#include <vector>
+
+namespace prkb::exec {
+
+/// Estimated QPF spend of one plan operator, split the way the paper (and
+/// docs/COST_MODEL.md) splits every selection cost: sampled probes (QFilter
+/// binary searches, BETWEEN anchor hunts) versus exhaustive-scan evaluations
+/// (NS partitions, end partitions, MD bands). Unit: QPF uses.
+struct CostEstimate {
+  double probes = 0.0;
+  double scans = 0.0;
+
+  double Total() const { return probes + scans; }
+  CostEstimate& operator+=(const CostEstimate& o) {
+    probes += o.probes;
+    scans += o.scans;
+    return *this;
+  }
+};
+
+/// Calibratable constants behind the estimate formulas. The defaults are
+/// fitted against the paper's bounds and this repo's bench JSON — see
+/// "Calibrating the estimator" in docs/COST_MODEL.md for the re-fitting
+/// procedure; the tests in tests/exec_test.cc golden-pin the formulas.
+struct CostConstants {
+  /// The additive term of the QFilter bound 2 + ⌈lg k⌉ (Sec. 6.1).
+  double qfilter_overhead = 2.0;
+  /// NS partitions a comparison QScan pays for on average: 2 partitions
+  /// bounded above, minus the early-stop saving (Sec. 6.2 lines 9-13;
+  /// `qscan.early_stops` in bench JSON sits near 50%).
+  double comparison_scan_partitions = 1.5;
+  /// Expected partition samples until the BETWEEN anchor hunt hits the
+  /// satisfied band (Appendix A phase 1), at the neutral planning-time
+  /// selectivity assumption of ~25%.
+  double between_anchor_probes = 4.0;
+  /// End partitions a BETWEEN actually scans of the ≤ 4 candidates
+  /// (`between.end_scans` / `between.invocations` in bench JSON).
+  double between_end_partitions = 3.0;
+  /// NS partitions contributing band tuples per MD dimension (≤ 2).
+  double md_band_partitions = 2.0;
+  /// Fraction of MD band tuples surviving free grid pruning and costing one
+  /// evaluation each (`md.evals` / `md.band_tuples` in bench JSON).
+  double md_band_eval_factor = 0.5;
+
+  static const CostConstants& Defaults();
+};
+
+/// ⌈lg k⌉ with lg 0 = lg 1 = 0, as used by the paper's probe bounds.
+double CeilLg(size_t k);
+
+/// Baseline linear scan: one QPF use per live tuple (Sec. 3.2).
+CostEstimate EstimateLinearScan(size_t live_rows,
+                                const CostConstants& c = CostConstants::Defaults());
+
+/// Uncached single-comparison selection on a chain of k partitions over n
+/// tuples: QFilter probes + NS-pair scan (Sec. 5).
+CostEstimate EstimateComparison(size_t k, size_t n,
+                                const CostConstants& c = CostConstants::Defaults());
+
+/// Uncached BETWEEN selection (Appendix A): anchor hunt + two end binary
+/// searches + end-partition scans.
+CostEstimate EstimateBetween(size_t k, size_t n,
+                             const CostConstants& c = CostConstants::Defaults());
+
+/// One (k, n) chain shape per MD dimension. Dimensions answered from the
+/// repeat-predicate cache classify for free and must be omitted.
+struct MdDim {
+  size_t k = 0;
+  size_t n = 0;
+};
+
+/// PRKB(MD) grid selection over the given uncached dimensions: one QFilter
+/// per dimension plus the pruned NS-band evaluations (Sec. 6.2).
+CostEstimate EstimateMdGrid(const std::vector<MdDim>& dims,
+                            const CostConstants& c = CostConstants::Defaults());
+
+}  // namespace prkb::exec
+
+#endif  // PRKB_EXEC_COST_H_

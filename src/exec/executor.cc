@@ -1,0 +1,478 @@
+// Plan execution over the PRKB primitives.
+//
+// The operator bodies here are the relocated legacy drivers — the QPF and
+// RNG consumption of every default-path operation is byte-identical to the
+// pre-exec-layer code (replay_test / batch_qpf_test pin this). What the
+// layer adds on top: per-operator actual-cost capture on the plan nodes,
+// `exec.*` operator metrics, and one shared implementation of the
+// fast-path-cache consult + StatsScope accounting that selection.cc,
+// between.cc dispatch, multidim.cc and the SD+ loop used to duplicate.
+
+#include "exec/executor.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+#include "common/bitvector.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
+#include "prkb/selection.h"
+
+namespace prkb::exec {
+
+using edbms::SelectionStats;
+using edbms::StatsScope;
+using edbms::Trapdoor;
+using edbms::TupleId;
+
+namespace {
+
+/// One `exec.<op>` counter per operator kind (docs/OBSERVABILITY.md), plus
+/// the plan-level estimate-quality histogram.
+struct ExecMetrics {
+  obs::Counter* op[10];
+  obs::Counter* plan_runs;
+  obs::LatencyHistogram* est_error_pct;
+
+  static const ExecMetrics& Get() {
+    auto& reg = obs::MetricsRegistry::Global();
+    static const ExecMetrics m = {
+        {
+            reg.GetCounter("exec.full_table"),
+            reg.GetCounter("exec.empty_result"),
+            reg.GetCounter("exec.linear_scan"),
+            reg.GetCounter("exec.predicate_select"),
+            reg.GetCounter("exec.fast_path_lookup"),
+            reg.GetCounter("exec.qfilter_probe"),
+            reg.GetCounter("exec.partition_scan"),
+            reg.GetCounter("exec.apply_split"),
+            reg.GetCounter("exec.grid_prune"),
+            reg.GetCounter("exec.intersect"),
+        },
+        reg.GetCounter("exec.plan_runs"),
+        reg.GetHistogram("exec.est_error_pct"),
+    };
+    return m;
+  }
+};
+
+/// Snapshots the oracle counters; Commit() stamps the delta onto a node as
+/// its actual cost and bumps the operator's `exec.*` counter.
+class NodeCost {
+ public:
+  explicit NodeCost(const edbms::Edbms* db)
+      : db_(db), uses0_(db->uses()), trips0_(db->round_trips()) {}
+
+  void Commit(PlanNode* node) const {
+    if (node == nullptr) return;
+    node->actual.executed = true;
+    node->actual.qpf_uses = db_->uses() - uses0_;
+    node->actual.qpf_round_trips = db_->round_trips() - trips0_;
+    ExecMetrics::Get().op[static_cast<size_t>(node->op)]->Add(1);
+  }
+
+  uint64_t uses() const { return db_->uses() - uses0_; }
+  uint64_t round_trips() const { return db_->round_trips() - trips0_; }
+
+ private:
+  const edbms::Edbms* db_;
+  uint64_t uses0_;
+  uint64_t trips0_;
+};
+
+void MarkZeroCost(PlanNode* node, bool cache_hit = false) {
+  if (node == nullptr) return;
+  node->actual.executed = true;
+  node->actual.cache_hit = cache_hit;
+  ExecMetrics::Get().op[static_cast<size_t>(node->op)]->Add(1);
+}
+
+}  // namespace
+
+std::vector<TupleId> Executor::RunComparison(PlanNode* node,
+                                             const Trapdoor& td,
+                                             const core::TrapdoorFp* fp) {
+  core::Pop& pop = index_->pop(td.attr);
+  if (pop.k() == 0) return {};  // empty table
+
+  Rng rng = index_->OpRng();
+  const NodeCost probe_cost(index_->db());
+  const core::QFilterResult filter = core::QFilter(pop, td, index_->db(), &rng);
+  probe_cost.Commit(node->Child(PlanOp::kQFilterProbe));
+
+  const NodeCost scan_cost(index_->db());
+  core::QScanResult scan =
+      core::QScan(pop, filter, td, index_->db(), index_->options().scan_policy());
+  scan_cost.Commit(node->Child(PlanOp::kPartitionScan));
+
+  // Assemble TW ∪ TWNS.
+  std::vector<TupleId> result;
+  size_t win_size = 0;
+  for (size_t p = filter.win_begin; p < filter.win_end; ++p) {
+    win_size += pop.members_at(p).size();
+  }
+  result.reserve(win_size + scan.winners.size());
+  for (size_t p = filter.win_begin; p < filter.win_end; ++p) {
+    const auto& m = pop.members_at(p);
+    result.insert(result.end(), m.begin(), m.end());
+  }
+  result.insert(result.end(), scan.winners.begin(), scan.winners.end());
+
+  const obs::ObsTracer::Span split_span("exec.apply_split");
+  const uint64_t cut_id =
+      core::ApplyComparisonSplit(&pop, filter, std::move(scan), td);
+  MarkZeroCost(node->Child(PlanOp::kApplySplit));
+  // Cache only a cut of our own making: the predicate's separating point is
+  // exactly there, so the chain sides stay exact across future inserts.
+  // A no-split outcome (boundary-aligned predicate) is NOT cacheable — its
+  // threshold lies somewhere in a value gap no retained cut pins down.
+  if (fp != nullptr && cut_id != core::Pop::kNoCut) {
+    pop.RememberComparison(*fp, cut_id);
+  }
+  return result;
+}
+
+std::vector<TupleId> Executor::RunBetween(PlanNode* node, const Trapdoor& td,
+                                          const core::TrapdoorFp* fp) {
+  static obs::Counter* const between_probes =
+      obs::MetricsRegistry::Global().GetCounter("between.probes");
+  const uint64_t probes0 = between_probes->value();
+  const NodeCost cost(index_->db());
+  std::vector<TupleId> result = index_->SelectBetween(td, fp);
+  // Split the operation's QPF spend the way the Appendix-A phases do:
+  // sampled probes (anchor hunt + end searches) vs end-partition scans.
+  const uint64_t probes = between_probes->value() - probes0;
+  if (PlanNode* pn = node->Child(PlanOp::kQFilterProbe)) {
+    pn->actual.executed = true;
+    pn->actual.qpf_uses = probes;
+    // Probes are always scalar oracle calls: one round trip each. The
+    // scan stage gets the remainder (fewer than its uses when batched).
+    pn->actual.qpf_round_trips = probes;
+    ExecMetrics::Get().op[static_cast<size_t>(pn->op)]->Add(1);
+  }
+  if (PlanNode* sn = node->Child(PlanOp::kPartitionScan)) {
+    sn->actual.executed = true;
+    sn->actual.qpf_uses = cost.uses() - probes;
+    sn->actual.qpf_round_trips = cost.round_trips() - probes;
+    ExecMetrics::Get().op[static_cast<size_t>(sn->op)]->Add(1);
+  }
+  MarkZeroCost(node->Child(PlanOp::kApplySplit));
+  return result;
+}
+
+std::vector<TupleId> Executor::RunPredicateBody(Plan* plan, PlanNode* node) {
+  const NodeCost cost(index_->db());
+  std::vector<TupleId> result;
+  if (node->op == PlanOp::kLinearScan) {
+    // No knowledge base on this attribute: plain QPF scan.
+    edbms::BaselineScanner scanner(index_->db(), index_->options().scan_policy());
+    result = scanner.Select(plan->td(node->td_index));
+    cost.Commit(node);
+    return result;
+  }
+  assert(node->op == PlanOp::kPredicateSelect);
+  const Trapdoor& td = plan->td(node->td_index);
+  PlanNode* lookup = node->Child(PlanOp::kFastPathLookup);
+  if (lookup == nullptr) {
+    // Fast path disabled: always probe (the paper's literal algorithms).
+    result = td.kind == edbms::PredicateKind::kBetween
+                 ? RunBetween(node, td, nullptr)
+                 : RunComparison(node, td, nullptr);
+    cost.Commit(node);
+    return result;
+  }
+  core::Pop& pop = index_->pop(td.attr);
+  const obs::ObsTracer::Span lookup_span("exec.fast_path_lookup");
+  const core::TrapdoorFp fp = core::FingerprintTrapdoor(td);
+  if (const core::Pop::FastPathEntry* e = pop.LookupFastPath(fp)) {
+    // The chain was already cut by this exact trapdoor: the answer is the
+    // satisfied side of its cut(s). Zero QPF uses, no probes, no split.
+    core::CacheMetrics::Get().hits->Add(1);
+    MarkZeroCost(lookup, /*cache_hit=*/true);
+    result = pop.AssembleFastPath(*e);
+    node->actual.cache_hit = true;
+    cost.Commit(node);
+    return result;
+  }
+  core::CacheMetrics::Get().misses->Add(1);
+  MarkZeroCost(lookup, /*cache_hit=*/false);
+  result = td.kind == edbms::PredicateKind::kBetween ? RunBetween(node, td, &fp)
+                                                     : RunComparison(node, td, &fp);
+  cost.Commit(node);
+  return result;
+}
+
+std::vector<TupleId> Executor::RunIntersect(Plan* plan, PlanNode* node) {
+  const NodeCost cost(index_->db());
+  std::vector<TupleId> result;
+  bool first = true;
+  BitVector mask;
+  for (PlanNode& child : node->children) {
+    std::vector<TupleId> part;
+    {
+      // Each per-predicate subtree keeps the legacy nested span + per-op
+      // accounting the SD+ loop produced by calling Select() per trapdoor.
+      const obs::ObsTracer::Span span("prkb.select");
+      StatsScope scope(index_->db(), nullptr, "select");
+      part = RunPredicateBody(plan, &child);
+    }
+    if (first) {
+      mask.Resize(index_->db()->num_rows());
+      for (TupleId tid : part) mask.Set(tid);
+      first = false;
+    } else {
+      BitVector m2(index_->db()->num_rows());
+      for (TupleId tid : part) m2.Set(tid);
+      mask.And(m2);
+    }
+  }
+  if (!first) {
+    for (uint32_t tid : mask.ToIndices()) result.push_back(tid);
+  }
+  cost.Commit(node);
+  return result;
+}
+
+std::vector<TupleId> Executor::RunGridPrune(Plan* plan, PlanNode* node) {
+  std::vector<const Trapdoor*> tds;
+  tds.reserve(node->children.size());
+  for (const PlanNode& child : node->children) {
+    tds.push_back(&plan->td(child.td_index));
+  }
+  const NodeCost cost(index_->db());
+  std::vector<TupleId> result = index_->RunMd(tds);
+  cost.Commit(node);
+  return result;
+}
+
+std::vector<TupleId> Executor::Run(Plan* plan, SelectionStats* stats) {
+  PlanNode* root = &plan->root;
+  ExecMetrics::Get().plan_runs->Add(1);
+  const NodeCost plan_cost(index_->db());
+  std::vector<TupleId> result;
+  switch (root->op) {
+    case PlanOp::kFullTable: {
+      if (stats != nullptr) *stats = SelectionStats{};
+      const edbms::Edbms* db = index_->db();
+      for (TupleId tid = 0; tid < db->num_rows(); ++tid) {
+        if (db->IsLive(tid)) result.push_back(tid);
+      }
+      MarkZeroCost(root);
+      break;
+    }
+    case PlanOp::kEmptyResult: {
+      if (stats != nullptr) *stats = SelectionStats{};
+      MarkZeroCost(root);
+      break;
+    }
+    case PlanOp::kLinearScan:
+    case PlanOp::kPredicateSelect: {
+      const obs::ObsTracer::Span span("prkb.select");
+      StatsScope scope(index_->db(), stats, "select");
+      result = RunPredicateBody(plan, root);
+      break;
+    }
+    case PlanOp::kIntersect: {
+      const obs::ObsTracer::Span span("prkb.select_sdplus");
+      StatsScope scope(index_->db(), stats, "select_sdplus");
+      result = RunIntersect(plan, root);
+      break;
+    }
+    case PlanOp::kGridPrune: {
+      StatsScope scope(index_->db(), stats, "select_md");
+      result = RunGridPrune(plan, root);
+      break;
+    }
+    default:
+      assert(false && "not a plan root");
+      break;
+  }
+  if (root->has_estimate) {
+    const double est = root->estimated.Total();
+    const double err =
+        std::abs(static_cast<double>(plan_cost.uses()) - est) /
+        std::max(est, 1.0);
+    ExecMetrics::Get().est_error_pct->Record(
+        static_cast<uint64_t>(err * 100.0));
+  }
+  return result;
+}
+
+bool Executor::TryRunReadOnly(const core::PrkbIndex& index, const Plan& plan,
+                              std::vector<TupleId>* out,
+                              SelectionStats* stats) {
+  const PlanNode& root = plan.root;
+  switch (root.op) {
+    case PlanOp::kLinearScan: {
+      // No chain to mutate: the baseline scan is read-only w.r.t. the index
+      // (the QPF oracle itself is thread-safe).
+      const obs::ObsTracer::Span span("prkb.select");
+      StatsScope scope(index.db_, stats, "select");
+      edbms::BaselineScanner scanner(index.db_, index.options().scan_policy());
+      *out = scanner.Select(plan.td(root.td_index));
+      return true;
+    }
+    case PlanOp::kPredicateSelect: {
+      const Trapdoor& td = plan.td(root.td_index);
+      const core::Pop& pop = index.pop(td.attr);
+      if (pop.k() == 0) {
+        const obs::ObsTracer::Span span("prkb.select");
+        StatsScope scope(index.db_, stats, "select");
+        out->clear();
+        return true;
+      }
+      if (root.Child(PlanOp::kFastPathLookup) == nullptr) return false;
+      const core::Pop::FastPathEntry* e =
+          pop.LookupFastPath(core::FingerprintTrapdoor(td));
+      // A miss bails out before spending any QPF; the exclusive retry both
+      // answers and records the miss, so cache accounting stays single-count.
+      if (e == nullptr) return false;
+      const obs::ObsTracer::Span span("prkb.select");
+      StatsScope scope(index.db_, stats, "select");
+      core::CacheMetrics::Get().hits->Add(1);
+      *out = pop.AssembleFastPath(*e);
+      return true;
+    }
+    case PlanOp::kFullTable:
+    case PlanOp::kEmptyResult:
+      // Zero-QPF roots never mutate, but they are planner-level shapes the
+      // shared-lock facade does not serve; fall through to the safe answer.
+    default:
+      return false;
+  }
+}
+
+// ---- Plan builders --------------------------------------------------------
+
+namespace {
+
+PlanNode BuildPredicateNode(const core::PrkbIndex& index, const Plan& plan,
+                            int i, bool estimate) {
+  const Trapdoor& td = plan.td(i);
+  if (!index.IsEnabled(td.attr)) {
+    PlanNode node(PlanOp::kLinearScan, td.attr, i);
+    if (estimate) {
+      node.estimated = EstimateLinearScan(index.db()->num_rows());
+      node.has_estimate = true;
+    }
+    return node;
+  }
+  PlanNode node(PlanOp::kPredicateSelect, td.attr, i);
+  const bool between = td.kind == edbms::PredicateKind::kBetween;
+
+  CostEstimate full;
+  bool cached = false;
+  if (estimate) {
+    const core::PrkbIndex::ChainStats st = index.StatsFor(td.attr);
+    full = between ? EstimateBetween(st.k, st.tuples)
+                   : EstimateComparison(st.k, st.tuples);
+    // Plan-time peek (no metrics): an already-cut trapdoor answers from the
+    // chain alone. Hit/miss accounting happens at execution only.
+    if (index.options().fast_path &&
+        index.pop(td.attr).LookupFastPath(core::FingerprintTrapdoor(td)) !=
+            nullptr) {
+      full = CostEstimate{};
+      cached = true;
+      node.detail = "cached";
+    }
+  }
+
+  if (index.options().fast_path) {
+    PlanNode lookup(PlanOp::kFastPathLookup, td.attr, i);
+    if (estimate) lookup.has_estimate = true;
+    node.children.push_back(std::move(lookup));
+  }
+  PlanNode probe(PlanOp::kQFilterProbe, td.attr, i);
+  if (between) probe.detail = "anchor+ends";
+  PlanNode scan(PlanOp::kPartitionScan, td.attr, i);
+  scan.detail = between ? "end-partitions" : "ns-pair";
+  PlanNode split(PlanOp::kApplySplit, td.attr, i);
+  if (estimate) {
+    probe.estimated = CostEstimate{cached ? 0.0 : full.probes, 0.0};
+    probe.has_estimate = true;
+    scan.estimated = CostEstimate{0.0, cached ? 0.0 : full.scans};
+    scan.has_estimate = true;
+    split.has_estimate = true;
+    node.estimated = full;
+    node.has_estimate = true;
+  }
+  node.children.push_back(std::move(probe));
+  node.children.push_back(std::move(scan));
+  node.children.push_back(std::move(split));
+  return node;
+}
+
+}  // namespace
+
+void BuildSingleSelectPlan(const core::PrkbIndex& index, Plan* plan,
+                           bool estimate) {
+  plan->root = BuildPredicateNode(index, *plan, 0, estimate);
+  plan->summary = plan->td(0).kind == edbms::PredicateKind::kBetween
+                      ? "prkb-between"
+                      : "prkb-sd";
+}
+
+void BuildSdPlusPlan(const core::PrkbIndex& index, Plan* plan, bool estimate) {
+  PlanNode root(PlanOp::kIntersect, 0, -1);
+  root.children.reserve(plan->num_trapdoors());
+  for (size_t i = 0; i < plan->num_trapdoors(); ++i) {
+    PlanNode child =
+        BuildPredicateNode(index, *plan, static_cast<int>(i), estimate);
+    if (estimate) root.estimated += child.estimated;
+    root.children.push_back(std::move(child));
+  }
+  root.has_estimate = estimate;
+  plan->root = std::move(root);
+  plan->summary =
+      "prkb-sd+(" + std::to_string(plan->num_trapdoors()) + " trapdoors)";
+}
+
+void BuildMdGridPlan(const core::PrkbIndex& index, Plan* plan, bool estimate) {
+  PlanNode root(PlanOp::kGridPrune, 0, -1);
+  root.children.reserve(plan->num_trapdoors());
+  std::vector<MdDim> dims;
+  for (size_t i = 0; i < plan->num_trapdoors(); ++i) {
+    const Trapdoor& td = plan->td(static_cast<int>(i));
+    assert(td.kind == edbms::PredicateKind::kComparison &&
+           index.IsEnabled(td.attr));
+    PlanNode child(PlanOp::kQFilterProbe, td.attr, static_cast<int>(i));
+    if (estimate) {
+      const core::PrkbIndex::ChainStats st = index.StatsFor(td.attr);
+      bool cached =
+          index.options().fast_path &&
+          index.pop(td.attr).LookupFastPath(core::FingerprintTrapdoor(td)) !=
+              nullptr;
+      if (cached) {
+        child.detail = "cached";
+      } else {
+        dims.push_back(MdDim{st.k, st.tuples});
+        child.estimated =
+            CostEstimate{EstimateComparison(st.k, st.tuples).probes, 0.0};
+      }
+      child.has_estimate = true;
+    }
+    root.children.push_back(std::move(child));
+  }
+  if (estimate) {
+    root.estimated = EstimateMdGrid(dims);
+    root.has_estimate = true;
+  }
+  plan->root = std::move(root);
+  plan->summary =
+      "prkb-md(" + std::to_string(plan->num_trapdoors()) + " trapdoors)";
+}
+
+void BuildFullTablePlan(Plan* plan) {
+  plan->root = PlanNode(PlanOp::kFullTable, 0, -1);
+  plan->root.has_estimate = true;
+  plan->summary = "full-table(no predicate)";
+}
+
+void BuildEmptyPlan(Plan* plan) {
+  plan->root = PlanNode(PlanOp::kEmptyResult, 0, -1);
+  plan->root.has_estimate = true;
+  plan->summary = "empty(contradiction)";
+}
+
+}  // namespace prkb::exec

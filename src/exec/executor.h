@@ -1,0 +1,84 @@
+#ifndef PRKB_EXEC_EXECUTOR_H_
+#define PRKB_EXEC_EXECUTOR_H_
+
+#include <vector>
+
+#include "edbms/service_provider.h"
+#include "exec/plan.h"
+#include "prkb/fingerprint.h"
+
+namespace prkb::core {
+class PrkbIndex;
+}  // namespace prkb::core
+
+namespace prkb::exec {
+
+/// Runs a physical plan tree against the PRKB primitives. This is the single
+/// copy of the fast-path-cache consult, the StatsScope accounting and the
+/// QFilter → QScan → updatePRKB pipeline that used to be duplicated across
+/// `SelectComparison`, `SelectBetween` dispatch, `RunMd` and
+/// `SelectRangeSdPlus`. Execution is byte-identical to the legacy drivers in
+/// QPF and RNG consumption; on top it records per-operator actual costs on
+/// the plan nodes and mirrors `exec.*` metrics (docs/OBSERVABILITY.md).
+class Executor {
+ public:
+  explicit Executor(core::PrkbIndex* index) : index_(index) {}
+
+  /// Executes the plan, recording actual costs on each node. `stats`
+  /// receives the whole-operation accounting exactly as the legacy entry
+  /// points produced it (the root operator owns the StatsScope).
+  std::vector<edbms::TupleId> Run(Plan* plan,
+                                  edbms::SelectionStats* stats = nullptr);
+
+  /// Read-only execution attempt for shared-lock concurrent serving: runs
+  /// the plan iff it provably cannot mutate the index (baseline scan, empty
+  /// chain, repeat-predicate cache hit) and returns true; returns false —
+  /// without spending any QPF and without counting a cache miss — when the
+  /// caller must retry under an exclusive lock.
+  static bool TryRunReadOnly(const core::PrkbIndex& index, const Plan& plan,
+                             std::vector<edbms::TupleId>* out,
+                             edbms::SelectionStats* stats);
+
+ private:
+  std::vector<edbms::TupleId> RunPredicateBody(Plan* plan, PlanNode* node);
+  std::vector<edbms::TupleId> RunComparison(PlanNode* node,
+                                            const edbms::Trapdoor& td,
+                                            const core::TrapdoorFp* fp);
+  std::vector<edbms::TupleId> RunBetween(PlanNode* node,
+                                         const edbms::Trapdoor& td,
+                                         const core::TrapdoorFp* fp);
+  std::vector<edbms::TupleId> RunIntersect(Plan* plan, PlanNode* node);
+  std::vector<edbms::TupleId> RunGridPrune(Plan* plan, PlanNode* node);
+
+  core::PrkbIndex* index_;
+};
+
+/// ---- Plan builders -------------------------------------------------------
+///
+/// All builders expect `plan->BorrowTrapdoor` / `plan->AdoptTrapdoors` to
+/// have bound the trapdoors already; they only construct the node tree and
+/// the legacy route summary. Estimates are filled only when `estimate` is
+/// true (the planner / EXPLAIN path) — the PrkbIndex hot paths skip them, so
+/// plan construction there costs a few small allocations and no QPF.
+
+/// Single-predicate plan over plan->td(0): LinearScan when the attribute has
+/// no chain, else PredicateSelect with the stage children.
+void BuildSingleSelectPlan(const core::PrkbIndex& index, Plan* plan,
+                           bool estimate);
+
+/// PRKB(SD+) plan: Intersect over one single-predicate subtree per trapdoor.
+void BuildSdPlusPlan(const core::PrkbIndex& index, Plan* plan, bool estimate);
+
+/// PRKB(MD) plan: GridPrune with one QFilterProbe child per dimension. Only
+/// valid when every trapdoor is a comparison on an enabled attribute.
+void BuildMdGridPlan(const core::PrkbIndex& index, Plan* plan, bool estimate);
+
+/// No-predicate plan: every live tuple, zero QPF.
+void BuildFullTablePlan(Plan* plan);
+
+/// Contradiction plan: provably empty result, zero QPF.
+void BuildEmptyPlan(Plan* plan);
+
+}  // namespace prkb::exec
+
+#endif  // PRKB_EXEC_EXECUTOR_H_

@@ -1,0 +1,110 @@
+#include "exec/plan.h"
+
+#include <cstdio>
+
+namespace prkb::exec {
+
+const char* PlanOpName(PlanOp op) {
+  switch (op) {
+    case PlanOp::kFullTable:
+      return "FullTable";
+    case PlanOp::kEmptyResult:
+      return "EmptyResult";
+    case PlanOp::kLinearScan:
+      return "LinearScan";
+    case PlanOp::kPredicateSelect:
+      return "PredicateSelect";
+    case PlanOp::kFastPathLookup:
+      return "FastPathLookup";
+    case PlanOp::kQFilterProbe:
+      return "QFilterProbe";
+    case PlanOp::kPartitionScan:
+      return "PartitionScan";
+    case PlanOp::kApplySplit:
+      return "ApplySplit";
+    case PlanOp::kGridPrune:
+      return "GridPrune";
+    case PlanOp::kIntersect:
+      return "Intersect";
+  }
+  return "?";
+}
+
+PlanNode* PlanNode::Child(PlanOp o) {
+  for (PlanNode& ch : children) {
+    if (ch.op == o) return &ch;
+  }
+  return nullptr;
+}
+
+const PlanNode* PlanNode::Child(PlanOp o) const {
+  for (const PlanNode& ch : children) {
+    if (ch.op == o) return &ch;
+  }
+  return nullptr;
+}
+
+namespace {
+
+bool NodeHasAttr(PlanOp op) {
+  switch (op) {
+    case PlanOp::kLinearScan:
+    case PlanOp::kPredicateSelect:
+    case PlanOp::kFastPathLookup:
+    case PlanOp::kQFilterProbe:
+    case PlanOp::kPartitionScan:
+    case PlanOp::kApplySplit:
+      return true;
+    default:
+      return false;
+  }
+}
+
+void RenderNode(const PlanNode& node, int depth, std::string* out) {
+  char buf[160];
+  out->append(static_cast<size_t>(depth) * 2, ' ');
+  out->append(PlanOpName(node.op));
+  if (NodeHasAttr(node.op)) {
+    std::snprintf(buf, sizeof(buf), " attr=%u", node.attr);
+    out->append(buf);
+  }
+  if (!node.detail.empty()) {
+    out->append(" [");
+    out->append(node.detail);
+    out->append("]");
+  }
+  if (node.has_estimate) {
+    std::snprintf(buf, sizeof(buf), "  (est %.1f probes + %.1f scans)",
+                  node.estimated.probes, node.estimated.scans);
+    out->append(buf);
+  }
+  if (node.actual.executed) {
+    if (node.actual.cache_hit) {
+      out->append("  (actual cache hit, 0 qpf)");
+    } else {
+      std::snprintf(buf, sizeof(buf),
+                    "  (actual %llu qpf, %llu round trips)",
+                    static_cast<unsigned long long>(node.actual.qpf_uses),
+                    static_cast<unsigned long long>(
+                        node.actual.qpf_round_trips));
+      out->append(buf);
+    }
+  }
+  out->append("\n");
+  for (const PlanNode& ch : node.children) RenderNode(ch, depth + 1, out);
+}
+
+}  // namespace
+
+std::string Plan::Render() const {
+  std::string out;
+  if (!summary.empty()) {
+    out.append("plan: ");
+    out.append(summary);
+    out.append("\n");
+  }
+  RenderNode(root, 0, &out);
+  return out;
+}
+
+}  // namespace prkb::exec

@@ -1,0 +1,107 @@
+#ifndef PRKB_EXEC_PLAN_H_
+#define PRKB_EXEC_PLAN_H_
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "edbms/encryption.h"
+#include "exec/cost.h"
+
+namespace prkb::exec {
+
+/// Physical operators of the selection executor. Leaf operators map 1:1 onto
+/// the paper's primitives; the grouping operators own a StatsScope/span pair
+/// matching the legacy entry points so observability is unchanged.
+enum class PlanOp : uint8_t {
+  kFullTable,        // all live tuples, zero QPF (no predicate)
+  kEmptyResult,      // contradiction detected at plan time, zero QPF
+  kLinearScan,       // baseline QPF scan (attribute has no chain)
+  kPredicateSelect,  // one single-predicate selection (Sec. 5 / App. A)
+  kFastPathLookup,   // repeat-predicate fingerprint → cut cache consult
+  kQFilterProbe,     // sampled probes: QFilter / anchor hunt + end searches
+  kPartitionScan,    // exhaustive NS / end-partition scan
+  kApplySplit,       // updatePRKB: apply the discovered split, zero QPF
+  kGridPrune,        // PRKB(MD) grid classification + band testing (Sec. 6.2)
+  kIntersect,        // PRKB(SD+): per-predicate selects + bitset intersection
+};
+
+const char* PlanOpName(PlanOp op);
+
+/// One node of a physical plan: a typed operator plus estimated and (after
+/// execution) actual QPF cost — the structured replacement for the free-form
+/// route string the planner used to emit.
+struct PlanNode {
+  PlanOp op = PlanOp::kFullTable;
+  edbms::AttrId attr = 0;
+  /// Index into Plan::tds for predicate-bound nodes, -1 otherwise.
+  int td_index = -1;
+  /// Plaintext annotation for EXPLAIN (e.g. "temp < 60"); only the planner —
+  /// the DO side, which knows the plaintext — fills it in.
+  std::string detail;
+
+  CostEstimate estimated;
+  bool has_estimate = false;
+
+  struct Actual {
+    bool executed = false;
+    bool cache_hit = false;
+    uint64_t qpf_uses = 0;
+    uint64_t qpf_round_trips = 0;
+  };
+  Actual actual;
+
+  std::vector<PlanNode> children;
+
+  PlanNode() = default;
+  PlanNode(PlanOp o, edbms::AttrId a, int td) : op(o), attr(a), td_index(td) {}
+
+  /// First direct child with the given op, or nullptr.
+  PlanNode* Child(PlanOp o);
+  const PlanNode* Child(PlanOp o) const;
+};
+
+/// A complete physical plan: the operator tree plus the trapdoors it binds.
+/// Trapdoors are referenced by index; the plan either borrows them from the
+/// caller (the PrkbIndex hot paths, zero-copy) or owns them (the planner,
+/// via AdoptTrapdoors). Move-only: nodes hold indices, but `tds` holds
+/// pointers into `owned` once adopted.
+class Plan {
+ public:
+  Plan() = default;
+  Plan(const Plan&) = delete;
+  Plan& operator=(const Plan&) = delete;
+  Plan(Plan&&) = default;
+  Plan& operator=(Plan&&) = default;
+
+  /// Takes ownership of the trapdoors and exposes them by index. Must be
+  /// called before nodes are built and at most once.
+  void AdoptTrapdoors(std::vector<edbms::Trapdoor> tds) {
+    owned_ = std::move(tds);
+    tds_.clear();
+    tds_.reserve(owned_.size());
+    for (const edbms::Trapdoor& td : owned_) tds_.push_back(&td);
+  }
+  /// Borrows caller-owned trapdoors (they must outlive the plan).
+  void BorrowTrapdoor(const edbms::Trapdoor* td) { tds_.push_back(td); }
+
+  const edbms::Trapdoor& td(int i) const { return *tds_[static_cast<size_t>(i)]; }
+  size_t num_trapdoors() const { return tds_.size(); }
+
+  /// Rendered EXPLAIN tree: one line per operator with estimated and, where
+  /// executed, actual QPF costs.
+  std::string Render() const;
+
+  PlanNode root;
+  /// Legacy one-line route summary (e.g. "prkb-md(4 trapdoors)").
+  std::string summary;
+
+ private:
+  std::vector<const edbms::Trapdoor*> tds_;
+  std::vector<edbms::Trapdoor> owned_;
+};
+
+}  // namespace prkb::exec
+
+#endif  // PRKB_EXEC_PLAN_H_

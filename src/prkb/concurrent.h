@@ -53,11 +53,12 @@ struct LockMetrics {
 ///   - 16 stripe locks (attr mod 16) guard individual chain contents among
 ///     concurrent readers of `map_mu_`. Single-predicate Select first runs
 ///     optimistically under map-shared + stripe-shared via
-///     PrkbIndex::TrySelectShared — cache hits, empty chains and no-index
-///     baseline scans complete here, concurrently with each other, even on
-///     the same attribute. When the attempt reports that answering would
-///     mutate the chain, all locks are released and the operation retries
-///     under map-shared + stripe-exclusive, which serialises mutations
+///     PrkbIndex::TrySelectShared, which builds the predicate's physical
+///     plan and runs it only if it is provably read-only — cache hits, empty
+///     chains and no-index baseline scans complete here, concurrently with
+///     each other, even on the same attribute. When the plan might mutate
+///     the chain, all locks are released and the operation retries under
+///     map-shared + stripe-exclusive, which serialises mutations
 ///     per-attribute while leaving other attributes' selections running.
 ///
 /// The retry is a fresh acquisition, not an upgrade, so another thread may

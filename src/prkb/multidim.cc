@@ -145,7 +145,8 @@ int8_t ClassifyTuple(const PredCtx& pc, TupleId tid) {
 
 }  // namespace
 
-std::vector<TupleId> PrkbIndex::RunMd(const std::vector<Trapdoor>& tds) {
+std::vector<TupleId> PrkbIndex::RunMd(
+    const std::vector<const Trapdoor*>& tds) {
   assert(!tds.empty());
   const obs::ObsTracer::Span span("md.select");
   const MdMetrics& metrics = MdMetrics::Get();
@@ -156,11 +157,11 @@ std::vector<TupleId> PrkbIndex::RunMd(const std::vector<Trapdoor>& tds) {
   std::vector<PredCtx> preds(tds.size());
   for (size_t i = 0; i < tds.size(); ++i) {
     PredCtx& pc = preds[i];
-    pc.td = &tds[i];
-    pc.pop = &pops_.at(tds[i].attr);
+    pc.td = tds[i];
+    pc.pop = &pops_.at(tds[i]->attr);
     if (pc.pop->k() == 0) return {};
     if (options_.fast_path) {
-      pc.fp = FingerprintTrapdoor(tds[i]);
+      pc.fp = FingerprintTrapdoor(*tds[i]);
       if (const Pop::FastPathEntry* e = pc.pop->LookupFastPath(pc.fp)) {
         // Already-cut trapdoor: every partition classifies for free off its
         // own cut — sure-T on the satisfied side, sure-F on the other. No
@@ -177,7 +178,7 @@ std::vector<TupleId> PrkbIndex::RunMd(const std::vector<Trapdoor>& tds) {
       }
       CacheMetrics::Get().misses->Add(1);
     }
-    pc.filter = QFilter(*pc.pop, tds[i], db_, &rng);
+    pc.filter = QFilter(*pc.pop, *tds[i], db_, &rng);
 
     const size_t k = pc.pop->k();
     pc.ns[0].pid = pc.pop->pid_at(pc.filter.ns_a);

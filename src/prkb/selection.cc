@@ -4,7 +4,7 @@
 #include <cassert>
 #include <cstdio>
 
-#include "common/bitvector.h"
+#include "exec/executor.h"
 #include "obs/trace.h"
 
 namespace prkb::core {
@@ -67,132 +67,37 @@ uint64_t ApplyComparisonSplit(Pop* pop, const QFilterResult& filter,
                              /*left_label=*/true_half_left);
 }
 
-std::vector<TupleId> PrkbIndex::SelectComparison(const Trapdoor& td,
-                                                 const TrapdoorFp* fp) {
-  Pop& pop = pops_.at(td.attr);
-  if (pop.k() == 0) return {};  // empty table
-
-  Rng rng = OpRng();
-  const QFilterResult filter = QFilter(pop, td, db_, &rng);
-  QScanResult scan = QScan(pop, filter, td, db_, options_.scan_policy());
-
-  // Assemble TW ∪ TWNS.
-  std::vector<TupleId> result;
-  size_t win_size = 0;
-  for (size_t p = filter.win_begin; p < filter.win_end; ++p) {
-    win_size += pop.members_at(p).size();
-  }
-  result.reserve(win_size + scan.winners.size());
-  for (size_t p = filter.win_begin; p < filter.win_end; ++p) {
-    const auto& m = pop.members_at(p);
-    result.insert(result.end(), m.begin(), m.end());
-  }
-  result.insert(result.end(), scan.winners.begin(), scan.winners.end());
-
-  const uint64_t cut_id =
-      ApplyComparisonSplit(&pop, filter, std::move(scan), td);
-  // Cache only a cut of our own making: the predicate's separating point is
-  // exactly there, so the chain sides stay exact across future inserts.
-  // A no-split outcome (boundary-aligned predicate) is NOT cacheable — its
-  // threshold lies somewhere in a value gap no retained cut pins down.
-  if (fp != nullptr && cut_id != Pop::kNoCut) {
-    pop.RememberComparison(*fp, cut_id);
-  }
-  return result;
-}
-
 std::vector<TupleId> PrkbIndex::Select(const Trapdoor& td,
                                        SelectionStats* stats) {
-  const obs::ObsTracer::Span span("prkb.select");
-  StatsScope scope(db_, stats, "select");
-  std::vector<TupleId> result;
-  if (!IsEnabled(td.attr)) {
-    // No knowledge base on this attribute: plain QPF scan.
-    edbms::BaselineScanner scanner(db_, options_.scan_policy());
-    result = scanner.Select(td);
-    return result;
-  }
-  if (!options_.fast_path) {
-    result = td.kind == edbms::PredicateKind::kBetween
-                 ? SelectBetween(td, nullptr)
-                 : SelectComparison(td, nullptr);
-    return result;
-  }
-  const Pop& pop = pops_.at(td.attr);
-  const TrapdoorFp fp = FingerprintTrapdoor(td);
-  if (const Pop::FastPathEntry* e = pop.LookupFastPath(fp)) {
-    // The chain was already cut by this exact trapdoor: the answer is the
-    // satisfied side of its cut(s). Zero QPF uses, no probes, no split.
-    CacheMetrics::Get().hits->Add(1);
-    result = pop.AssembleFastPath(*e);
-    return result;
-  }
-  CacheMetrics::Get().misses->Add(1);
-  result = td.kind == edbms::PredicateKind::kBetween
-               ? SelectBetween(td, &fp)
-               : SelectComparison(td, &fp);
-  return result;
+  // Thin plan-builder: the selection pipeline itself (fast-path consult,
+  // QFilter → QScan → updatePRKB, span + StatsScope accounting) lives in the
+  // shared executor. Plan construction is pure — no QPF, no RNG.
+  exec::Plan plan;
+  plan.BorrowTrapdoor(&td);
+  exec::BuildSingleSelectPlan(*this, &plan, /*estimate=*/false);
+  return exec::Executor(this).Run(&plan, stats);
 }
 
 bool PrkbIndex::TrySelectShared(const Trapdoor& td, std::vector<TupleId>* out,
                                 SelectionStats* stats) const {
-  if (IsEnabled(td.attr)) {
-    const Pop& pop = pops_.at(td.attr);
-    if (pop.k() == 0) {
-      const obs::ObsTracer::Span span("prkb.select");
-      StatsScope scope(db_, stats, "select");
-      out->clear();
-      return true;
-    }
-    if (!options_.fast_path) return false;
-    const Pop::FastPathEntry* e = pop.LookupFastPath(FingerprintTrapdoor(td));
-    // A miss bails out before spending any QPF; the exclusive retry both
-    // answers and records the miss, so cache accounting stays single-count.
-    if (e == nullptr) return false;
-    const obs::ObsTracer::Span span("prkb.select");
-    StatsScope scope(db_, stats, "select");
-    CacheMetrics::Get().hits->Add(1);
-    *out = pop.AssembleFastPath(*e);
-    return true;
-  }
-  // No chain to mutate: the baseline scan is read-only w.r.t. the index
-  // (the QPF oracle itself is thread-safe).
-  const obs::ObsTracer::Span span("prkb.select");
-  StatsScope scope(db_, stats, "select");
-  edbms::BaselineScanner scanner(db_, options_.scan_policy());
-  *out = scanner.Select(td);
-  return true;
+  // "The chosen plan is read-only": the executor runs the plan only when it
+  // provably cannot mutate the chain, and bails (false) otherwise.
+  exec::Plan plan;
+  plan.BorrowTrapdoor(&td);
+  exec::BuildSingleSelectPlan(*this, &plan, /*estimate=*/false);
+  return exec::Executor::TryRunReadOnly(*this, plan, out, stats);
 }
 
 std::vector<TupleId> PrkbIndex::SelectRangeSdPlus(
     const std::vector<Trapdoor>& tds, SelectionStats* stats) {
-  const obs::ObsTracer::Span span("prkb.select_sdplus");
-  StatsScope scope(db_, stats, "select_sdplus");
-
-  std::vector<TupleId> result;
-  bool first = true;
-  BitVector mask;
-  for (const Trapdoor& td : tds) {
-    const auto part = Select(td);
-    if (first) {
-      mask.Resize(db_->num_rows());
-      for (TupleId tid : part) mask.Set(tid);
-      first = false;
-    } else {
-      BitVector m2(db_->num_rows());
-      for (TupleId tid : part) m2.Set(tid);
-      mask.And(m2);
-    }
-  }
-  if (!first) {
-    for (uint32_t tid : mask.ToIndices()) result.push_back(tid);
-  }
-  return result;
+  exec::Plan plan;
+  for (const Trapdoor& td : tds) plan.BorrowTrapdoor(&td);
+  exec::BuildSdPlusPlan(*this, &plan, /*estimate=*/false);
+  return exec::Executor(this).Run(&plan, stats);
 }
 
 std::vector<TupleId> PrkbIndex::SelectRangeMd(const std::vector<Trapdoor>& tds,
                                               SelectionStats* stats) {
-  StatsScope scope(db_, stats, "select_md");
   // The grid algorithm requires comparison trapdoors on enabled attributes;
   // anything else routes through the SD+ path, which handles every case.
   bool md_capable = !tds.empty();
@@ -202,13 +107,20 @@ std::vector<TupleId> PrkbIndex::SelectRangeMd(const std::vector<Trapdoor>& tds,
       break;
     }
   }
-  std::vector<TupleId> result;
   if (md_capable) {
-    result = RunMd(tds);
-  } else {
-    result = SelectRangeSdPlus(tds);
+    exec::Plan plan;
+    for (const Trapdoor& td : tds) plan.BorrowTrapdoor(&td);
+    exec::BuildMdGridPlan(*this, &plan, /*estimate=*/false);
+    // The GridPrune root owns the select_md StatsScope.
+    return exec::Executor(this).Run(&plan, stats);
   }
-  return result;
+  // Fallback keeps the legacy nested accounting: the select_md scope wraps
+  // the whole operation, the Intersect root adds its own select_sdplus one.
+  StatsScope scope(db_, stats, "select_md");
+  exec::Plan plan;
+  for (const Trapdoor& td : tds) plan.BorrowTrapdoor(&td);
+  exec::BuildSdPlusPlan(*this, &plan, /*estimate=*/false);
+  return exec::Executor(this).Run(&plan, nullptr);
 }
 
 PrkbIndex::ChainStats PrkbIndex::StatsFor(edbms::AttrId attr) const {

@@ -14,6 +14,10 @@
 #include "prkb/qfilter.h"
 #include "prkb/qscan.h"
 
+namespace prkb::exec {
+class Executor;
+}  // namespace prkb::exec
+
 namespace prkb::core {
 
 /// Extra knobs for PRKB processing.
@@ -69,17 +73,20 @@ class PrkbIndex {
   }
 
   /// Selection with one predicate (Sec. 5, and Appendix A for BETWEEN
-  /// trapdoors): QFilter → QScan → updatePRKB. Falls back to a plain linear
-  /// scan when the attribute has no PRKB. The result is unordered.
+  /// trapdoors): builds a single-predicate physical plan and runs it through
+  /// the shared exec::Executor (QFilter → QScan → updatePRKB). Falls back to
+  /// a plain linear scan when the attribute has no PRKB. The result is
+  /// unordered.
   std::vector<edbms::TupleId> Select(const edbms::Trapdoor& td,
                                      edbms::SelectionStats* stats = nullptr);
 
   /// Read-only selection attempt for shared-lock concurrent serving
-  /// (ConcurrentPrkbIndex): answers from the fast-path cache (or the
-  /// baseline scan / empty chain, which never mutate the index) and returns
-  /// true; returns false — without spending any QPF — when answering might
-  /// mutate the chain, in which case the caller must retry with Select()
-  /// under an exclusive lock. Never mutates the index.
+  /// (ConcurrentPrkbIndex): the chosen plan is run only if it is provably
+  /// read-only — a fast-path cache hit, the baseline scan or the empty
+  /// chain, none of which mutate the index — and returns true; returns
+  /// false — without spending any QPF — when answering might mutate the
+  /// chain, in which case the caller must retry with Select() under an
+  /// exclusive lock. Never mutates the index.
   bool TrySelectShared(const edbms::Trapdoor& td,
                        std::vector<edbms::TupleId>* out,
                        edbms::SelectionStats* stats = nullptr) const;
@@ -124,21 +131,24 @@ class PrkbIndex {
   std::string DescribeStats() const;
 
   edbms::Edbms* db() { return db_; }
+  const edbms::Edbms* db() const { return db_; }
   const PrkbOptions& options() const { return options_; }
 
  private:
-  /// Sec. 5 driver for comparison trapdoors. `fp` non-null caches the
-  /// resulting cut (if any) under that fingerprint.
-  std::vector<edbms::TupleId> SelectComparison(const edbms::Trapdoor& td,
-                                               const TrapdoorFp* fp);
-  /// Appendix A driver for BETWEEN trapdoors (between.cc).
+  /// The executor runs plan operators against the private primitives below
+  /// (it is the single relocated copy of the legacy selection drivers).
+  friend class exec::Executor;
+
+  /// Appendix A driver for BETWEEN trapdoors (between.cc). `fp` non-null
+  /// caches the resulting cut pair (if both ends split).
   std::vector<edbms::TupleId> SelectBetween(const edbms::Trapdoor& td,
                                             const TrapdoorFp* fp);
   /// Places an already-stored tuple into the chain of `attr` (update.cc).
   void PlaceTuple(edbms::AttrId attr, edbms::TupleId tid);
 
   /// PRKB(MD) implementation detail (multidim.cc).
-  std::vector<edbms::TupleId> RunMd(const std::vector<edbms::Trapdoor>& tds);
+  std::vector<edbms::TupleId> RunMd(
+      const std::vector<const edbms::Trapdoor*>& tds);
 
   /// Per-operation sampling RNG: seeded from the shared seed and an atomic
   /// sequence number, so concurrent shared-lock readers never contend on RNG

@@ -18,10 +18,12 @@ struct Condition {
   edbms::Value hi = 0;  // BETWEEN upper bound (inclusive)
 };
 
-/// `SELECT * FROM <table> [WHERE cond AND cond AND ...]`.
+/// `[EXPLAIN] SELECT * FROM <table> [WHERE cond AND cond AND ...]`.
 struct SelectStatement {
   std::string table;
   std::vector<Condition> conditions;
+  /// EXPLAIN prefix: plan and cost the statement without executing it.
+  bool explain = false;
 };
 
 }  // namespace prkb::query

@@ -7,7 +7,7 @@ namespace {
 
 bool IsKeyword(const std::string& upper) {
   return upper == "SELECT" || upper == "FROM" || upper == "WHERE" ||
-         upper == "AND" || upper == "BETWEEN";
+         upper == "AND" || upper == "BETWEEN" || upper == "EXPLAIN";
 }
 
 std::string ToUpper(const std::string& s) {

@@ -80,6 +80,8 @@ Result<SelectStatement> Parse(const std::string& sql) {
   PRKB_ASSIGN_OR_RETURN(std::vector<Token> tokens, Lex(sql));
   TokenStream ts(std::move(tokens));
 
+  SelectStatement stmt;
+  stmt.explain = ts.ConsumeKeyword("EXPLAIN");
   if (!ts.ConsumeKeyword("SELECT")) {
     return Status::InvalidArgument("expected SELECT");
   }
@@ -93,7 +95,6 @@ Result<SelectStatement> Parse(const std::string& sql) {
   if (ts.Peek().kind != Token::Kind::kIdentifier) {
     return Status::InvalidArgument("expected table name");
   }
-  SelectStatement stmt;
   stmt.table = ts.Next().text;
 
   if (ts.Peek().kind == Token::Kind::kEnd) return stmt;

@@ -1,11 +1,15 @@
 #include "query/planner.h"
 
+#include <limits>
+
+#include "exec/executor.h"
 #include "query/parser.h"
 
 namespace prkb::query {
 
 using edbms::Trapdoor;
 using edbms::TupleId;
+using edbms::Value;
 
 void Catalog::RegisterTable(const std::string& table,
                             const std::vector<std::string>& columns) {
@@ -33,50 +37,225 @@ Result<ExecutionResult> Planner::ExecuteSql(const std::string& sql) {
   return Execute(stmt);
 }
 
+namespace {
+
+/// All conditions of one attribute, in first-appearance order.
+struct AttrGroup {
+  edbms::AttrId attr = 0;
+  std::string column;
+  std::vector<Condition> conds;
+};
+
+/// One predicate of the collapsed conjunction: what to compile into a
+/// trapdoor plus its plaintext rendering for EXPLAIN.
+struct CollapsedPred {
+  edbms::AttrId attr = 0;
+  Condition cond;
+  std::string detail;
+};
+
+const char* OpText(edbms::CompareOp op) {
+  switch (op) {
+    case edbms::CompareOp::kLt:
+      return "<";
+    case edbms::CompareOp::kGt:
+      return ">";
+    case edbms::CompareOp::kLe:
+      return "<=";
+    case edbms::CompareOp::kGe:
+      return ">=";
+  }
+  return "?";
+}
+
+std::string Describe(const std::string& column, const Condition& cond) {
+  if (cond.kind == Condition::Kind::kBetween) {
+    return column + " BETWEEN " + std::to_string(cond.lo) + " AND " +
+           std::to_string(cond.hi);
+  }
+  return column + " " + OpText(cond.op) + " " + std::to_string(cond.lo);
+}
+
+/// Collapses ≥2 same-attribute conditions into one interval. Returns false
+/// on a provable contradiction (empty interval). The bounds are inclusive;
+/// strict comparisons tighten by one with care at the domain extremes.
+bool CollapseGroup(const AttrGroup& group, CollapsedPred* out) {
+  constexpr Value kMin = std::numeric_limits<Value>::min();
+  constexpr Value kMax = std::numeric_limits<Value>::max();
+  bool has_lo = false;
+  bool has_hi = false;
+  Value lo = kMin;
+  Value hi = kMax;
+  for (const Condition& cond : group.conds) {
+    if (cond.kind == Condition::Kind::kBetween) {
+      if (!has_lo || cond.lo > lo) lo = cond.lo;
+      if (!has_hi || cond.hi < hi) hi = cond.hi;
+      has_lo = has_hi = true;
+      continue;
+    }
+    switch (cond.op) {
+      case edbms::CompareOp::kLt:
+        if (cond.lo == kMin) return false;  // x < MIN: empty
+        if (!has_hi || cond.lo - 1 < hi) hi = cond.lo - 1;
+        has_hi = true;
+        break;
+      case edbms::CompareOp::kLe:
+        if (!has_hi || cond.lo < hi) hi = cond.lo;
+        has_hi = true;
+        break;
+      case edbms::CompareOp::kGt:
+        if (cond.lo == kMax) return false;  // x > MAX: empty
+        if (!has_lo || cond.lo + 1 > lo) lo = cond.lo + 1;
+        has_lo = true;
+        break;
+      case edbms::CompareOp::kGe:
+        if (!has_lo || cond.lo > lo) lo = cond.lo;
+        has_lo = true;
+        break;
+    }
+  }
+  if (has_lo && has_hi && lo > hi) return false;
+
+  out->attr = group.attr;
+  if (has_lo && has_hi) {
+    out->cond.kind = Condition::Kind::kBetween;
+    out->cond.lo = lo;
+    out->cond.hi = hi;
+  } else {
+    out->cond.kind = Condition::Kind::kComparison;
+    out->cond.op = has_hi ? edbms::CompareOp::kLe : edbms::CompareOp::kGe;
+    out->cond.lo = has_hi ? hi : lo;
+  }
+  out->detail = Describe(group.column, out->cond) + " (collapsed " +
+                std::to_string(group.conds.size()) + " conjuncts)";
+  return true;
+}
+
+void AttachDetail(exec::PlanNode* node, const std::string& desc) {
+  node->detail = node->detail.empty() ? desc : desc + "; " + node->detail;
+}
+
+/// Writes each predicate's plaintext onto its plan node: the root for a
+/// single-predicate plan, the per-predicate children for SD+ and MD roots.
+void AnnotatePlan(exec::Plan* plan, const std::vector<CollapsedPred>& preds) {
+  if (plan->root.td_index >= 0) {
+    AttachDetail(&plan->root, preds[0].detail);
+    return;
+  }
+  for (exec::PlanNode& child : plan->root.children) {
+    if (child.td_index >= 0) {
+      AttachDetail(&child, preds[static_cast<size_t>(child.td_index)].detail);
+    }
+  }
+}
+
+}  // namespace
+
 Result<ExecutionResult> Planner::Execute(const SelectStatement& stmt) {
   if (!catalog_->HasTable(stmt.table)) {
     return Status::NotFound("unknown table '" + stmt.table + "'");
   }
 
-  // DO role: compile conditions into trapdoors.
-  std::vector<Trapdoor> trapdoors;
-  bool all_comparisons = true;
+  // Group the conjuncts by attribute (first-appearance order).
+  std::vector<AttrGroup> groups;
   for (const Condition& cond : stmt.conditions) {
     PRKB_ASSIGN_OR_RETURN(edbms::AttrId attr,
                           catalog_->ResolveColumn(stmt.table, cond.column));
-    if (cond.kind == Condition::Kind::kBetween) {
-      trapdoors.push_back(db_->MakeBetween(attr, cond.lo, cond.hi));
-      all_comparisons = false;
-    } else {
-      trapdoors.push_back(db_->MakeComparison(attr, cond.op, cond.lo));
+    AttrGroup* group = nullptr;
+    for (AttrGroup& g : groups) {
+      if (g.attr == attr) {
+        group = &g;
+        break;
+      }
     }
+    if (group == nullptr) {
+      groups.push_back(AttrGroup{attr, cond.column, {}});
+      group = &groups.back();
+    }
+    group->conds.push_back(cond);
   }
 
-  // SP role: route.
-  ExecutionResult out;
-  if (trapdoors.empty()) {
-    for (TupleId tid = 0; tid < db_->num_rows(); ++tid) {
-      if (db_->IsLive(tid)) out.rows.push_back(tid);
+  // Collapse each attribute's conditions. A lone condition passes through
+  // verbatim (identical trapdoor bytes → identical fast-path fingerprints);
+  // two or more become one interval or a provable contradiction.
+  bool contradiction = false;
+  std::vector<CollapsedPred> preds;
+  preds.reserve(groups.size());
+  for (const AttrGroup& group : groups) {
+    CollapsedPred pred;
+    if (group.conds.size() == 1) {
+      pred.attr = group.attr;
+      pred.cond = group.conds[0];
+      pred.detail = Describe(group.column, pred.cond);
+    } else if (!CollapseGroup(group, &pred)) {
+      contradiction = true;
+      break;
     }
-    out.plan = "full-table(no predicate)";
-    return out;
+    preds.push_back(std::move(pred));
   }
-  if (trapdoors.size() == 1) {
-    out.rows = index_->Select(trapdoors[0], &out.stats);
-    out.plan = trapdoors[0].kind == edbms::PredicateKind::kBetween
-                   ? "prkb-between"
-                   : "prkb-sd";
-    return out;
+
+  ExecutionResult out;
+  out.explain_only = stmt.explain;
+  const auto finish = [&]() -> Result<ExecutionResult> {
+    out.plan = out.physical.summary;
+    if (!stmt.explain) {
+      out.rows = exec::Executor(index_).Run(&out.physical, &out.stats);
+    }
+    return std::move(out);
+  };
+
+  if (contradiction) {
+    exec::BuildEmptyPlan(&out.physical);
+    return finish();
   }
-  if (all_comparisons) {
-    out.rows = index_->SelectRangeMd(trapdoors, &out.stats);
-    out.plan = "prkb-md(" + std::to_string(trapdoors.size()) + " trapdoors)";
-    return out;
+  if (preds.empty()) {
+    exec::BuildFullTablePlan(&out.physical);
+    return finish();
   }
-  out.rows = index_->SelectRangeSdPlus(trapdoors, &out.stats);
-  out.plan =
-      "prkb-sd+(" + std::to_string(trapdoors.size()) + " trapdoors)";
-  return out;
+
+  // DO role: compile the collapsed predicates into trapdoors.
+  std::vector<Trapdoor> tds;
+  tds.reserve(preds.size());
+  bool md_capable = true;
+  for (const CollapsedPred& pred : preds) {
+    if (pred.cond.kind == Condition::Kind::kBetween) {
+      tds.push_back(db_->MakeBetween(pred.attr, pred.cond.lo, pred.cond.hi));
+      md_capable = false;
+    } else {
+      tds.push_back(db_->MakeComparison(pred.attr, pred.cond.op, pred.cond.lo));
+    }
+    if (!index_->IsEnabled(pred.attr)) md_capable = false;
+  }
+
+  if (tds.size() == 1) {
+    out.physical.AdoptTrapdoors(std::move(tds));
+    exec::BuildSingleSelectPlan(*index_, &out.physical, /*estimate=*/true);
+    AnnotatePlan(&out.physical, preds);
+    return finish();
+  }
+
+  // SP role: enumerate the multi-predicate routes and keep the cheapest
+  // estimate. SD+ always applies; the MD grid additionally requires
+  // comparisons-only over enabled attributes. Ties go to MD (Sec. 6).
+  exec::Plan sd_plan;
+  {
+    std::vector<Trapdoor> copy = tds;
+    sd_plan.AdoptTrapdoors(std::move(copy));
+  }
+  exec::BuildSdPlusPlan(*index_, &sd_plan, /*estimate=*/true);
+  if (md_capable) {
+    exec::Plan md_plan;
+    md_plan.AdoptTrapdoors(std::move(tds));
+    exec::BuildMdGridPlan(*index_, &md_plan, /*estimate=*/true);
+    out.physical = md_plan.root.estimated.Total() <=
+                           sd_plan.root.estimated.Total()
+                       ? std::move(md_plan)
+                       : std::move(sd_plan);
+  } else {
+    out.physical = std::move(sd_plan);
+  }
+  AnnotatePlan(&out.physical, preds);
+  return finish();
 }
 
 }  // namespace prkb::query

@@ -6,6 +6,7 @@
 #include <vector>
 
 #include "common/result.h"
+#include "exec/plan.h"
 #include "prkb/selection.h"
 #include "query/ast.h"
 
@@ -28,20 +29,37 @@ class Catalog {
       tables_;
 };
 
-/// Execution outcome: the rows plus how the statement was processed.
+/// Execution outcome: the rows plus the physical plan that produced them.
+/// Move-only (the plan owns its trapdoors).
 struct ExecutionResult {
   std::vector<edbms::TupleId> rows;
   edbms::SelectionStats stats;
-  std::string plan;  // human-readable route, e.g. "prkb-md(4 trapdoors)"
+  /// One-line route summary, e.g. "prkb-md(4 trapdoors)" (== physical.summary).
+  std::string plan;
+  /// The chosen physical plan: per-operator cost estimates and, once
+  /// executed, per-operator actual QPF costs.
+  exec::Plan physical;
+  /// True for `EXPLAIN SELECT ...`: the plan was built and costed but not
+  /// executed — `rows` is empty and `stats` is all zeroes.
+  bool explain_only = false;
+
+  /// Rendered plan tree (estimates, plus actuals after execution).
+  std::string Explain() const { return physical.Render(); }
 };
 
-/// Routes parsed statements to the cheapest PRKB path:
-///   - no condition      → all live tuples, zero QPF;
-///   - one condition     → single-predicate processing (Sec. 5 / App. A);
-///   - comparisons only  → PRKB(MD) grid processing (Sec. 6.2);
-///   - mixed kinds       → per-predicate processing + intersection (SD+).
-/// Conceptually the planner spans both parties: the DO compiles plaintext
-/// conditions into trapdoors, the SP executes them against the PRKB.
+/// Cost-based planner. Compiles the WHERE conjuncts into trapdoors (the DO
+/// role), then — per attribute — collapses same-attribute predicates into a
+/// single interval (a BETWEEN, a one-sided comparison, or a provably-empty
+/// contradiction), enumerates the applicable physical routes:
+///   - no predicate       → full table, zero QPF;
+///   - one predicate      → single-predicate processing (Sec. 5 / App. A);
+///   - comparisons only   → PRKB(MD) grid processing (Sec. 6.2) candidate;
+///   - always             → per-predicate processing + intersection (SD+);
+/// and picks the route with the lowest estimated QPF cost
+/// (docs/COST_MODEL.md; ties prefer MD, matching the paper's Sec. 6
+/// preference). A predicate that appears exactly once is passed through
+/// verbatim, so single-condition statements keep the legacy trapdoors,
+/// routes and byte-identical QPF behaviour.
 class Planner {
  public:
   Planner(const Catalog* catalog, edbms::Edbms* db, core::PrkbIndex* index)

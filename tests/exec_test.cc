@@ -1,0 +1,291 @@
+// The exec/ physical-plan layer: cost-model golden values, plan rendering,
+// executor actual-cost capture, read-only plan execution, and — the point of
+// a cost-based planner — that the estimated ranking of routes agrees with
+// the measured QPF spend on concrete workloads.
+
+#include <string>
+#include <vector>
+
+#include "edbms/cipherbase_qpf.h"
+#include "exec/cost.h"
+#include "exec/executor.h"
+#include "exec/plan.h"
+#include "gtest/gtest.h"
+#include "prkb/selection.h"
+#include "query/planner.h"
+#include "tests/test_util.h"
+
+namespace prkb::exec {
+namespace {
+
+using edbms::CipherbaseEdbms;
+using edbms::CompareOp;
+using edbms::PlainPredicate;
+using edbms::PlainTable;
+using edbms::Trapdoor;
+using edbms::TupleId;
+using testutil::OracleSelectAll;
+using testutil::Sorted;
+
+// ------------------------------------------------------------- Cost model
+
+TEST(CostModelTest, CeilLgGoldenValues) {
+  EXPECT_EQ(CeilLg(0), 0.0);
+  EXPECT_EQ(CeilLg(1), 0.0);
+  EXPECT_EQ(CeilLg(2), 1.0);
+  EXPECT_EQ(CeilLg(3), 2.0);
+  EXPECT_EQ(CeilLg(8), 3.0);
+  EXPECT_EQ(CeilLg(9), 4.0);
+  EXPECT_EQ(CeilLg(1024), 10.0);
+}
+
+TEST(CostModelTest, ComparisonGoldenValues) {
+  // Developed chain: QFilter ≈ 2+⌈lg k⌉ probes, QScan ≈ 1.5·n/k (early
+  // stop halfway through the second NS partition on average).
+  const CostEstimate c = EstimateComparison(16, 1600);
+  EXPECT_DOUBLE_EQ(c.probes, 6.0);
+  EXPECT_DOUBLE_EQ(c.scans, 150.0);
+  EXPECT_DOUBLE_EQ(c.Total(), 156.0);
+
+  // Cold chain (k = 1): one probe, then the whole table.
+  const CostEstimate cold = EstimateComparison(1, 200);
+  EXPECT_DOUBLE_EQ(cold.probes, 1.0);
+  EXPECT_DOUBLE_EQ(cold.scans, 200.0);
+
+  // Probe count can never exceed k (one sample per partition).
+  EXPECT_DOUBLE_EQ(EstimateComparison(3, 300).probes, 3.0);
+}
+
+TEST(CostModelTest, BetweenGoldenValues) {
+  // Appendix A: anchor hunt + two binary searches ≈ 4+2⌈lg k⌉ probes, then
+  // up to four end partitions ≈ 3·n/k scan evaluations.
+  const CostEstimate b = EstimateBetween(16, 1600);
+  EXPECT_DOUBLE_EQ(b.probes, 12.0);
+  EXPECT_DOUBLE_EQ(b.scans, 300.0);
+  EXPECT_DOUBLE_EQ(EstimateBetween(1, 200).probes, 1.0);
+  EXPECT_DOUBLE_EQ(EstimateBetween(1, 200).scans, 200.0);
+}
+
+TEST(CostModelTest, MdGridGoldenValues) {
+  // Per dimension: QFilter probes; bands of ≈ 2 partitions each, with the
+  // cross-dimension short circuit modelled as half an evaluation per tuple.
+  const CostEstimate md = EstimateMdGrid({MdDim{16, 1600}, MdDim{4, 1600}});
+  EXPECT_DOUBLE_EQ(md.probes, 10.0);   // (2+4) + min(4, 2+2)
+  EXPECT_DOUBLE_EQ(md.scans, 500.0);   // 0.5·(200 + 800)
+  EXPECT_DOUBLE_EQ(EstimateMdGrid({}).Total(), 0.0);
+}
+
+TEST(CostModelTest, LinearScanGoldenValues) {
+  const CostEstimate lin = EstimateLinearScan(777);
+  EXPECT_DOUBLE_EQ(lin.probes, 0.0);
+  EXPECT_DOUBLE_EQ(lin.scans, 777.0);
+}
+
+TEST(CostModelTest, CostsShrinkAsChainsDevelop) {
+  // The whole premise of the PRKB: more past cuts → cheaper selections.
+  EXPECT_LT(EstimateComparison(64, 2000).Total(),
+            EstimateComparison(4, 2000).Total());
+  EXPECT_LT(EstimateBetween(64, 2000).Total(),
+            EstimateBetween(4, 2000).Total());
+  EXPECT_LT(EstimateMdGrid({MdDim{64, 2000}, MdDim{64, 2000}}).Total(),
+            EstimateMdGrid({MdDim{4, 2000}, MdDim{4, 2000}}).Total());
+}
+
+// ----------------------------------------------------------- Plan render
+
+TEST(PlanRenderTest, ShowsEstimatesAndActuals) {
+  Plan plan;
+  plan.summary = "prkb-sd";
+  plan.root = PlanNode(PlanOp::kPredicateSelect, 3, 0);
+  plan.root.detail = "temp < 60";
+  plan.root.estimated = CostEstimate{6.0, 150.0};
+  plan.root.has_estimate = true;
+  PlanNode probe(PlanOp::kQFilterProbe, 3, 0);
+  probe.actual.executed = true;
+  probe.actual.qpf_uses = 7;
+  probe.actual.qpf_round_trips = 7;
+  plan.root.children.push_back(probe);
+  PlanNode lookup(PlanOp::kFastPathLookup, 3, 0);
+  lookup.actual.executed = true;
+  lookup.actual.cache_hit = true;
+  plan.root.children.push_back(lookup);
+
+  const std::string out = plan.Render();
+  EXPECT_NE(out.find("plan: prkb-sd"), std::string::npos);
+  EXPECT_NE(out.find("PredicateSelect attr=3 [temp < 60]"), std::string::npos);
+  EXPECT_NE(out.find("(est 6.0 probes + 150.0 scans)"), std::string::npos);
+  EXPECT_NE(out.find("  QFilterProbe attr=3  (actual 7 qpf, 7 round trips)"),
+            std::string::npos);
+  EXPECT_NE(out.find("(actual cache hit, 0 qpf)"), std::string::npos);
+}
+
+// -------------------------------------------------------------- Executor
+
+class ExecutorTest : public ::testing::Test {
+ protected:
+  static constexpr size_t kRows = 400;
+
+  ExecutorTest()
+      : plain_(MakePlain()),
+        db_(CipherbaseEdbms::FromPlainTable(7, plain_)),
+        index_(&db_) {
+    index_.EnableAttr(0);
+    index_.EnableAttr(1);
+  }
+
+  static PlainTable MakePlain() {
+    Rng rng(21);
+    return testutil::RandomTable(kRows, 2, &rng, 0, 1000);
+  }
+
+  PlainTable plain_;
+  CipherbaseEdbms db_;
+  core::PrkbIndex index_;
+};
+
+TEST_F(ExecutorTest, SingleSelectPlanRecordsStageActuals) {
+  const Trapdoor td = db_.MakeComparison(0, CompareOp::kLt, 500);
+  Plan plan;
+  plan.BorrowTrapdoor(&td);
+  BuildSingleSelectPlan(index_, &plan, /*estimate=*/true);
+  ASSERT_EQ(plan.root.op, PlanOp::kPredicateSelect);
+  EXPECT_TRUE(plan.root.has_estimate);
+
+  edbms::SelectionStats stats;
+  const std::vector<TupleId> rows = Executor(&index_).Run(&plan, &stats);
+  EXPECT_EQ(Sorted(rows),
+            OracleSelectAll(plain_,
+                            {{.attr = 0, .op = CompareOp::kLt, .lo = 500}}));
+
+  EXPECT_TRUE(plan.root.actual.executed);
+  EXPECT_EQ(plan.root.actual.qpf_uses, stats.qpf_uses);
+  const PlanNode* probe = plan.root.Child(PlanOp::kQFilterProbe);
+  const PlanNode* scan = plan.root.Child(PlanOp::kPartitionScan);
+  ASSERT_NE(probe, nullptr);
+  ASSERT_NE(scan, nullptr);
+  EXPECT_GT(probe->actual.qpf_uses, 0u);
+  EXPECT_GT(scan->actual.qpf_uses, 0u);
+  // The per-stage split is exhaustive.
+  EXPECT_EQ(probe->actual.qpf_uses + scan->actual.qpf_uses, stats.qpf_uses);
+}
+
+TEST_F(ExecutorTest, ReadOnlyPlanRefusesFreshPredicateThenServesRepeat) {
+  const Trapdoor td = db_.MakeComparison(0, CompareOp::kLt, 300);
+  std::vector<TupleId> out;
+
+  // Fresh predicate: answering would cut the chain — must refuse without
+  // spending QPF.
+  const uint64_t uses0 = db_.uses();
+  EXPECT_FALSE(index_.TrySelectShared(td, &out));
+  EXPECT_EQ(db_.uses(), uses0);
+
+  // Exclusive-path answer caches the cut...
+  const std::vector<TupleId> rows = index_.Select(td);
+
+  // ...so the byte-identical trapdoor is now provably read-only.
+  const uint64_t uses1 = db_.uses();
+  ASSERT_TRUE(index_.TrySelectShared(td, &out));
+  EXPECT_EQ(db_.uses(), uses1);
+  EXPECT_EQ(Sorted(out), Sorted(rows));
+}
+
+// ------------------------------------------- Estimated vs measured routes
+
+/// Twin deployments with identical seeds stay byte-identical in QPF and RNG
+/// behaviour, so each can measure one route of the same logical query.
+struct Twin {
+  explicit Twin(const PlainTable& plain)
+      : db(CipherbaseEdbms::FromPlainTable(11, plain)), index(&db) {
+    index.EnableAttr(0);
+    index.EnableAttr(1);
+  }
+  CipherbaseEdbms db;
+  core::PrkbIndex index;
+};
+
+TEST(RouteChoiceTest, PlannerPicksMeasuredCheaperRouteOnSkewedChains) {
+  Rng rng(31);
+  const PlainTable plain = testutil::RandomTable(600, 2, &rng, 0, 2000);
+  Twin md_twin(plain), sd_twin(plain), est_twin(plain);
+
+  // Skew the chains: attribute 0 well developed, attribute 1 cold.
+  for (core::PrkbIndex* idx :
+       {&md_twin.index, &sd_twin.index, &est_twin.index}) {
+    for (int i = 1; i <= 8; ++i) {
+      idx->Select(idx->db()->MakeComparison(0, CompareOp::kLt, i * 240));
+    }
+  }
+
+  // The logical query: temp > 800 AND humidity < 1200 (one-sided, distinct
+  // attributes — MD-capable, never collapsed).
+  const auto make_tds = [](Twin* t) {
+    return std::vector<Trapdoor>{
+        t->db.MakeComparison(0, CompareOp::kGt, 800),
+        t->db.MakeComparison(1, CompareOp::kLt, 1200),
+    };
+  };
+
+  // Estimated ranking (pure: no QPF, no RNG, no cache mutation).
+  std::vector<Trapdoor> est_tds = make_tds(&est_twin);
+  Plan md_plan;
+  for (const Trapdoor& td : est_tds) md_plan.BorrowTrapdoor(&td);
+  BuildMdGridPlan(est_twin.index, &md_plan, /*estimate=*/true);
+  Plan sd_plan;
+  for (const Trapdoor& td : est_tds) sd_plan.BorrowTrapdoor(&td);
+  BuildSdPlusPlan(est_twin.index, &sd_plan, /*estimate=*/true);
+  const bool estimate_prefers_md =
+      md_plan.root.estimated.Total() <= sd_plan.root.estimated.Total();
+
+  // Measured spend of each route on its own twin.
+  const std::vector<Trapdoor> md_tds = make_tds(&md_twin);
+  const uint64_t md_before = md_twin.db.uses();
+  const auto md_rows = md_twin.index.SelectRangeMd(md_tds);
+  const uint64_t md_uses = md_twin.db.uses() - md_before;
+
+  const std::vector<Trapdoor> sd_tds = make_tds(&sd_twin);
+  const uint64_t sd_before = sd_twin.db.uses();
+  const auto sd_rows = sd_twin.index.SelectRangeSdPlus(sd_tds);
+  const uint64_t sd_uses = sd_twin.db.uses() - sd_before;
+
+  EXPECT_EQ(Sorted(md_rows), Sorted(sd_rows));
+  const bool measured_prefers_md = md_uses <= sd_uses;
+  EXPECT_EQ(estimate_prefers_md, measured_prefers_md)
+      << "estimates ranked md=" << md_plan.root.estimated.Total()
+      << " vs sd+=" << sd_plan.root.estimated.Total() << ", measured md="
+      << md_uses << " vs sd+=" << sd_uses;
+}
+
+TEST(RouteChoiceTest, CollapsedBoxNoSlowerThanOldFixedMdRouteWhenCold) {
+  // The old fixed rule sent the four-comparison box
+  //   `x > a AND x < b AND y > c AND y < d`
+  // to PRKB(MD) with four trapdoors. The cost-based planner collapses each
+  // same-attribute pair into one BETWEEN and intersects the two (SD+). On a
+  // cold deployment every route degenerates to scanning the no-index window,
+  // and the collapsed plan reads each chain once per BETWEEN instead of once
+  // per comparison — so it must not spend more QPF than the old route.
+  Rng rng(37);
+  const PlainTable plain = testutil::RandomTable(600, 2, &rng, 0, 2000);
+  Twin md_twin(plain), collapsed_twin(plain);
+
+  const uint64_t md_before = md_twin.db.uses();
+  const auto md_rows = md_twin.index.SelectRangeMd(
+      {md_twin.db.MakeComparison(0, CompareOp::kGt, 500),
+       md_twin.db.MakeComparison(0, CompareOp::kLt, 1500),
+       md_twin.db.MakeComparison(1, CompareOp::kGt, 400),
+       md_twin.db.MakeComparison(1, CompareOp::kLt, 1600)});
+  const uint64_t md_uses = md_twin.db.uses() - md_before;
+
+  const uint64_t bt_before = collapsed_twin.db.uses();
+  const auto bt_rows = collapsed_twin.index.SelectRangeSdPlus(
+      {collapsed_twin.db.MakeBetween(0, 501, 1499),
+       collapsed_twin.db.MakeBetween(1, 401, 1599)});
+  const uint64_t bt_uses = collapsed_twin.db.uses() - bt_before;
+
+  EXPECT_EQ(Sorted(md_rows), Sorted(bt_rows));
+  EXPECT_LE(bt_uses, md_uses) << "collapsed SD+ box spent more QPF ("
+                              << bt_uses << ") than the old MD route ("
+                              << md_uses << ")";
+}
+
+}  // namespace
+}  // namespace prkb::exec

@@ -65,6 +65,8 @@ TEST_F(IntegrationTest, FullLifecycle) {
     const Value b = a + rng.UniformInt64(10, 400);
     char sql[256];
 
+    // Same-attribute pair: the cost-based planner collapses it into one
+    // BETWEEN trapdoor before routing.
     std::snprintf(sql, sizeof(sql),
                   "SELECT * FROM orders WHERE amount > %lld AND amount < %lld",
                   static_cast<long long>(a), static_cast<long long>(b));
@@ -74,6 +76,18 @@ TEST_F(IntegrationTest, FullLifecycle) {
                   {{.attr = 0, .op = CompareOp::kGt, .lo = a},
                    {.attr = 0, .op = CompareOp::kLt, .lo = b}},
                   &db_))
+        << sql;
+
+    // Single comparison on the same attribute: keeps carving cuts into the
+    // chain (a BETWEEN alone cannot split a single-partition chain — the
+    // Appendix-A interior band has no neighbour to orient against).
+    std::snprintf(sql, sizeof(sql),
+                  "SELECT * FROM orders WHERE amount >= %lld",
+                  static_cast<long long>(a));
+    EXPECT_EQ(Sql(sql),
+              OracleSelectAll(plain_,
+                              {{.attr = 0, .op = CompareOp::kGe, .lo = a}},
+                              &db_))
         << sql;
 
     std::snprintf(sql, sizeof(sql),

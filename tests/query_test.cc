@@ -128,13 +128,16 @@ TEST_F(PlannerTest, BetweenRoutesToBetween) {
   EXPECT_EQ(Sorted(res->rows), OracleSelectAll(plain_, {p}));
 }
 
-TEST_F(PlannerTest, ConjunctionRoutesToMd) {
+TEST_F(PlannerTest, BoxConjunctionCollapsesToSdPlusOverBetweens) {
+  // Old fixed rule: 4 comparisons → PRKB(MD) with 4 trapdoors. The
+  // cost-based planner first collapses each attribute's pair into one
+  // BETWEEN, leaving SD+ over 2 trapdoors as the cheapest capable route.
   Planner planner(&catalog_, &db_, &index_);
   auto res = planner.ExecuteSql(
       "SELECT * FROM readings WHERE temp > 20 AND temp < 60 "
       "AND humidity > 30 AND humidity < 70");
   ASSERT_TRUE(res.ok());
-  EXPECT_EQ(res->plan, "prkb-md(4 trapdoors)");
+  EXPECT_EQ(res->plan, "prkb-sd+(2 trapdoors)");
   std::vector<PlainPredicate> ps = {
       {.attr = 0, .op = edbms::CompareOp::kGt, .lo = 20},
       {.attr = 0, .op = edbms::CompareOp::kLt, .lo = 60},
@@ -142,6 +145,62 @@ TEST_F(PlannerTest, ConjunctionRoutesToMd) {
       {.attr = 1, .op = edbms::CompareOp::kLt, .lo = 70},
   };
   EXPECT_EQ(Sorted(res->rows), OracleSelectAll(plain_, ps));
+}
+
+TEST_F(PlannerTest, MultiAttrComparisonsRouteToMd) {
+  // One-sided comparisons on distinct attributes stay MD-capable after
+  // collapsing (nothing to merge), and the grid estimate undercuts SD+.
+  Planner planner(&catalog_, &db_, &index_);
+  auto res = planner.ExecuteSql(
+      "SELECT * FROM readings WHERE temp > 20 AND humidity < 70");
+  ASSERT_TRUE(res.ok());
+  EXPECT_EQ(res->plan, "prkb-md(2 trapdoors)");
+  std::vector<PlainPredicate> ps = {
+      {.attr = 0, .op = edbms::CompareOp::kGt, .lo = 20},
+      {.attr = 1, .op = edbms::CompareOp::kLt, .lo = 70},
+  };
+  EXPECT_EQ(Sorted(res->rows), OracleSelectAll(plain_, ps));
+}
+
+TEST_F(PlannerTest, SameAttrPairCollapsesToSinglePredicate) {
+  // x > 5 AND x < 20 is one interval: the planner compiles a single BETWEEN
+  // trapdoor and takes the Sec. 5 single-predicate path, not SD+/MD.
+  Planner planner(&catalog_, &db_, &index_);
+  auto res = planner.ExecuteSql(
+      "SELECT * FROM readings WHERE temp > 20 AND temp < 60");
+  ASSERT_TRUE(res.ok());
+  EXPECT_EQ(res->plan, "prkb-between");
+  EXPECT_NE(res->physical.root.detail.find("collapsed 2 conjuncts"),
+            std::string::npos);
+  std::vector<PlainPredicate> ps = {
+      {.attr = 0, .op = edbms::CompareOp::kGt, .lo = 20},
+      {.attr = 0, .op = edbms::CompareOp::kLt, .lo = 60},
+  };
+  EXPECT_EQ(Sorted(res->rows), OracleSelectAll(plain_, ps));
+}
+
+TEST_F(PlannerTest, ContradictionShortCircuitsToEmpty) {
+  Planner planner(&catalog_, &db_, &index_);
+  const uint64_t uses_before = db_.uses();
+  auto res = planner.ExecuteSql(
+      "SELECT * FROM readings WHERE temp > 60 AND temp < 20");
+  ASSERT_TRUE(res.ok());
+  EXPECT_EQ(res->plan, "empty(contradiction)");
+  EXPECT_TRUE(res->rows.empty());
+  EXPECT_EQ(res->stats.qpf_uses, 0u);
+  EXPECT_EQ(db_.uses(), uses_before);  // provably empty: zero QPF spent
+}
+
+TEST_F(PlannerTest, SingleElementAndListTakesSinglePredicatePath) {
+  // Degenerate conjunction: one conjunct must behave exactly like the bare
+  // predicate (Sec. 5 path), with the trapdoor passed through verbatim.
+  Planner planner(&catalog_, &db_, &index_);
+  auto res = planner.ExecuteSql("SELECT * FROM readings WHERE temp >= 42");
+  ASSERT_TRUE(res.ok());
+  EXPECT_EQ(res->plan, "prkb-sd");
+  EXPECT_EQ(res->physical.root.op, exec::PlanOp::kPredicateSelect);
+  PlainPredicate p{.attr = 0, .op = edbms::CompareOp::kGe, .lo = 42};
+  EXPECT_EQ(Sorted(res->rows), OracleSelectAll(plain_, {p}));
 }
 
 TEST_F(PlannerTest, MixedKindsRouteToSdPlus) {
@@ -164,6 +223,73 @@ TEST_F(PlannerTest, NoPredicateReturnsAllLiveRows) {
   ASSERT_TRUE(res.ok());
   EXPECT_EQ(res->rows.size(), 199u);
   EXPECT_EQ(res->stats.qpf_uses, 0u);
+}
+
+TEST_F(PlannerTest, ExplainBuildsPlanWithoutExecuting) {
+  Planner planner(&catalog_, &db_, &index_);
+  const uint64_t uses_before = db_.uses();
+  auto res = planner.ExecuteSql(
+      "EXPLAIN SELECT * FROM readings WHERE temp < 50");
+  ASSERT_TRUE(res.ok());
+  EXPECT_TRUE(res->explain_only);
+  EXPECT_TRUE(res->rows.empty());
+  EXPECT_EQ(res->stats.qpf_uses, 0u);
+  EXPECT_EQ(db_.uses(), uses_before);  // planning is pure: no QPF spent
+  const std::string rendered = res->Explain();
+  EXPECT_NE(rendered.find("plan: prkb-sd"), std::string::npos);
+  EXPECT_NE(rendered.find("PredicateSelect"), std::string::npos);
+  EXPECT_NE(rendered.find("QFilterProbe"), std::string::npos);
+  EXPECT_NE(rendered.find("est "), std::string::npos);
+  EXPECT_NE(rendered.find("temp < 50"), std::string::npos);
+  // No operator executed, so no actuals are rendered.
+  EXPECT_EQ(rendered.find("actual"), std::string::npos);
+}
+
+TEST_F(PlannerTest, ExecutedPlanCarriesActualCostsPerOperator) {
+  Planner planner(&catalog_, &db_, &index_);
+  auto res = planner.ExecuteSql("SELECT * FROM readings WHERE temp < 50");
+  ASSERT_TRUE(res.ok());
+  ASSERT_FALSE(res->explain_only);
+  const exec::PlanNode& root = res->physical.root;
+  EXPECT_TRUE(root.actual.executed);
+  EXPECT_EQ(root.actual.qpf_uses, res->stats.qpf_uses);
+  const exec::PlanNode* probe = root.Child(exec::PlanOp::kQFilterProbe);
+  const exec::PlanNode* scan = root.Child(exec::PlanOp::kPartitionScan);
+  ASSERT_NE(probe, nullptr);
+  ASSERT_NE(scan, nullptr);
+  EXPECT_TRUE(probe->actual.executed);
+  EXPECT_TRUE(scan->actual.executed);
+  // The stage split is exhaustive: probes + scans account for every use.
+  EXPECT_EQ(probe->actual.qpf_uses + scan->actual.qpf_uses,
+            root.actual.qpf_uses);
+  EXPECT_NE(res->Explain().find("actual"), std::string::npos);
+}
+
+TEST_F(PlannerTest, StatsAreConsistentAcrossAllRoutes) {
+  Planner planner(&catalog_, &db_, &index_);
+  const char* queries[] = {
+      "SELECT * FROM readings",                                  // full-table
+      "SELECT * FROM readings WHERE temp < 50",                  // single
+      "SELECT * FROM readings WHERE temp BETWEEN 20 AND 60",     // between
+      "SELECT * FROM readings WHERE temp > 20 AND humidity < 70",  // MD
+      "SELECT * FROM readings WHERE temp BETWEEN 20 AND 60 "
+      "AND humidity < 50",                                       // SD+
+      "SELECT * FROM readings WHERE temp > 60 AND temp < 20",    // empty
+  };
+  for (const char* sql : queries) {
+    const uint64_t uses_before = db_.uses();
+    const uint64_t trips_before = db_.round_trips();
+    auto res = planner.ExecuteSql(sql);
+    ASSERT_TRUE(res.ok()) << sql;
+    // Field-by-field: every route reports the whole operation's QPF delta,
+    // never a partial or per-trapdoor aggregate.
+    EXPECT_EQ(res->stats.qpf_uses, db_.uses() - uses_before) << sql;
+    EXPECT_EQ(res->stats.qpf_round_trips, db_.round_trips() - trips_before)
+        << sql;
+    EXPECT_LE(res->stats.qpf_batches, res->stats.qpf_round_trips) << sql;
+    EXPECT_GE(res->stats.millis, 0.0) << sql;
+    EXPECT_LE(res->stats.cache_hits + res->stats.cache_misses, 4u) << sql;
+  }
 }
 
 TEST_F(PlannerTest, UnknownTableAndColumnFail) {

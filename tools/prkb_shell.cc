@@ -4,6 +4,8 @@
 //
 // Accepts the mini-SQL subset on stdin plus dot-commands:
 //   SELECT * FROM t WHERE c0 < 100 AND c1 BETWEEN 5 AND 9
+//   EXPLAIN SELECT ...  cost-based physical plan with estimates, no execution
+//   .explain          last executed statement's plan with actual QPF costs
 //   .stats            chain shape per attribute
 //   .cache            repeat-predicate fast-path state (entries, hits/misses)
 //
@@ -22,6 +24,7 @@
 #include <cstdio>
 #include <cstring>
 #include <iostream>
+#include <optional>
 #include <sstream>
 #include <string>
 #include <vector>
@@ -60,8 +63,9 @@ void PrintHelp() {
   std::printf(
       "commands:\n"
       "  SELECT * FROM t WHERE c0 < 100 AND c1 BETWEEN 5 AND 9\n"
-      "  .stats | .cache | .insert v0 v1 .. | .delete <tid> | .save <p> |"
-      " .load <p>\n"
+      "  EXPLAIN SELECT ...   (plan + cost estimates, no execution)\n"
+      "  .explain | .stats | .cache | .insert v0 v1 .. | .delete <tid> |"
+      " .save <p> | .load <p>\n"
       "  .help | .quit\n");
 }
 
@@ -96,6 +100,7 @@ int main(int argc, char** argv) {
   PrintHelp();
 
   std::string line;
+  std::optional<query::ExecutionResult> last;
   while (true) {
     std::printf("prkb> ");
     std::fflush(stdout);
@@ -109,6 +114,14 @@ int main(int argc, char** argv) {
       if (cmd == ".quit" || cmd == ".exit") break;
       if (cmd == ".help") {
         PrintHelp();
+      } else if (cmd == ".explain") {
+        if (!last.has_value()) {
+          std::printf("no statement executed yet\n");
+        } else {
+          // Re-render the last plan: after execution each operator also
+          // carries its actual QPF spend next to the estimate.
+          std::printf("%s", last->Explain().c_str());
+        }
       } else if (cmd == ".stats") {
         std::printf("%s", index.DescribeStats().c_str());
       } else if (cmd == ".cache") {
@@ -160,6 +173,10 @@ int main(int argc, char** argv) {
       std::printf("error: %s\n", res.status().ToString().c_str());
       continue;
     }
+    if (res->explain_only) {
+      std::printf("%s", res->Explain().c_str());
+      continue;
+    }
     std::printf("%zu rows  [%s, qpf_uses=%llu, %.2f ms]\n", res->rows.size(),
                 res->plan.c_str(),
                 static_cast<unsigned long long>(res->stats.qpf_uses),
@@ -170,6 +187,7 @@ int main(int argc, char** argv) {
     if (res->rows.size() > 10) {
       std::printf("  ... (%zu more)\n", res->rows.size() - 10);
     }
+    last = std::move(*res);
   }
   return 0;
 }
