@@ -44,4 +44,18 @@ BitVector CipherbaseEdbms::DoEvalBatch(const Trapdoor& td,
   return tm_.EvalPredicateBatch(td, cells);
 }
 
+BitVector CipherbaseEdbms::DoEvalMany(std::span<const ProbeRequest> reqs) {
+  // Fused probe round: each lane carries its own trapdoor, so the gather
+  // pairs every ciphertext with its predicate before the single TM entry.
+  std::vector<const Trapdoor*> tds;
+  std::vector<const EncValue*> cells;
+  tds.reserve(reqs.size());
+  cells.reserve(reqs.size());
+  for (const ProbeRequest& r : reqs) {
+    tds.push_back(r.td);
+    cells.push_back(&table_.at(r.td->attr, r.tid));
+  }
+  return tm_.EvalPredicateMulti(tds, cells);
+}
+
 }  // namespace prkb::edbms

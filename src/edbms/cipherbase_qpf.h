@@ -43,6 +43,7 @@ class CipherbaseEdbms : public Edbms {
   bool DoEval(const Trapdoor& td, TupleId tid) override;
   BitVector DoEvalBatch(const Trapdoor& td,
                         std::span<const TupleId> tids) override;
+  BitVector DoEvalMany(std::span<const ProbeRequest> reqs) override;
 
   DataOwner do_;
   TrustedMachine tm_;

@@ -35,6 +35,16 @@ struct QpfMetrics {
   }
 };
 
+/// One probe of a heterogeneous batch round: which predicate to apply to
+/// which tuple. The probe scheduler (src/prkb/probe_sched.h) fills one span
+/// of these per search round so concurrent searches — the m−1 pivots of an
+/// m-ary QFilter, both BETWEEN end-searches, every PRKB(MD) dimension —
+/// share a single round trip.
+struct ProbeRequest {
+  const Trapdoor* td;
+  TupleId tid;
+};
+
 /// The query processing function Θ of the paper's EDBMS model (Sec. 3.1):
 /// given an encrypted predicate (trapdoor) and an encrypted tuple, returns
 /// whether the tuple satisfies the hidden plain predicate — and nothing else.
@@ -104,6 +114,27 @@ class QpfOracle {
     return out;
   }
 
+  /// Θ applied to a heterogeneous batch — each request names its own
+  /// trapdoor — in one round trip. Bit i of the result is
+  /// Θ(*reqs[i].td, reqs[i].tid). Counts |reqs| uses but a single round
+  /// trip, exactly like EvalBatch; the default implementation loops over
+  /// DoEval so every backend is correct (if unamortised) for free.
+  BitVector EvalMany(std::span<const ProbeRequest> reqs) {
+    if (reqs.empty()) return BitVector();
+    uses_.fetch_add(reqs.size(), std::memory_order_relaxed);
+    round_trips_.fetch_add(1, std::memory_order_relaxed);
+    batches_.fetch_add(1, std::memory_order_relaxed);
+    const QpfMetrics& m = QpfMetrics::Get();
+    m.uses->Add(reqs.size());
+    m.round_trips->Add(1);
+    m.batches->Add(1);
+    m.batch_tuples->Record(reqs.size());
+    const uint64_t t0 = obs::ObsTracer::NowNs();
+    BitVector out = DoEvalMany(reqs);
+    m.round_trip_ns->Record(obs::ObsTracer::NowNs() - t0);
+    return out;
+  }
+
   /// Total evaluations since construction / last reset.
   uint64_t uses() const { return uses_.load(std::memory_order_relaxed); }
   /// Total backend entries (scalar calls + batch calls).
@@ -130,6 +161,16 @@ class QpfOracle {
     BitVector out(tids.size());
     for (size_t i = 0; i < tids.size(); ++i) {
       out.Assign(i, DoEval(td, tids[i]));
+    }
+    return out;
+  }
+
+  /// Backend hook for the heterogeneous batch. Same contract as
+  /// DoEvalBatch: identical bits to the scalar path, amortised transport.
+  virtual BitVector DoEvalMany(std::span<const ProbeRequest> reqs) {
+    BitVector out(reqs.size());
+    for (size_t i = 0; i < reqs.size(); ++i) {
+      out.Assign(i, DoEval(*reqs[i].td, reqs[i].tid));
     }
     return out;
   }

@@ -66,6 +66,15 @@ class RecordingEdbms : public Edbms {
     return out;
   }
 
+  BitVector DoEvalMany(std::span<const ProbeRequest> reqs) override {
+    BitVector out = inner_->EvalMany(reqs);
+    for (size_t i = 0; i < reqs.size(); ++i) {
+      transcript_->entries.push_back(
+          QpfTranscript::Entry{reqs[i].td->uid, reqs[i].tid, out.Get(i)});
+    }
+    return out;
+  }
+
   Edbms* inner_;
   QpfTranscript* transcript_;
 };

@@ -104,4 +104,23 @@ BitVector SdbEdbms::DoEvalBatch(const Trapdoor& td,
   return out;
 }
 
+BitVector SdbEdbms::DoEvalMany(std::span<const ProbeRequest> reqs) {
+  // One MPC round for a fused probe batch. Unlike DoEvalBatch the trapdoor
+  // uid travels per lane (each request may name a different predicate).
+  const uint64_t nbytes =
+      reqs.size() * (sizeof(uint64_t) + sizeof(TupleId) + sizeof(uint64_t)) +
+      (reqs.size() + 7) / 8;
+  rounds_.fetch_add(1, std::memory_order_relaxed);
+  bytes_.fetch_add(nbytes, std::memory_order_relaxed);
+  SdbMetrics::Get().rounds->Add(1);
+  SdbMetrics::Get().bytes->Add(nbytes);
+  SimulateLatency();
+  BitVector out(reqs.size());
+  for (size_t i = 0; i < reqs.size(); ++i) {
+    out.Assign(i, Reconstruct(*reqs[i].td, do_.PlainFormOf(reqs[i].td->uid),
+                              reqs[i].tid));
+  }
+  return out;
+}
+
 }  // namespace prkb::edbms

@@ -76,6 +76,7 @@ class SdbEdbms : public Edbms {
   bool DoEval(const Trapdoor& td, TupleId tid) override;
   BitVector DoEvalBatch(const Trapdoor& td,
                         std::span<const TupleId> tids) override;
+  BitVector DoEvalMany(std::span<const ProbeRequest> reqs) override;
   void SimulateLatency() const;
   bool Reconstruct(const Trapdoor& td, const PlainPredicate& pred,
                    TupleId tid) const;

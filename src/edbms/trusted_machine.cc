@@ -113,6 +113,30 @@ BitVector TrustedMachine::EvalPredicateBatch(
   return out;
 }
 
+BitVector TrustedMachine::EvalPredicateMulti(
+    std::span<const Trapdoor* const> tds,
+    std::span<const EncValue* const> cells, bool* ok) {
+  BitVector out(cells.size());
+  predicate_evals_.fetch_add(cells.size(), std::memory_order_relaxed);
+  round_trips_.fetch_add(1, std::memory_order_relaxed);
+  const TmMetrics& m = TmMetrics::Get();
+  m.entries->Add(1);
+  m.evals->Add(cells.size());
+  m.batch_cells->Record(cells.size());
+  SimulateLatency();  // the whole fused round travels in one round trip
+  bool all_ok = true;
+  for (size_t i = 0; i < cells.size(); ++i) {
+    const TrapdoorPayload* p = Open(*tds[i]);
+    if (p == nullptr) {
+      all_ok = false;
+      continue;  // lane stays false
+    }
+    out.Assign(i, Compare(*p, tds[i]->kind, *cells[i]));
+  }
+  if (ok != nullptr) *ok = all_ok;
+  return out;
+}
+
 Value TrustedMachine::DecryptValue(const EncValue& cell) {
   value_decrypts_.fetch_add(1, std::memory_order_relaxed);
   round_trips_.fetch_add(1, std::memory_order_relaxed);

@@ -65,6 +65,16 @@ class TrustedMachine {
                                std::span<const EncValue* const> cells,
                                bool* ok = nullptr);
 
+  /// Heterogeneous batched TM entry: one simulated round trip for a batch
+  /// where every cell may carry its own trapdoor (the probe scheduler's
+  /// fused rounds mix predicates from concurrent searches). tds and cells
+  /// are parallel arrays; bit i is tds[i] applied to cells[i]. Counts
+  /// |cells| predicate evaluations but a single round trip. A forged
+  /// trapdoor yields false for its own lanes only (and ok=false overall).
+  BitVector EvalPredicateMulti(std::span<const Trapdoor* const> tds,
+                               std::span<const EncValue* const> cells,
+                               bool* ok = nullptr);
+
   /// Decrypts a cell inside the TM (used by the Logarithmic-SRC-i
   /// confirmation step and index maintenance). Counted separately.
   Value DecryptValue(const EncValue& cell);

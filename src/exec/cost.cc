@@ -4,6 +4,17 @@
 #include <cmath>
 
 namespace prkb::exec {
+namespace {
+
+double Fanout(const CostConstants& c) {
+  return c.probe_fanout < 2.0 ? 2.0 : c.probe_fanout;
+}
+
+double ScanBatch(const CostConstants& c) {
+  return c.scan_batch < 1.0 ? 1.0 : c.scan_batch;
+}
+
+}  // namespace
 
 const CostConstants& CostConstants::Defaults() {
   static const CostConstants c;
@@ -15,18 +26,37 @@ double CeilLg(size_t k) {
   return std::ceil(std::log2(static_cast<double>(k)));
 }
 
-CostEstimate EstimateLinearScan(size_t live_rows, const CostConstants&) {
-  return CostEstimate{0.0, static_cast<double>(live_rows)};
+double CeilLogM(size_t k, double m) {
+  if (k <= 1) return 0.0;
+  if (m < 2.0) m = 2.0;
+  return std::ceil(std::log2(static_cast<double>(k)) / std::log2(m));
+}
+
+double PriceNs(const CostEstimate& est, const CostConstants& c) {
+  return est.Total() * c.eval_ns + est.round_trips * c.round_trip_latency_ns;
+}
+
+CostEstimate EstimateLinearScan(size_t live_rows, const CostConstants& c) {
+  CostEstimate est;
+  est.scans = static_cast<double>(live_rows);
+  est.round_trips = std::ceil(est.scans / ScanBatch(c));
+  return est;
 }
 
 CostEstimate EstimateComparison(size_t k, size_t n, const CostConstants& c) {
   if (k == 0) return {};
   const double kk = static_cast<double>(k);
   const double nn = static_cast<double>(n);
+  const double m = Fanout(c);
   CostEstimate est;
-  // A probe never repeats a partition, so k itself caps the bound.
-  est.probes = std::min(kk, c.qfilter_overhead + CeilLg(k));
+  // A probe never repeats a partition, so k itself caps the bound. Each
+  // search round ships m−1 pivots, so probes grow by (m−1)/lg m while the
+  // trips below shrink by lg m; m = 2 is the paper's 2 + ⌈lg k⌉.
+  est.probes = std::min(kk, c.qfilter_overhead + (m - 1.0) * CeilLogM(k, m));
   est.scans = std::min(nn, c.comparison_scan_partitions * nn / kk);
+  // One ends round plus ⌈log_m k⌉ search rounds, then chunked NS scans.
+  est.round_trips =
+      std::min(kk, 1.0 + CeilLogM(k, m)) + std::ceil(est.scans / ScanBatch(c));
   return est;
 }
 
@@ -34,30 +64,43 @@ CostEstimate EstimateBetween(size_t k, size_t n, const CostConstants& c) {
   if (k == 0) return {};
   const double kk = static_cast<double>(k);
   const double nn = static_cast<double>(n);
+  const double m = Fanout(c);
   CostEstimate est;
-  // Anchor hunt, then one binary search per band end (each ≤ ⌈lg k⌉ fresh
-  // samples); the sample-label memo keeps the sum below k.
-  est.probes =
-      std::min(kk, c.between_anchor_probes + 2.0 * CeilLg(k));
+  // Anchor hunt, then one search per band end (each ≤ (m−1)·⌈log_m k⌉
+  // fresh samples); the sample-label memo keeps the sum below k.
+  est.probes = std::min(
+      kk, c.between_anchor_probes + 2.0 * (m - 1.0) * CeilLogM(k, m));
   est.scans = std::min(nn, c.between_end_partitions * nn / kk);
+  // Anchor probes ship m−1 per trip; the two end searches fuse into shared
+  // rounds after one shared ends round.
+  est.round_trips = std::ceil(c.between_anchor_probes / (m - 1.0)) + 1.0 +
+                    CeilLogM(k, m) + std::ceil(est.scans / ScanBatch(c));
   return est;
 }
 
 CostEstimate EstimateMdGrid(const std::vector<MdDim>& dims,
                             const CostConstants& c) {
+  const double m = Fanout(c);
   CostEstimate est;
   double band = 0.0;
+  double filter_trips = 0.0;
   for (const MdDim& d : dims) {
     if (d.k == 0) continue;
     est.probes += std::min(static_cast<double>(d.k),
-                           c.qfilter_overhead + CeilLg(d.k));
+                           c.qfilter_overhead + (m - 1.0) * CeilLogM(d.k, m));
     band += std::min(static_cast<double>(d.n),
                      c.md_band_partitions * static_cast<double>(d.n) /
                          static_cast<double>(d.k));
+    // Fused per-dimension filters share rounds: the stage pays the slowest
+    // dimension's trips, not the sum.
+    filter_trips = std::max(
+        filter_trips,
+        std::min(static_cast<double>(d.k), 1.0 + CeilLogM(d.k, m)));
   }
   // Each surviving band tuple costs ≈ one evaluation: the cheap-pass grid
   // rejection is free and the expensive pass short-circuits on the first 0.
   est.scans = c.md_band_eval_factor * band;
+  est.round_trips = filter_trips + std::ceil(est.scans / ScanBatch(c));
   return est;
 }
 

@@ -8,16 +8,21 @@ namespace prkb::exec {
 
 /// Estimated QPF spend of one plan operator, split the way the paper (and
 /// docs/COST_MODEL.md) splits every selection cost: sampled probes (QFilter
-/// binary searches, BETWEEN anchor hunts) versus exhaustive-scan evaluations
-/// (NS partitions, end partitions, MD bands). Unit: QPF uses.
+/// searches, BETWEEN anchor hunts) versus exhaustive-scan evaluations (NS
+/// partitions, end partitions, MD bands). Unit: QPF uses. `round_trips`
+/// prices the same work in backend entries — with the m-ary probe scheduler
+/// the two axes diverge (more probes, far fewer trips), and PriceNs combines
+/// them under a transport-latency assumption.
 struct CostEstimate {
   double probes = 0.0;
   double scans = 0.0;
+  double round_trips = 0.0;
 
   double Total() const { return probes + scans; }
   CostEstimate& operator+=(const CostEstimate& o) {
     probes += o.probes;
     scans += o.scans;
+    round_trips += o.round_trips;
     return *this;
   }
 };
@@ -45,12 +50,33 @@ struct CostConstants {
   /// Fraction of MD band tuples surviving free grid pruning and costing one
   /// evaluation each (`md.evals` / `md.band_tuples` in bench JSON).
   double md_band_eval_factor = 0.5;
+  /// m of the batched probe scheduler (DESIGN.md §11): each search round
+  /// ships m−1 pivots in one trip, so probe bounds inflate to
+  /// overhead + (m−1)·⌈log_m k⌉ while filter trips shrink to
+  /// 1 + ⌈log_m k⌉. 2 reproduces the paper's sequential binary-search
+  /// formulas exactly.
+  double probe_fanout = 2.0;
+  /// Tuples per scan-path QPF round trip (PrkbOptions::batch_size).
+  double scan_batch = 1.0;
+  /// Assumed transport latency per backend round trip, in ns (0 = the
+  /// paper's pure use-count costing; PriceNs then ranks by Total() alone).
+  double round_trip_latency_ns = 0.0;
+  /// Assumed compute cost of one QPF evaluation, in ns.
+  double eval_ns = 1000.0;
 
   static const CostConstants& Defaults();
 };
 
 /// ⌈lg k⌉ with lg 0 = lg 1 = 0, as used by the paper's probe bounds.
 double CeilLg(size_t k);
+
+/// ⌈log_m k⌉ with the same degenerate-k convention; m < 2 is clamped to 2.
+double CeilLogM(size_t k, double m);
+
+/// Wall-clock price of an estimate: evaluations at eval_ns plus round trips
+/// at round_trip_latency_ns. With latency 0 this degenerates to the paper's
+/// QPF-use ranking (scaled by eval_ns), so planner decisions are unchanged.
+double PriceNs(const CostEstimate& est, const CostConstants& c);
 
 /// Baseline linear scan: one QPF use per live tuple (Sec. 3.2).
 CostEstimate EstimateLinearScan(size_t live_rows,
@@ -61,8 +87,8 @@ CostEstimate EstimateLinearScan(size_t live_rows,
 CostEstimate EstimateComparison(size_t k, size_t n,
                                 const CostConstants& c = CostConstants::Defaults());
 
-/// Uncached BETWEEN selection (Appendix A): anchor hunt + two end binary
-/// searches + end-partition scans.
+/// Uncached BETWEEN selection (Appendix A): anchor hunt + two end searches
+/// (fused into shared rounds by the scheduler) + end-partition scans.
 CostEstimate EstimateBetween(size_t k, size_t n,
                              const CostConstants& c = CostConstants::Defaults());
 
@@ -74,7 +100,9 @@ struct MdDim {
 };
 
 /// PRKB(MD) grid selection over the given uncached dimensions: one QFilter
-/// per dimension plus the pruned NS-band evaluations (Sec. 6.2).
+/// per dimension plus the pruned NS-band evaluations (Sec. 6.2). The
+/// per-dimension filters fuse into shared probe rounds, so the filter stage
+/// pays the max — not the sum — of the per-dimension trip counts.
 CostEstimate EstimateMdGrid(const std::vector<MdDim>& dims,
                             const CostConstants& c = CostConstants::Defaults());
 

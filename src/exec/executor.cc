@@ -90,21 +90,54 @@ void MarkZeroCost(PlanNode* node, bool cache_hit = false) {
 
 }  // namespace
 
-std::vector<TupleId> Executor::RunComparison(PlanNode* node,
-                                             const Trapdoor& td,
-                                             const core::TrapdoorFp* fp) {
+CostConstants ConstantsFor(const core::PrkbOptions& options,
+                           size_t probe_fanout_override) {
+  CostConstants c = CostConstants::Defaults();
+  size_t m = probe_fanout_override != 0 ? probe_fanout_override
+                                        : options.probe_fanout;
+  // The sequential-probes ablation runs the paper's binary search, which the
+  // m = 2 formulas price exactly.
+  if (options.sequential_probes && probe_fanout_override == 0) m = 2;
+  c.probe_fanout = static_cast<double>(m < 2 ? 2 : m);
+  c.scan_batch =
+      static_cast<double>(options.batch_size < 1 ? 1 : options.batch_size);
+  c.round_trip_latency_ns = options.rt_latency_hint_ns;
+  return c;
+}
+
+core::ProbeSchedOptions SchedFor(const core::PrkbIndex& index,
+                                 const Plan& plan) {
+  core::ProbeSchedOptions o = index.options().sched();
+  if (plan.probe_fanout != 0) {
+    o.fanout = plan.probe_fanout < 2 ? 2 : plan.probe_fanout;
+  }
+  return o;
+}
+
+std::vector<TupleId> Executor::RunComparison(
+    PlanNode* node, const Trapdoor& td, const core::TrapdoorFp* fp,
+    const core::ProbeSchedOptions& sopt) {
   core::Pop& pop = index_->pop(td.attr);
   if (pop.k() == 0) return {};  // empty table
 
   Rng rng = index_->OpRng();
   const NodeCost probe_cost(index_->db());
-  const core::QFilterResult filter = core::QFilter(pop, td, index_->db(), &rng);
+  core::PrepaidScan prepaid;
+  const core::QFilterResult filter =
+      index_->options().sequential_probes
+          ? core::QFilter(pop, td, index_->db(), &rng)
+          : core::ScheduledQFilter(pop, td, index_->db(), &rng, sopt,
+                                   &prepaid);
+  // Speculative prefetches ride the filter's final round, so their uses land
+  // on the probe node; QScan consumes them instead of re-paying.
   probe_cost.Commit(node->Child(PlanOp::kQFilterProbe));
 
   const NodeCost scan_cost(index_->db());
   core::QScanResult scan =
-      core::QScan(pop, filter, td, index_->db(), index_->options().scan_policy());
+      core::QScan(pop, filter, td, index_->db(),
+                  index_->options().scan_policy(), &prepaid);
   scan_cost.Commit(node->Child(PlanOp::kPartitionScan));
+  core::RecordSpeculativeWaste(prepaid);
 
   // Assemble TW ∪ TWNS.
   std::vector<TupleId> result;
@@ -134,27 +167,32 @@ std::vector<TupleId> Executor::RunComparison(PlanNode* node,
 }
 
 std::vector<TupleId> Executor::RunBetween(PlanNode* node, const Trapdoor& td,
-                                          const core::TrapdoorFp* fp) {
+                                          const core::TrapdoorFp* fp,
+                                          const core::ProbeSchedOptions& sopt) {
   static obs::Counter* const between_probes =
       obs::MetricsRegistry::Global().GetCounter("between.probes");
+  static obs::Counter* const between_probe_trips =
+      obs::MetricsRegistry::Global().GetCounter("between.probe_trips");
   const uint64_t probes0 = between_probes->value();
+  const uint64_t probe_trips0 = between_probe_trips->value();
   const NodeCost cost(index_->db());
-  std::vector<TupleId> result = index_->SelectBetween(td, fp);
+  std::vector<TupleId> result = index_->SelectBetween(td, fp, sopt);
   // Split the operation's QPF spend the way the Appendix-A phases do:
-  // sampled probes (anchor hunt + end searches) vs end-partition scans.
+  // sampled probes (anchor hunt + end searches) vs end-partition scans. The
+  // driver reports the probe phases' round trips itself (the scheduler
+  // ships several probes per trip); the scan stage gets the remainder.
   const uint64_t probes = between_probes->value() - probes0;
+  const uint64_t probe_trips = between_probe_trips->value() - probe_trips0;
   if (PlanNode* pn = node->Child(PlanOp::kQFilterProbe)) {
     pn->actual.executed = true;
     pn->actual.qpf_uses = probes;
-    // Probes are always scalar oracle calls: one round trip each. The
-    // scan stage gets the remainder (fewer than its uses when batched).
-    pn->actual.qpf_round_trips = probes;
+    pn->actual.qpf_round_trips = probe_trips;
     ExecMetrics::Get().op[static_cast<size_t>(pn->op)]->Add(1);
   }
   if (PlanNode* sn = node->Child(PlanOp::kPartitionScan)) {
     sn->actual.executed = true;
     sn->actual.qpf_uses = cost.uses() - probes;
-    sn->actual.qpf_round_trips = cost.round_trips() - probes;
+    sn->actual.qpf_round_trips = cost.round_trips() - probe_trips;
     ExecMetrics::Get().op[static_cast<size_t>(sn->op)]->Add(1);
   }
   MarkZeroCost(node->Child(PlanOp::kApplySplit));
@@ -173,12 +211,13 @@ std::vector<TupleId> Executor::RunPredicateBody(Plan* plan, PlanNode* node) {
   }
   assert(node->op == PlanOp::kPredicateSelect);
   const Trapdoor& td = plan->td(node->td_index);
+  const core::ProbeSchedOptions sopt = SchedFor(*index_, *plan);
   PlanNode* lookup = node->Child(PlanOp::kFastPathLookup);
   if (lookup == nullptr) {
     // Fast path disabled: always probe (the paper's literal algorithms).
     result = td.kind == edbms::PredicateKind::kBetween
-                 ? RunBetween(node, td, nullptr)
-                 : RunComparison(node, td, nullptr);
+                 ? RunBetween(node, td, nullptr, sopt)
+                 : RunComparison(node, td, nullptr, sopt);
     cost.Commit(node);
     return result;
   }
@@ -197,8 +236,9 @@ std::vector<TupleId> Executor::RunPredicateBody(Plan* plan, PlanNode* node) {
   }
   core::CacheMetrics::Get().misses->Add(1);
   MarkZeroCost(lookup, /*cache_hit=*/false);
-  result = td.kind == edbms::PredicateKind::kBetween ? RunBetween(node, td, &fp)
-                                                     : RunComparison(node, td, &fp);
+  result = td.kind == edbms::PredicateKind::kBetween
+               ? RunBetween(node, td, &fp, sopt)
+               : RunComparison(node, td, &fp, sopt);
   cost.Commit(node);
   return result;
 }
@@ -241,7 +281,7 @@ std::vector<TupleId> Executor::RunGridPrune(Plan* plan, PlanNode* node) {
     tds.push_back(&plan->td(child.td_index));
   }
   const NodeCost cost(index_->db());
-  std::vector<TupleId> result = index_->RunMd(tds);
+  std::vector<TupleId> result = index_->RunMd(tds, SchedFor(*index_, *plan));
   cost.Commit(node);
   return result;
 }
@@ -350,10 +390,11 @@ namespace {
 PlanNode BuildPredicateNode(const core::PrkbIndex& index, const Plan& plan,
                             int i, bool estimate) {
   const Trapdoor& td = plan.td(i);
+  const CostConstants cc = ConstantsFor(index.options(), plan.probe_fanout);
   if (!index.IsEnabled(td.attr)) {
     PlanNode node(PlanOp::kLinearScan, td.attr, i);
     if (estimate) {
-      node.estimated = EstimateLinearScan(index.db()->num_rows());
+      node.estimated = EstimateLinearScan(index.db()->num_rows(), cc);
       node.has_estimate = true;
     }
     return node;
@@ -365,8 +406,8 @@ PlanNode BuildPredicateNode(const core::PrkbIndex& index, const Plan& plan,
   bool cached = false;
   if (estimate) {
     const core::PrkbIndex::ChainStats st = index.StatsFor(td.attr);
-    full = between ? EstimateBetween(st.k, st.tuples)
-                   : EstimateComparison(st.k, st.tuples);
+    full = between ? EstimateBetween(st.k, st.tuples, cc)
+                   : EstimateComparison(st.k, st.tuples, cc);
     // Plan-time peek (no metrics): an already-cut trapdoor answers from the
     // chain alone. Hit/miss accounting happens at execution only.
     if (index.options().fast_path &&
@@ -389,9 +430,14 @@ PlanNode BuildPredicateNode(const core::PrkbIndex& index, const Plan& plan,
   scan.detail = between ? "end-partitions" : "ns-pair";
   PlanNode split(PlanOp::kApplySplit, td.attr, i);
   if (estimate) {
-    probe.estimated = CostEstimate{cached ? 0.0 : full.probes, 0.0};
+    // Split the trip estimate the way the stages pay it: chunked scans get
+    // ⌈scans/batch⌉, the filter rounds get the rest.
+    const double scan_trips =
+        cached ? 0.0 : std::ceil(full.scans / std::max(cc.scan_batch, 1.0));
+    probe.estimated = CostEstimate{cached ? 0.0 : full.probes, 0.0,
+                                   cached ? 0.0 : full.round_trips - scan_trips};
     probe.has_estimate = true;
-    scan.estimated = CostEstimate{0.0, cached ? 0.0 : full.scans};
+    scan.estimated = CostEstimate{0.0, cached ? 0.0 : full.scans, scan_trips};
     scan.has_estimate = true;
     split.has_estimate = true;
     node.estimated = full;
@@ -431,6 +477,7 @@ void BuildSdPlusPlan(const core::PrkbIndex& index, Plan* plan, bool estimate) {
 void BuildMdGridPlan(const core::PrkbIndex& index, Plan* plan, bool estimate) {
   PlanNode root(PlanOp::kGridPrune, 0, -1);
   root.children.reserve(plan->num_trapdoors());
+  const CostConstants cc = ConstantsFor(index.options(), plan->probe_fanout);
   std::vector<MdDim> dims;
   for (size_t i = 0; i < plan->num_trapdoors(); ++i) {
     const Trapdoor& td = plan->td(static_cast<int>(i));
@@ -447,15 +494,18 @@ void BuildMdGridPlan(const core::PrkbIndex& index, Plan* plan, bool estimate) {
         child.detail = "cached";
       } else {
         dims.push_back(MdDim{st.k, st.tuples});
-        child.estimated =
-            CostEstimate{EstimateComparison(st.k, st.tuples).probes, 0.0};
+        // Per-dimension filter trips; the root pays only the fused max.
+        child.estimated = CostEstimate{
+            EstimateComparison(st.k, st.tuples, cc).probes, 0.0,
+            std::min(static_cast<double>(st.k),
+                     1.0 + CeilLogM(st.k, cc.probe_fanout))};
       }
       child.has_estimate = true;
     }
     root.children.push_back(std::move(child));
   }
   if (estimate) {
-    root.estimated = EstimateMdGrid(dims);
+    root.estimated = EstimateMdGrid(dims, cc);
     root.has_estimate = true;
   }
   plan->root = std::move(root);

@@ -6,9 +6,11 @@
 #include "edbms/service_provider.h"
 #include "exec/plan.h"
 #include "prkb/fingerprint.h"
+#include "prkb/probe_sched.h"
 
 namespace prkb::core {
 class PrkbIndex;
+struct PrkbOptions;
 }  // namespace prkb::core
 
 namespace prkb::exec {
@@ -43,15 +45,29 @@ class Executor {
   std::vector<edbms::TupleId> RunPredicateBody(Plan* plan, PlanNode* node);
   std::vector<edbms::TupleId> RunComparison(PlanNode* node,
                                             const edbms::Trapdoor& td,
-                                            const core::TrapdoorFp* fp);
+                                            const core::TrapdoorFp* fp,
+                                            const core::ProbeSchedOptions& sopt);
   std::vector<edbms::TupleId> RunBetween(PlanNode* node,
                                          const edbms::Trapdoor& td,
-                                         const core::TrapdoorFp* fp);
+                                         const core::TrapdoorFp* fp,
+                                         const core::ProbeSchedOptions& sopt);
   std::vector<edbms::TupleId> RunIntersect(Plan* plan, PlanNode* node);
   std::vector<edbms::TupleId> RunGridPrune(Plan* plan, PlanNode* node);
 
   core::PrkbIndex* index_;
 };
+
+/// Cost constants matching the runtime the options configure: the scheduler
+/// m, the scan batch size and the planner's transport-latency hint.
+/// `probe_fanout_override` (nonzero) substitutes a candidate m — the
+/// planner's per-route m search and Plan::probe_fanout use this.
+CostConstants ConstantsFor(const core::PrkbOptions& options,
+                           size_t probe_fanout_override = 0);
+
+/// The runtime scheduler knobs a plan executes under: the index options'
+/// sched() with the plan's probe_fanout override applied.
+core::ProbeSchedOptions SchedFor(const core::PrkbIndex& index,
+                                 const Plan& plan);
 
 /// ---- Plan builders -------------------------------------------------------
 ///

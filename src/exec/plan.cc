@@ -74,8 +74,10 @@ void RenderNode(const PlanNode& node, int depth, std::string* out) {
     out->append("]");
   }
   if (node.has_estimate) {
-    std::snprintf(buf, sizeof(buf), "  (est %.1f probes + %.1f scans)",
-                  node.estimated.probes, node.estimated.scans);
+    std::snprintf(buf, sizeof(buf),
+                  "  (est %.1f probes + %.1f scans, %.1f trips)",
+                  node.estimated.probes, node.estimated.scans,
+                  node.estimated.round_trips);
     out->append(buf);
   }
   if (node.actual.executed) {
@@ -101,6 +103,12 @@ std::string Plan::Render() const {
   if (!summary.empty()) {
     out.append("plan: ");
     out.append(summary);
+    if (probe_fanout != 0) {
+      char buf[32];
+      std::snprintf(buf, sizeof(buf), " m=%zu",
+                    static_cast<size_t>(probe_fanout));
+      out.append(buf);
+    }
     out.append("\n");
   }
   RenderNode(root, 0, &out);

@@ -96,6 +96,9 @@ class Plan {
   PlanNode root;
   /// Legacy one-line route summary (e.g. "prkb-md(4 trapdoors)").
   std::string summary;
+  /// Probe-scheduler m chosen for this plan by the planner's latency-aware
+  /// costing (0 = use the index's PrkbOptions::probe_fanout unchanged).
+  size_t probe_fanout = 0;
 
  private:
   std::vector<const edbms::Trapdoor*> tds_;

@@ -16,6 +16,9 @@
 #include <algorithm>
 #include <cassert>
 #include <map>
+#include <optional>
+#include <span>
+#include <utility>
 
 #include "obs/metrics.h"
 #include "obs/trace.h"
@@ -33,12 +36,14 @@ using edbms::TupleId;
 struct BetweenMetrics {
   obs::Counter* invocations;
   obs::Counter* probes;
+  obs::Counter* probe_trips;
   obs::Counter* end_scans;
 
   static const BetweenMetrics& Get() {
     static const BetweenMetrics m = {
         obs::MetricsRegistry::Global().GetCounter("between.invocations"),
         obs::MetricsRegistry::Global().GetCounter("between.probes"),
+        obs::MetricsRegistry::Global().GetCounter("between.probe_trips"),
         obs::MetricsRegistry::Global().GetCounter("between.end_scans"),
     };
     return m;
@@ -55,7 +60,8 @@ struct ScannedPartition {
 }  // namespace
 
 std::vector<TupleId> PrkbIndex::SelectBetween(const Trapdoor& td,
-                                              const TrapdoorFp* fp) {
+                                              const TrapdoorFp* fp,
+                                              const ProbeSchedOptions& sched) {
   Pop& pop = pops_.at(td.attr);
   const size_t k = pop.k();
   if (k == 0) return {};
@@ -63,9 +69,14 @@ std::vector<TupleId> PrkbIndex::SelectBetween(const Trapdoor& td,
   const BetweenMetrics& metrics = BetweenMetrics::Get();
   metrics.invocations->Add(1);
   Rng rng = OpRng();
+  const bool sequential = options_.sequential_probes;
+  const uint64_t trips_before = db_->round_trips();
 
-  // Cached sample labels per chain position (-1 unknown).
+  // Cached sample labels per chain position (-1 unknown). A position probed
+  // once never pays again — batched pivots whose label is already cached are
+  // absorbed for free.
   std::vector<int8_t> sample(k, -1);
+  ProbeRound probe_round(db_);
   auto probe = [&](size_t pos) -> bool {
     if (sample[pos] < 0) {
       metrics.probes->Add(1);
@@ -74,16 +85,49 @@ std::vector<TupleId> PrkbIndex::SelectBetween(const Trapdoor& td,
     }
     return sample[pos] == 1;
   };
+  // Batched counterpart: resolves every unknown position of `want` in one
+  // round trip. Samples are drawn at enqueue time in `want` order.
+  auto ensure = [&](std::span<const size_t> want) {
+    std::vector<std::pair<size_t, size_t>> lanes;  // (pos, lane)
+    for (size_t pos : want) {
+      if (sample[pos] >= 0) continue;
+      bool queued = false;
+      for (const auto& l : lanes) queued = queued || l.first == pos;
+      if (queued) continue;
+      metrics.probes->Add(1);
+      lanes.emplace_back(pos,
+                         probe_round.Add(td, SamplePartition(pop, pos, &rng),
+                                         static_cast<int>(pos)));
+    }
+    if (lanes.empty()) return;
+    probe_round.Flush();
+    for (const auto& [pos, lane] : lanes) {
+      sample[pos] = probe_round.ResultOf(lane) ? 1 : 0;
+    }
+  };
 
   // ---- Phase 1: hunt for a positive anchor among partition samples. ----
+  // The batched hunt probes m−1 positions per round; the anchor is still the
+  // first positive in shuffle order, the overshoot stays cached.
   std::vector<size_t> order(k);
   for (size_t i = 0; i < k; ++i) order[i] = i;
   rng.Shuffle(&order);
   size_t anchor = k;  // k = not found
-  for (size_t pos : order) {
-    if (probe(pos)) {
-      anchor = pos;
-      break;
+  if (sequential) {
+    for (size_t pos : order) {
+      if (probe(pos)) {
+        anchor = pos;
+        break;
+      }
+    }
+  } else {
+    const size_t chunk = sched.fanout < 2 ? 1 : sched.fanout - 1;
+    for (size_t i = 0; i < k && anchor == k; i += chunk) {
+      const size_t end = std::min(k, i + chunk);
+      ensure(std::span<const size_t>(order).subspan(i, end - i));
+      for (size_t j = i; j < end && anchor == k; ++j) {
+        if (sample[order[j]] == 1) anchor = order[j];
+      }
     }
   }
 
@@ -95,10 +139,11 @@ std::vector<TupleId> PrkbIndex::SelectBetween(const Trapdoor& td,
     // Exceptional fallback: no positive sample anywhere. The band may still
     // hide inside partitions whose sample came back 0 — scan everything.
     for (size_t p = 0; p < k; ++p) scan_positions.push_back(p);
-  } else {
-    // ---- Phase 2: binary search both ends of the T band. ----
-    // Low end: smallest position whose partition contains a T is in
-    // {a, a+1} where label(a)=F, label(a+1)=T (or {0} if position 0 is T).
+  } else if (sequential) {
+    // ---- Phase 2 (paper-literal): binary search both ends of the T band,
+    // one blocking probe at a time. Low end: smallest position whose
+    // partition contains a T is in {a, a+1} where label(a)=F, label(a+1)=T
+    // (or {0} if position 0 is T).
     size_t low_hi;  // positive side of the low search
     if (probe(0)) {
       scan_positions.push_back(0);
@@ -141,7 +186,69 @@ std::vector<TupleId> PrkbIndex::SelectBetween(const Trapdoor& td,
     // strictly inside [ta, tb]).
     middle_begin = low_hi + 1;
     middle_end = high_lo;  // exclusive
+  } else {
+    // ---- Phase 2 (scheduled): both chain ends share one round, then the
+    // two end FlipSearches run m-ary — fused into common rounds when
+    // sched.fuse is set, back-to-back otherwise. Same band, same scan set.
+    {
+      const size_t ends[2] = {0, k - 1};
+      ensure(std::span<const size_t>(ends, k > 1 ? 2 : 1));
+    }
+    std::optional<FlipSearch> low, high;
+    size_t low_hi = 0, high_lo = 0;
+    if (sample[0] == 1) {
+      scan_positions.push_back(0);
+      low_hi = 0;
+    } else {
+      low.emplace(0, anchor, /*label_a=*/false, sched.fanout);
+    }
+    if (sample[k - 1] == 1) {
+      scan_positions.push_back(k - 1);
+      high_lo = k - 1;
+    } else {
+      high.emplace(anchor, k - 1, /*label_a=*/true, sched.fanout);
+    }
+
+    std::vector<size_t> lpiv, hpiv, batch;
+    std::vector<uint8_t> labels;
+    auto absorb = [&](FlipSearch* fs, const std::vector<size_t>& piv) {
+      labels.clear();
+      for (size_t pos : piv) labels.push_back(sample[pos] == 1 ? 1 : 0);
+      fs->Absorb(piv, labels);
+    };
+    while ((low && !low->done()) || (high && !high->done())) {
+      lpiv.clear();
+      hpiv.clear();
+      batch.clear();
+      const bool low_active = low && !low->done();
+      if (low_active) low->Pivots(&lpiv);
+      // Without fusion the high search waits until the low one finishes.
+      if (high && !high->done() && (sched.fuse || !low_active)) {
+        high->Pivots(&hpiv);
+      }
+      batch.insert(batch.end(), lpiv.begin(), lpiv.end());
+      batch.insert(batch.end(), hpiv.begin(), hpiv.end());
+      ensure(batch);
+      if (!lpiv.empty()) absorb(&*low, lpiv);
+      if (!hpiv.empty()) absorb(&*high, hpiv);
+    }
+
+    if (low) {
+      scan_positions.push_back(low->a());
+      scan_positions.push_back(low->b());
+      low_hi = low->b();
+    }
+    if (high) {
+      scan_positions.push_back(high->a());
+      scan_positions.push_back(high->b());
+      high_lo = high->a();
+    }
+    middle_begin = low_hi + 1;
+    middle_end = high_lo;  // exclusive
   }
+  // Every round trip so far was a sample probe; the executor splits per-node
+  // transport cost with this counter (the rest of the trips are scans).
+  metrics.probe_trips->Add(db_->round_trips() - trips_before);
 
   std::sort(scan_positions.begin(), scan_positions.end());
   scan_positions.erase(

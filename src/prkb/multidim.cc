@@ -146,15 +146,20 @@ int8_t ClassifyTuple(const PredCtx& pc, TupleId tid) {
 }  // namespace
 
 std::vector<TupleId> PrkbIndex::RunMd(
-    const std::vector<const Trapdoor*>& tds) {
+    const std::vector<const Trapdoor*>& tds, const ProbeSchedOptions& sched) {
   assert(!tds.empty());
   const obs::ObsTracer::Span span("md.select");
   const MdMetrics& metrics = MdMetrics::Get();
   metrics.invocations->Add(1);
 
   // ---- Step 1: QFilter every trapdoor; classify partitions. ----
+  // The fast-path consult runs first so only cache-missing dimensions filter;
+  // those filters then share probe rounds (FusedQFilters) — d dimensions pay
+  // the max, not the sum, of their search round trips.
   Rng rng = OpRng();
   std::vector<PredCtx> preds(tds.size());
+  std::vector<size_t> filtered;
+  std::vector<FusedFilterReq> filter_reqs;
   for (size_t i = 0; i < tds.size(); ++i) {
     PredCtx& pc = preds[i];
     pc.td = tds[i];
@@ -178,8 +183,18 @@ std::vector<TupleId> PrkbIndex::RunMd(
       }
       CacheMetrics::Get().misses->Add(1);
     }
-    pc.filter = QFilter(*pc.pop, *tds[i], db_, &rng);
-
+    filtered.push_back(i);
+    filter_reqs.push_back(FusedFilterReq{pc.pop, tds[i], &pc.filter});
+  }
+  if (options_.sequential_probes) {
+    for (const FusedFilterReq& req : filter_reqs) {
+      *req.out = QFilter(*req.pop, *req.td, db_, &rng);
+    }
+  } else {
+    FusedQFilters(filter_reqs, db_, &rng, sched);
+  }
+  for (size_t i : filtered) {
+    PredCtx& pc = preds[i];
     const size_t k = pc.pop->k();
     pc.ns[0].pid = pc.pop->pid_at(pc.filter.ns_a);
     pc.ns_count = 1;

@@ -13,19 +13,32 @@ namespace {
 struct QFilterMetrics {
   obs::Counter* invocations;
   obs::Counter* probes;
+  obs::Counter* rounds;
   obs::LatencyHistogram* chain_k;
   obs::LatencyHistogram* probes_per_call;
+  obs::LatencyHistogram* rounds_per_call;
 
   static const QFilterMetrics& Get() {
     static const QFilterMetrics m = {
         obs::MetricsRegistry::Global().GetCounter("qfilter.invocations"),
         obs::MetricsRegistry::Global().GetCounter("qfilter.probes"),
+        obs::MetricsRegistry::Global().GetCounter("qfilter.rounds"),
         obs::MetricsRegistry::Global().GetHistogram("qfilter.chain_k"),
         obs::MetricsRegistry::Global().GetHistogram("qfilter.probes_per_call"),
+        obs::MetricsRegistry::Global().GetHistogram("qfilter.rounds_per_call"),
     };
     return m;
   }
 };
+
+/// The sequential path ships every probe on its own round trip, so its
+/// round count equals its probe count.
+void RecordCall(const QFilterMetrics& metrics, uint64_t probes) {
+  metrics.probes->Add(probes);
+  metrics.probes_per_call->Record(probes);
+  metrics.rounds->Add(probes);
+  metrics.rounds_per_call->Record(probes);
+}
 
 }  // namespace
 
@@ -55,8 +68,7 @@ QFilterResult QFilter(const Pop& pop, const edbms::Trapdoor& td,
     out.boundary_case = true;
     const bool label = probe(0);
     out.label_first = out.label_last = label;
-    metrics.probes->Add(probes);
-    metrics.probes_per_call->Record(probes);
+    RecordCall(metrics, probes);
     return out;
   }
 
@@ -75,8 +87,7 @@ QFilterResult QFilter(const Pop& pop, const edbms::Trapdoor& td,
       out.win_begin = 1;
       out.win_end = k - 1;
     }
-    metrics.probes->Add(probes);
-    metrics.probes_per_call->Record(probes);
+    RecordCall(metrics, probes);
     return out;
   }
 
@@ -106,8 +117,7 @@ QFilterResult QFilter(const Pop& pop, const edbms::Trapdoor& td,
     out.win_begin = b + 1;
     out.win_end = k;
   }
-  metrics.probes->Add(probes);
-  metrics.probes_per_call->Record(probes);
+  RecordCall(metrics, probes);
   return out;
 }
 

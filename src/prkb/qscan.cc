@@ -1,6 +1,7 @@
 #include "prkb/qscan.h"
 
 #include <cassert>
+#include <span>
 
 #include "obs/metrics.h"
 #include "obs/trace.h"
@@ -36,13 +37,31 @@ void ScanPartitionExact(const Pop& pop, size_t pos, const edbms::Trapdoor& td,
                         edbms::QpfOracle* qpf,
                         const edbms::BatchPolicy& policy,
                         std::vector<edbms::TupleId>* true_out,
-                        std::vector<edbms::TupleId>* false_out) {
+                        std::vector<edbms::TupleId>* false_out,
+                        PrepaidScan* prepaid) {
   const std::vector<edbms::TupleId>& members = pop.members_at(pos);
   const QScanMetrics& metrics = QScanMetrics::Get();
   metrics.partitions_scanned->Add(1);
   metrics.tuples_scanned->Add(members.size());
+  // Consume speculatively prefetched outcomes: they cover a member-order
+  // prefix, so the appended bits are identical to a fresh scan's.
+  size_t start = 0;
+  if (prepaid != nullptr) {
+    const auto it = prepaid->by_pos.find(pos);
+    if (it != prepaid->by_pos.end()) {
+      for (const PrepaidScan::Outcome& o : it->second) {
+        if (start >= members.size() || members[start] != o.tid) break;
+        (o.output ? true_out : false_out)->push_back(o.tid);
+        ++start;
+        ++prepaid->consumed;
+      }
+    }
+  }
+  const std::span<const edbms::TupleId> rest =
+      std::span<const edbms::TupleId>(members).subspan(start);
+  if (rest.empty()) return;
   if (!policy.batched() && !policy.parallel()) {
-    for (edbms::TupleId tid : members) {
+    for (edbms::TupleId tid : rest) {
       if (qpf->Eval(td, tid)) {
         true_out->push_back(tid);
       } else {
@@ -51,15 +70,15 @@ void ScanPartitionExact(const Pop& pop, size_t pos, const edbms::Trapdoor& td,
     }
     return;
   }
-  const std::vector<uint8_t> hit = ScanTuples(qpf, td, members, policy);
-  for (size_t i = 0; i < members.size(); ++i) {
-    (hit[i] ? true_out : false_out)->push_back(members[i]);
+  const std::vector<uint8_t> hit = ScanTuples(qpf, td, rest, policy);
+  for (size_t i = 0; i < rest.size(); ++i) {
+    (hit[i] ? true_out : false_out)->push_back(rest[i]);
   }
 }
 
 QScanResult QScan(const Pop& pop, const QFilterResult& filter,
                   const edbms::Trapdoor& td, edbms::QpfOracle* qpf,
-                  const edbms::BatchPolicy& policy) {
+                  const edbms::BatchPolicy& policy, PrepaidScan* prepaid) {
   const obs::ObsTracer::Span span("qscan.ns_pair");
   const QScanMetrics& metrics = QScanMetrics::Get();
   metrics.invocations->Add(1);
@@ -67,7 +86,8 @@ QScanResult QScan(const Pop& pop, const QFilterResult& filter,
 
   // ---- First scan Pa (line 2) ----
   std::vector<edbms::TupleId> a_true, a_false;
-  ScanPartitionExact(pop, filter.ns_a, td, qpf, policy, &a_true, &a_false);
+  ScanPartitionExact(pop, filter.ns_a, td, qpf, policy, &a_true, &a_false,
+                     prepaid);
   out.winners = a_true;
 
   const bool a_mixed = !a_true.empty() && !a_false.empty();
@@ -94,7 +114,8 @@ QScanResult QScan(const Pop& pop, const QFilterResult& filter,
   if (filter.ns_b == filter.ns_a) return out;
 
   std::vector<edbms::TupleId> b_true, b_false;
-  ScanPartitionExact(pop, filter.ns_b, td, qpf, policy, &b_true, &b_false);
+  ScanPartitionExact(pop, filter.ns_b, td, qpf, policy, &b_true, &b_false,
+                     prepaid);
   out.scanned_b = true;
   out.winners.insert(out.winners.end(), b_true.begin(), b_true.end());
 

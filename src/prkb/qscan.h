@@ -6,6 +6,7 @@
 #include "edbms/batch_scan.h"
 #include "edbms/qpf.h"
 #include "prkb/pop.h"
+#include "prkb/probe_sched.h"
 #include "prkb/qfilter.h"
 
 namespace prkb::core {
@@ -44,9 +45,14 @@ struct QScanResult {
 /// still scanned exhaustively and the early stop between the two partitions
 /// is unchanged, so results and QPF-use counts are identical to the scalar
 /// path for every policy.
+///
+/// `prepaid` (optional) holds Θ outcomes the probe scheduler prefetched in
+/// the final QFilter round; matching member-order prefixes are consumed
+/// instead of re-evaluated, so the bits and their order are unchanged.
 QScanResult QScan(const Pop& pop, const QFilterResult& filter,
                   const edbms::Trapdoor& td, edbms::QpfOracle* qpf,
-                  const edbms::BatchPolicy& policy = {});
+                  const edbms::BatchPolicy& policy = {},
+                  PrepaidScan* prepaid = nullptr);
 
 /// Exhaustively tests every tuple of the partition at chain position `pos`,
 /// appending satisfied tuples to `true_out` and the rest to `false_out` in
@@ -55,7 +61,8 @@ void ScanPartitionExact(const Pop& pop, size_t pos, const edbms::Trapdoor& td,
                         edbms::QpfOracle* qpf,
                         const edbms::BatchPolicy& policy,
                         std::vector<edbms::TupleId>* true_out,
-                        std::vector<edbms::TupleId>* false_out);
+                        std::vector<edbms::TupleId>* false_out,
+                        PrepaidScan* prepaid = nullptr);
 
 }  // namespace prkb::core
 

@@ -11,6 +11,7 @@
 #include "edbms/service_provider.h"
 #include "obs/metrics.h"
 #include "prkb/pop.h"
+#include "prkb/probe_sched.h"
 #include "prkb/qfilter.h"
 #include "prkb/qscan.h"
 
@@ -43,9 +44,36 @@ struct PrkbOptions {
   /// chain alone — zero QPF uses, no probes, no split. `false` restores the
   /// always-probe behaviour (ablation / the paper's literal algorithms).
   bool fast_path = true;
+  /// m for the batched probe scheduler (DESIGN.md §11): every search round
+  /// evaluates up to m−1 pivot samples in one round trip, cutting the
+  /// ~lg k serial probe trips to ~log_m k for ≤ (m−1)/lg m× more QPF uses.
+  size_t probe_fanout = 8;
+  /// Fuse concurrent searches (BETWEEN's two end-searches, PRKB(MD)'s
+  /// per-dimension filters) into shared probe rounds.
+  bool probe_fusion = true;
+  /// Let the first QScan chunk of the candidate NS partitions ride in the
+  /// final QFilter round once the surviving interval is ≤ 2 partitions.
+  bool speculative_scan = true;
+  /// Ablation / paper-literal mode: bypass the scheduler entirely and issue
+  /// every probe as its own blocking scalar round trip (the pre-scheduler
+  /// sequential binary search). Overrides the three knobs above.
+  bool sequential_probes = false;
+  /// Planner hint: expected per-round-trip transport latency, in ns. 0
+  /// keeps the paper's pure QPF-use costing; > 0 makes the planner price
+  /// routes as round_trips × latency + evals × unit_cost and pick m.
+  double rt_latency_hint_ns = 0.0;
 
   edbms::BatchPolicy scan_policy() const {
     return edbms::BatchPolicy{batch_size, scan_workers};
+  }
+
+  ProbeSchedOptions sched() const {
+    ProbeSchedOptions o;
+    o.fanout = probe_fanout < 2 ? 2 : probe_fanout;
+    o.fuse = probe_fusion;
+    o.speculative = speculative_scan;
+    o.spec_chunk = batch_size < 1 ? 1 : batch_size;
+    return o;
   }
 };
 
@@ -140,15 +168,18 @@ class PrkbIndex {
   friend class exec::Executor;
 
   /// Appendix A driver for BETWEEN trapdoors (between.cc). `fp` non-null
-  /// caches the resulting cut pair (if both ends split).
+  /// caches the resulting cut pair (if both ends split). `sched` carries the
+  /// probe-scheduler knobs (the planner may override m per route).
   std::vector<edbms::TupleId> SelectBetween(const edbms::Trapdoor& td,
-                                            const TrapdoorFp* fp);
+                                            const TrapdoorFp* fp,
+                                            const ProbeSchedOptions& sched);
   /// Places an already-stored tuple into the chain of `attr` (update.cc).
   void PlaceTuple(edbms::AttrId attr, edbms::TupleId tid);
 
   /// PRKB(MD) implementation detail (multidim.cc).
   std::vector<edbms::TupleId> RunMd(
-      const std::vector<const edbms::Trapdoor*>& tds);
+      const std::vector<const edbms::Trapdoor*>& tds,
+      const ProbeSchedOptions& sched);
 
   /// Per-operation sampling RNG: seeded from the shared seed and an atomic
   /// sequence number, so concurrent shared-lock readers never contend on RNG

@@ -150,64 +150,138 @@ void PrkbIndex::PlaceTuple(edbms::AttrId attr, TupleId tid) {
   // pay the backend twice for the same predicate.
   std::unordered_map<TrapdoorFp, bool, TrapdoorFpHash> memo;
 
-  // Greedy binary search: repeatedly evaluate the cut minimising the
-  // worst-case surviving candidate count (≈ ⌈lg k⌉ QPF uses, Sec. 7.1).
+  // Nearest usable comparison cut to `target`, constrained to (b, e] so it
+  // properly splits the interval [b, e]. Ties go to the upper cut.
+  auto nearest_cmp = [&cmp_by_pos](size_t b, size_t e,
+                                   size_t target) -> const CutRegion* {
+    auto it = std::lower_bound(
+        cmp_by_pos.begin(), cmp_by_pos.end(), target,
+        [](const auto& pr, size_t m) { return pr.first < m; });
+    const CutRegion* cut_up =
+        (it != cmp_by_pos.end() && it->first <= e) ? it->second : nullptr;
+    const CutRegion* cut_down =
+        (it != cmp_by_pos.begin() && std::prev(it)->first > b)
+            ? std::prev(it)->second
+            : nullptr;
+    if (cut_up != nullptr && cut_down != nullptr) {
+      return (it->first - target <= target - std::prev(it)->first) ? cut_up
+                                                                   : cut_down;
+    }
+    return cut_up != nullptr ? cut_up : cut_down;
+  };
+
+  // Greedy search, batched: each round picks up to m−1 cuts — the quantile
+  // cuts of a single surviving interval, or the best worst-case separators
+  // in general — and evaluates them in one QPF round trip, cutting the
+  // ~⌈lg k⌉ serial trips of Sec. 7.1 to ~⌈log_m k⌉. m = 2 (and the
+  // sequential-probes ablation) reproduce the paper's one-cut-per-trip
+  // binary placement exactly.
+  const bool sequential = options_.sequential_probes;
+  const size_t fanout =
+      sequential ? 2 : (options_.probe_fanout < 2 ? 2 : options_.probe_fanout);
+  const size_t npicks = sequential ? 1 : fanout - 1;
+  ProbeRound probe_round(db_);
+  std::vector<const CutRegion*> picks;
   while (Total(cand) > 1) {
-    const CutRegion* best = nullptr;
+    picks.clear();
 
     if (cand.size() == 1) {
-      // Fast path: pick the comparison cut nearest the interval midpoint,
-      // i.e. a position in (b, e] closest to (b + e + 1) / 2.
+      // Fast path: comparison cuts nearest the m-quantiles of [b, e] (the
+      // single midpoint when m = 2), each found by binary search.
       const size_t b = cand[0].b, e = cand[0].e;
-      const size_t mid = (b + e + 1) / 2;
-      auto it = std::lower_bound(
-          cmp_by_pos.begin(), cmp_by_pos.end(), mid,
-          [](const auto& pr, size_t m) { return pr.first < m; });
-      const CutRegion* cut_up =
-          (it != cmp_by_pos.end() && it->first <= e) ? it->second : nullptr;
-      const CutRegion* cut_down =
-          (it != cmp_by_pos.begin() && std::prev(it)->first > b)
-              ? std::prev(it)->second
-              : nullptr;
-      if (cut_up != nullptr && cut_down != nullptr) {
-        best = (it->first - mid <= mid - std::prev(it)->first) ? cut_up
-                                                               : cut_down;
-      } else {
-        best = cut_up != nullptr ? cut_up : cut_down;
-      }
-    }
-    if (best == nullptr) {
-      // General path: any usable cut (including BETWEEN pairs) minimising
-      // the worst-case surviving count.
-      const size_t total = Total(cand);
-      size_t best_worst = total;
-      for (const CutRegion& r : regions) {
-        const size_t in_region = CountClip(cand, r.region_b, r.region_e);
-        const size_t worst = std::max(in_region, total - in_region);
-        if (worst < best_worst) {
-          best_worst = worst;
-          best = &r;
+      const size_t width = e - b + 1;
+      for (size_t j = 1; j < fanout && picks.size() < npicks; ++j) {
+        const size_t off = j * width / fanout;
+        if (off == 0) continue;  // degenerate quantile; a later j covers it
+        const CutRegion* r = nearest_cmp(b, e, b + off);
+        if (r == nullptr) continue;
+        if (std::find(picks.begin(), picks.end(), r) == picks.end()) {
+          picks.push_back(r);
         }
       }
     }
-    if (best == nullptr) break;  // no cut can narrow further
+    if (picks.empty()) {
+      // General path: any usable cuts (including BETWEEN pairs) minimising
+      // the worst-case surviving count; only proper separators qualify.
+      const size_t total = Total(cand);
+      std::vector<std::pair<size_t, const CutRegion*>> scored;
+      for (const CutRegion& r : regions) {
+        const size_t in_region = CountClip(cand, r.region_b, r.region_e);
+        const size_t worst = std::max(in_region, total - in_region);
+        if (worst < total) scored.emplace_back(worst, &r);
+      }
+      std::stable_sort(
+          scored.begin(), scored.end(),
+          [](const auto& x, const auto& y) { return x.first < y.first; });
+      for (const auto& [worst, r] : scored) {
+        (void)worst;
+        if (picks.size() >= npicks) break;
+        picks.push_back(r);
+      }
+    }
+    if (picks.empty()) break;  // no cut can narrow further
 
-    bool output;
-    if (const auto it = memo.find(best->cut->fp);
-        options_.fast_path && it != memo.end()) {
-      UpdateMetrics::Get().memo_hits->Add(1);
-      output = it->second;
-    } else {
-      UpdateMetrics::Get().evals->Add(1);
-      output = db_->Eval(best->cut->trapdoor, tid);
-      memo.emplace(best->cut->fp, output);
+    if (sequential) {
+      // Paper-literal placement: one cut, one blocking scalar round trip.
+      const CutRegion* best = picks[0];
+      bool output;
+      if (const auto it = memo.find(best->cut->fp);
+          options_.fast_path && it != memo.end()) {
+        UpdateMetrics::Get().memo_hits->Add(1);
+        output = it->second;
+      } else {
+        UpdateMetrics::Get().evals->Add(1);
+        output = db_->Eval(best->cut->trapdoor, tid);
+        memo.emplace(best->cut->fp, output);
+      }
+      if (output == best->label_for_region) {
+        cand = Clip(cand, best->region_b, best->region_e);
+      } else {
+        cand = ClipComplement(cand, best->region_b, best->region_e, k);
+      }
+      assert(!cand.empty());
+      continue;
     }
-    if (output == best->label_for_region) {
-      cand = Clip(cand, best->region_b, best->region_e);
-    } else {
-      cand = ClipComplement(cand, best->region_b, best->region_e, k);
+
+    // Batched round: resolve memoised cuts for free, dedupe the rest by
+    // trapdoor fingerprint (sibling/fragmented cuts share one lane) and ship
+    // every remaining Θ in a single round trip.
+    struct Decision {
+      const CutRegion* r;
+      bool memoized;
+      bool value;   // when memoized
+      size_t lane;  // when not
+    };
+    std::vector<Decision> decisions;
+    std::unordered_map<TrapdoorFp, size_t, TrapdoorFpHash> lane_by_fp;
+    for (const CutRegion* r : picks) {
+      if (const auto it = memo.find(r->cut->fp);
+          options_.fast_path && it != memo.end()) {
+        UpdateMetrics::Get().memo_hits->Add(1);
+        decisions.push_back(Decision{r, true, it->second, 0});
+        continue;
+      }
+      const auto [lit, inserted] = lane_by_fp.try_emplace(r->cut->fp, 0);
+      if (inserted) {
+        lit->second = probe_round.Add(r->cut->trapdoor, tid);
+        UpdateMetrics::Get().evals->Add(1);
+      }
+      decisions.push_back(Decision{r, false, false, lit->second});
     }
-    assert(!cand.empty());
+    probe_round.Flush();
+    for (const Decision& d : decisions) {
+      const bool output = d.memoized ? d.value : probe_round.ResultOf(d.lane);
+      if (!d.memoized) memo.emplace(d.r->cut->fp, output);
+      // Every outcome is ground truth about the tuple, so applying the
+      // whole round keeps the true position in `cand` (later cuts may
+      // simply stop narrowing).
+      if (output == d.r->label_for_region) {
+        cand = Clip(cand, d.r->region_b, d.r->region_e);
+      } else {
+        cand = ClipComplement(cand, d.r->region_b, d.r->region_e, k);
+      }
+      assert(!cand.empty());
+    }
   }
 
   if (Total(cand) == 1) {

@@ -1,8 +1,10 @@
 #include "query/planner.h"
 
 #include <limits>
+#include <utility>
 
 #include "exec/executor.h"
+#include "prkb/selection.h"
 #include "query/parser.h"
 
 namespace prkb::query {
@@ -131,6 +133,48 @@ bool CollapseGroup(const AttrGroup& group, CollapsedPred* out) {
   return true;
 }
 
+/// Scheduler fanouts worth trying for one route. Without a transport-latency
+/// hint the ranking is pure QPF uses, which m only inflates — keep the index
+/// default (0). With a hint, search the calibrated grid and let PriceNs
+/// trade probe inflation against trip savings per route.
+std::vector<size_t> CandidateFanouts(const core::PrkbOptions& options) {
+  if (options.sequential_probes || options.rt_latency_hint_ns <= 0.0) {
+    return {0};
+  }
+  return {2, 4, 8, 16};
+}
+
+using BuildFn = void (*)(const core::PrkbIndex&, exec::Plan*, bool);
+
+/// Builds `build`'s route once per candidate m and keeps the cheapest by
+/// PriceNs. The winning plan carries its m in Plan::probe_fanout, which the
+/// executor threads into the probe scheduler.
+exec::Plan BuildBestPlan(const core::PrkbIndex& index,
+                         const std::vector<Trapdoor>& tds, BuildFn build) {
+  exec::Plan best;
+  double best_price = std::numeric_limits<double>::infinity();
+  for (size_t m : CandidateFanouts(index.options())) {
+    exec::Plan plan;
+    std::vector<Trapdoor> copy = tds;
+    plan.AdoptTrapdoors(std::move(copy));
+    plan.probe_fanout = m;
+    build(index, &plan, /*estimate=*/true);
+    const double price = exec::PriceNs(plan.root.estimated,
+                                       exec::ConstantsFor(index.options(), m));
+    if (price < best_price) {
+      best_price = price;
+      best = std::move(plan);
+    }
+  }
+  return best;
+}
+
+/// The winning plan's wall-clock price, for cross-route comparison.
+double PlanPrice(const core::PrkbIndex& index, const exec::Plan& plan) {
+  return exec::PriceNs(plan.root.estimated,
+                       exec::ConstantsFor(index.options(), plan.probe_fanout));
+}
+
 void AttachDetail(exec::PlanNode* node, const std::string& desc) {
   node->detail = node->detail.empty() ? desc : desc + "; " + node->detail;
 }
@@ -228,27 +272,20 @@ Result<ExecutionResult> Planner::Execute(const SelectStatement& stmt) {
   }
 
   if (tds.size() == 1) {
-    out.physical.AdoptTrapdoors(std::move(tds));
-    exec::BuildSingleSelectPlan(*index_, &out.physical, /*estimate=*/true);
+    out.physical = BuildBestPlan(*index_, tds, exec::BuildSingleSelectPlan);
     AnnotatePlan(&out.physical, preds);
     return finish();
   }
 
-  // SP role: enumerate the multi-predicate routes and keep the cheapest
-  // estimate. SD+ always applies; the MD grid additionally requires
-  // comparisons-only over enabled attributes. Ties go to MD (Sec. 6).
-  exec::Plan sd_plan;
-  {
-    std::vector<Trapdoor> copy = tds;
-    sd_plan.AdoptTrapdoors(std::move(copy));
-  }
-  exec::BuildSdPlusPlan(*index_, &sd_plan, /*estimate=*/true);
+  // SP role: enumerate the multi-predicate routes (each already carrying its
+  // best scheduler m) and keep the cheapest by PriceNs — with no latency
+  // hint this degenerates to the paper's pure QPF-use ranking. SD+ always
+  // applies; the MD grid additionally requires comparisons-only over enabled
+  // attributes. Ties go to MD (Sec. 6).
+  exec::Plan sd_plan = BuildBestPlan(*index_, tds, exec::BuildSdPlusPlan);
   if (md_capable) {
-    exec::Plan md_plan;
-    md_plan.AdoptTrapdoors(std::move(tds));
-    exec::BuildMdGridPlan(*index_, &md_plan, /*estimate=*/true);
-    out.physical = md_plan.root.estimated.Total() <=
-                           sd_plan.root.estimated.Total()
+    exec::Plan md_plan = BuildBestPlan(*index_, tds, exec::BuildMdGridPlan);
+    out.physical = PlanPrice(*index_, md_plan) <= PlanPrice(*index_, sd_plan)
                        ? std::move(md_plan)
                        : std::move(sd_plan);
   } else {

@@ -151,8 +151,14 @@ void RunDifferentialWorkload(size_t batch_size, size_t workers) {
   // plaintext oracle stays the ground truth for the whole run.
   PlainTable plain = RandomTable(500, 2, &data_rng, 0, 2000);
 
+  // Probes stay sequential on both sides: this suite pins the *scan* batch
+  // pipeline against the scalar model, and the probe scheduler (a separate
+  // axis, differential-tested in probe_sched_test.cc) would otherwise add
+  // batch-size-dependent speculative prefetches to the QPF spend.
   PrkbOptions scalar_opts;
+  scalar_opts.sequential_probes = true;
   PrkbOptions batched_opts;
+  batched_opts.sequential_probes = true;
   batched_opts.batch_size = batch_size;
   batched_opts.scan_workers = workers;
   Workbench ref(plain, scalar_opts);

@@ -98,7 +98,7 @@ TEST(PlanRenderTest, ShowsEstimatesAndActuals) {
   plan.summary = "prkb-sd";
   plan.root = PlanNode(PlanOp::kPredicateSelect, 3, 0);
   plan.root.detail = "temp < 60";
-  plan.root.estimated = CostEstimate{6.0, 150.0};
+  plan.root.estimated = CostEstimate{6.0, 150.0, 155.0};
   plan.root.has_estimate = true;
   PlanNode probe(PlanOp::kQFilterProbe, 3, 0);
   probe.actual.executed = true;
@@ -113,7 +113,8 @@ TEST(PlanRenderTest, ShowsEstimatesAndActuals) {
   const std::string out = plan.Render();
   EXPECT_NE(out.find("plan: prkb-sd"), std::string::npos);
   EXPECT_NE(out.find("PredicateSelect attr=3 [temp < 60]"), std::string::npos);
-  EXPECT_NE(out.find("(est 6.0 probes + 150.0 scans)"), std::string::npos);
+  EXPECT_NE(out.find("(est 6.0 probes + 150.0 scans, 155.0 trips)"),
+            std::string::npos);
   EXPECT_NE(out.find("  QFilterProbe attr=3  (actual 7 qpf, 7 round trips)"),
             std::string::npos);
   EXPECT_NE(out.find("(actual cache hit, 0 qpf)"), std::string::npos);
@@ -285,6 +286,49 @@ TEST(RouteChoiceTest, CollapsedBoxNoSlowerThanOldFixedMdRouteWhenCold) {
   EXPECT_LE(bt_uses, md_uses) << "collapsed SD+ box spent more QPF ("
                               << bt_uses << ") than the old MD route ("
                               << md_uses << ")";
+}
+
+TEST(RouteChoiceTest, LatencyHintMakesThePlannerPickAWideFanout) {
+  // With a transport-latency hint the planner prices each route at every
+  // candidate fanout and keeps the cheapest PriceNs; at 1ms per round trip
+  // a developed chain must pick m > 2 (round trips dominate), the plan must
+  // render its choice, and executing it must return the exact rows. With
+  // no hint the ranking is pure QPF uses and the fanout stays the index
+  // default (probe_fanout = 0 on the plan).
+  Rng rng(41);
+  const PlainTable plain = testutil::RandomTable(600, 2, &rng, 0, 2000);
+
+  query::Catalog catalog;
+  catalog.RegisterTable("t", {"c0", "c1"});
+
+  for (const bool hinted : {false, true}) {
+    SCOPED_TRACE(::testing::Message() << "hinted=" << hinted);
+    CipherbaseEdbms db = CipherbaseEdbms::FromPlainTable(11, plain);
+    core::PrkbOptions opts;
+    if (hinted) opts.rt_latency_hint_ns = 1e6;
+    core::PrkbIndex index(&db, opts);
+    index.EnableAttr(0);
+    for (int i = 1; i <= 8; ++i) {
+      index.Select(db.MakeComparison(0, CompareOp::kLt, i * 240));
+    }
+
+    query::Planner planner(&catalog, &db, &index);
+    const auto result = planner.ExecuteSql("SELECT * FROM t WHERE c0 < 900");
+    ASSERT_TRUE(result.ok()) << result.status().message();
+    const PlainPredicate p{0, edbms::PredicateKind::kComparison,
+                           CompareOp::kLt, 900, 0};
+    EXPECT_EQ(Sorted(result->rows),
+              OracleSelectAll(plain, {p}, &db));
+    if (hinted) {
+      EXPECT_GT(result->physical.probe_fanout, 2u);
+      EXPECT_NE(result->Explain().find(" m="), std::string::npos)
+          << result->Explain();
+    } else {
+      EXPECT_EQ(result->physical.probe_fanout, 0u);
+      EXPECT_EQ(result->Explain().find(" m="), std::string::npos)
+          << result->Explain();
+    }
+  }
 }
 
 }  // namespace

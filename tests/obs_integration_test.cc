@@ -1,7 +1,8 @@
 // Integration tests tying the obs registry to the paper-level accounting:
-// on a comparison-only workload, every QPF use a selection pays is either a
-// QFilter probe or a QScan partition-member evaluation, so the registry's
-// per-mechanism counters must reconcile exactly with SelectionStats.qpf_uses
+// on a comparison-only workload, every QPF use a selection pays is a QFilter
+// probe, a QScan partition-member evaluation, or a wasted speculative
+// prefetch, so the registry's per-mechanism counters must reconcile exactly
+// with SelectionStats.qpf_uses
 // — both on a live run and on a transcript replay. Also the regression test
 // for SelectionStats reuse across operations (StatsScope must overwrite
 // every field).
@@ -34,6 +35,7 @@ struct ObsReading {
   uint64_t qfilter_probes;
   uint64_t qscan_tuples;
   uint64_t qfilter_invocations;
+  uint64_t spec_waste;
 
   static ObsReading Now() {
     auto& reg = obs::MetricsRegistry::Global();
@@ -41,6 +43,7 @@ struct ObsReading {
         reg.GetCounter("qfilter.probes")->value(),
         reg.GetCounter("qscan.tuples_scanned")->value(),
         reg.GetCounter("qfilter.invocations")->value(),
+        reg.GetCounter("probe_sched.speculative_waste")->value(),
     };
   }
 };
@@ -67,9 +70,13 @@ TEST(ObsIntegrationTest, ProbeAndScanCountersReconcileWithSelectionStats) {
   const ObsReading after = ObsReading::Now();
 
   // Comparison selections on an enabled attribute spend QPF uses in exactly
-  // two places: QFilter sampling probes and QScan NS-partition scans.
+  // three places: QFilter sampling probes, QScan NS-partition scans (the
+  // tuples counter covers scheduler-prefetched outcomes QScan consumed
+  // instead of re-paying), and prefetches QScan never asked for (the
+  // speculation's waste).
   EXPECT_EQ((after.qfilter_probes - before.qfilter_probes) +
-                (after.qscan_tuples - before.qscan_tuples),
+                (after.qscan_tuples - before.qscan_tuples) +
+                (after.spec_waste - before.spec_waste),
             stats_uses);
   EXPECT_EQ(after.qfilter_invocations - before.qfilter_invocations, 120u);
 }
@@ -115,7 +122,8 @@ TEST(ObsIntegrationTest, ReplayedWorkloadReconcilesTheSameWay) {
 
   EXPECT_EQ(replay.misses(), 0u);
   EXPECT_EQ((after.qfilter_probes - before.qfilter_probes) +
-                (after.qscan_tuples - before.qscan_tuples),
+                (after.qscan_tuples - before.qscan_tuples) +
+                (after.spec_waste - before.spec_waste),
             stats_uses);
 }
 
@@ -139,15 +147,26 @@ TEST(ObsIntegrationTest, ProbesPerCallRespectsLgKBound) {
     const auto p = gen.RandomComparison(0);
     index.Select(db.MakeComparison(p.attr, p.op, p.lo));
   }
-  // Paper Sec. 6.1: QFilter costs at most 2 + ceil(lg k) sampled probes.
-  // The histograms are process-global (other tests also record into them),
-  // but the bound is monotone in k, so checking against the global chain-
-  // length max remains sound.
+  // Paper Sec. 6.1 bounds the binary QFilter at 2 + ceil(lg k) sampled
+  // probes; the m-ary scheduler trades probes for round trips, paying at
+  // most m-1 pivots per narrowing round over ceil(log_m k) rounds. The
+  // histograms are process-global (other tests also record into them, all
+  // with the default fanout), but the bound is monotone in k, so checking
+  // against the global chain-length max remains sound.
   const double k_max = static_cast<double>(chain_k->max());
   ASSERT_GT(k_max, 0.0);
-  const uint64_t bound =
-      2 + static_cast<uint64_t>(std::ceil(std::log2(k_max)));
+  const uint64_t m = core::PrkbOptions{}.probe_fanout;
+  ASSERT_GE(m, 2u);
+  const uint64_t log_m_k = static_cast<uint64_t>(
+      std::ceil(std::log2(k_max) / std::log2(static_cast<double>(m))));
+  const uint64_t bound = 2 + (m - 1) * log_m_k;
   EXPECT_LE(per_call->max(), bound);
+
+  // The trip-side of the trade: every call finishes in at most the ends
+  // round plus the narrowing rounds.
+  obs::LatencyHistogram* rounds_per_call =
+      reg.GetHistogram("qfilter.rounds_per_call");
+  EXPECT_LE(rounds_per_call->max(), 2 + log_m_k);
 }
 
 TEST(ObsIntegrationTest, ReusedSelectionStatsNeverKeepsStaleFields) {
@@ -157,9 +176,12 @@ TEST(ObsIntegrationTest, ReusedSelectionStatsNeverKeepsStaleFields) {
   const auto plain = workload::MakeSyntheticTable(spec);
   auto db = edbms::CipherbaseEdbms::FromPlainTable(9, plain);
 
-  // Batched scan policy so the selection records qpf_batches > 0.
-  core::PrkbIndex index(&db,
-                        core::PrkbOptions{.seed = 43, .batch_size = 256});
+  // Batched scan policy so the selection records qpf_batches > 0, with
+  // sequential probes so Insert's placement stays scalar — the assertions
+  // below pin the scalar path's batches==0 / trips==uses signature.
+  core::PrkbIndex index(&db, core::PrkbOptions{.seed = 43,
+                                               .batch_size = 256,
+                                               .sequential_probes = true});
   index.EnableAttr(0);
   workload::QueryGen gen(spec.domain_lo, spec.domain_hi, 47);
   for (int q = 0; q < 30; ++q) {  // grow a chain so selects batch-scan

@@ -29,11 +29,14 @@ struct Mirror {
   PlainTable plain{1};
 };
 
-TEST(InsertTest, PlacementIsLogarithmicInK) {
+// Placement QPF bound for one insert: the paper's ⌈lg k⌉ + 1 on the
+// sequential path, and its m-ary analogue (m−1)·⌈log_m k⌉ + 1 when the
+// probe scheduler ships m−1 cuts per round trip.
+void CheckPlacementBound(PrkbOptions options) {
   Rng data_rng(1);
   PlainTable plain = RandomTable(2000, 1, &data_rng, 0, 1000000);
   auto db = CipherbaseEdbms::FromPlainTable(kSeed, plain);
-  PrkbIndex index(&db);
+  PrkbIndex index(&db, options);
   index.EnableAttr(0);
   Rng qrng(2);
   for (int i = 0; i < 200; ++i) {
@@ -42,13 +45,22 @@ TEST(InsertTest, PlacementIsLogarithmicInK) {
   }
   const size_t k = index.pop(0).k();
   ASSERT_GT(k, 50u);
-  size_t lg = 0;
-  while ((1u << lg) < k) ++lg;
+  const size_t m = options.sequential_probes ? 2 : options.probe_fanout;
+  size_t log_m = 0;
+  for (size_t reach = 1; reach < k; reach *= m) ++log_m;
 
   SelectionStats stats;
   index.Insert({123456}, &stats);
-  EXPECT_LE(stats.qpf_uses, lg + 1);
+  EXPECT_LE(stats.qpf_uses, (m - 1) * log_m + 1);
   EXPECT_EQ(index.pop(0).num_tuples(), 2001u);
+}
+
+TEST(InsertTest, PlacementIsLogarithmicInK) {
+  CheckPlacementBound(PrkbOptions{.sequential_probes = true});
+}
+
+TEST(InsertTest, MaryPlacementRespectsTheInflatedBound) {
+  CheckPlacementBound(PrkbOptions{});
 }
 
 TEST(InsertTest, InsertedTuplesAreFoundByLaterQueries) {
