@@ -6,6 +6,7 @@
 #include <span>
 
 #include "common/bitvector.h"
+#include "common/status.h"
 #include "edbms/encryption.h"
 #include "edbms/types.h"
 #include "obs/metrics.h"
@@ -134,6 +135,28 @@ class QpfOracle {
     m.round_trip_ns->Record(obs::ObsTracer::NowNs() - t0);
     return out;
   }
+
+  /// --- Uncounted backend entries for transport shims ----------------------
+  ///
+  /// net::QpfServer re-enters the backend on behalf of a remote client whose
+  /// own QpfOracle wrappers (RemoteQpfOracle / RemoteEdbms) already counted
+  /// the round trip and the uses. These entries evaluate without touching
+  /// any counter or registry metric, so a served evaluation is counted
+  /// exactly once — client-side, where the paper's cost accrues. Never call
+  /// these from query-processing code; they exist only for the serving shim.
+  bool ServeEval(const Trapdoor& td, TupleId tid) { return DoEval(td, tid); }
+  BitVector ServeEvalBatch(const Trapdoor& td, std::span<const TupleId> tids) {
+    return DoEvalBatch(td, tids);
+  }
+  BitVector ServeEvalMany(std::span<const ProbeRequest> reqs) {
+    return DoEvalMany(reqs);
+  }
+
+  /// Transport health: non-OK once the oracle can no longer reach its
+  /// backend (a RemoteQpfOracle whose channel died mid-query). In-process
+  /// backends are always healthy; callers that just ran a selection check
+  /// this to turn silently-empty remote results into a clean error.
+  virtual Status Health() const { return Status::Ok(); }
 
   /// Total evaluations since construction / last reset.
   uint64_t uses() const { return uses_.load(std::memory_order_relaxed); }

@@ -61,9 +61,7 @@ Trapdoor SdbEdbms::MakeBetween(AttrId attr, Value lo, Value hi) {
   return do_.MakeBetween(attr, lo, hi);
 }
 
-void SdbEdbms::SimulateLatency() const {
-  SimulatedLatencyNanos(round_latency_ns_);
-}
+void SdbEdbms::SimulateLatency() const { latency_.Apply(); }
 
 bool SdbEdbms::Reconstruct(const Trapdoor& td, const PlainPredicate& pred,
                            TupleId tid) const {

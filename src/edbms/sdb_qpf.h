@@ -5,6 +5,7 @@
 #include <vector>
 
 #include "common/bitvector.h"
+#include "common/latency.h"
 #include "edbms/data_owner.h"
 #include "edbms/edbms.h"
 
@@ -40,7 +41,7 @@ class SdbEdbms : public Edbms {
         dead_count_(other.dead_count_),
         rounds_(other.rounds_.load(std::memory_order_relaxed)),
         bytes_(other.bytes_.load(std::memory_order_relaxed)),
-        round_latency_ns_(other.round_latency_ns_) {}
+        latency_(other.latency_) {}
 
   TupleId Insert(const std::vector<Value>& row) override;
   void Delete(TupleId tid) override;
@@ -62,7 +63,10 @@ class SdbEdbms : public Edbms {
   uint64_t bytes_transferred() const {
     return bytes_.load(std::memory_order_relaxed);
   }
-  void set_round_latency_ns(uint64_t ns) { round_latency_ns_ = ns; }
+  /// Per-MPC-round delay, charged through the backend's LatencyModel (the
+  /// single simulation hook; zero it when serving behind a real wire).
+  void set_round_latency_ns(uint64_t ns) { latency_.set_ns(ns); }
+  LatencyModel& latency_model() { return latency_; }
 
   DataOwner& data_owner() { return do_; }
 
@@ -87,7 +91,7 @@ class SdbEdbms : public Edbms {
   size_t dead_count_ = 0;
   std::atomic<uint64_t> rounds_{0};
   std::atomic<uint64_t> bytes_{0};
-  uint64_t round_latency_ns_ = 0;
+  LatencyModel latency_;
 };
 
 }  // namespace prkb::edbms

@@ -40,9 +40,7 @@ TrustedMachine::TrustedMachine(uint64_t master_seed)
       trapdoor_cipher_(prf_.DeriveAesKey("trapdoor-enc")),
       trapdoor_mac_(prf_.DeriveKey("trapdoor-mac")) {}
 
-void TrustedMachine::SimulateLatency() const {
-  SimulatedLatencyNanos(call_latency_ns_);
-}
+void TrustedMachine::SimulateLatency() const { latency_.Apply(); }
 
 const TrapdoorPayload* TrustedMachine::Open(const Trapdoor& td) {
   {

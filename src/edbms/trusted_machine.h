@@ -8,6 +8,7 @@
 #include <unordered_map>
 
 #include "common/bitvector.h"
+#include "common/latency.h"
 #include "crypto/cipher.h"
 #include "crypto/hmac.h"
 #include "crypto/prf.h"
@@ -50,7 +51,7 @@ class TrustedMachine {
             other.predicate_evals_.load(std::memory_order_relaxed)),
         value_decrypts_(other.value_decrypts_.load(std::memory_order_relaxed)),
         round_trips_(other.round_trips_.load(std::memory_order_relaxed)),
-        call_latency_ns_(other.call_latency_ns_) {}
+        latency_(other.latency_) {}
 
   /// Θ's inner worker: verifies the trapdoor, decrypts the cell, compares.
   /// Returns false (and sets ok=false if provided) on a forged trapdoor.
@@ -81,8 +82,13 @@ class TrustedMachine {
 
   /// Configures an artificial per-TM-entry delay, in nanoseconds, to emulate
   /// hardware/transport latency. 0 (default) disables it. Short delays spin;
-  /// delays above ~50µs genuinely sleep (common/latency.h).
-  void set_call_latency_ns(uint64_t ns) { call_latency_ns_ = ns; }
+  /// delays above ~50µs genuinely sleep (common/latency.h). Charged through
+  /// the TM's LatencyModel — the single simulation hook per backend entry —
+  /// so serving this TM behind a real wire (net::QpfServer) never
+  /// double-counts latency: zero the model when the transport is physical.
+  void set_call_latency_ns(uint64_t ns) { latency_.set_ns(ns); }
+  LatencyModel& latency_model() { return latency_; }
+  const LatencyModel& latency_model() const { return latency_; }
 
   uint64_t predicate_evals() const {
     return predicate_evals_.load(std::memory_order_relaxed);
@@ -121,7 +127,7 @@ class TrustedMachine {
   std::atomic<uint64_t> predicate_evals_{0};
   std::atomic<uint64_t> value_decrypts_{0};
   std::atomic<uint64_t> round_trips_{0};
-  uint64_t call_latency_ns_ = 0;
+  LatencyModel latency_;
 };
 
 }  // namespace prkb::edbms

@@ -1,0 +1,260 @@
+#include "net/channel.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <utility>
+
+namespace prkb::net {
+namespace {
+
+Status Errno(const std::string& what) {
+  return Status::IoError(what + ": " + std::strerror(errno));
+}
+
+}  // namespace
+
+Channel::Channel(Channel&& other) noexcept
+    : fd_(other.fd_.exchange(-1, std::memory_order_relaxed)) {}
+
+Channel& Channel::operator=(Channel&& other) noexcept {
+  if (this != &other) {
+    CloseFd();
+    fd_.store(other.fd_.exchange(-1, std::memory_order_relaxed),
+              std::memory_order_relaxed);
+  }
+  return *this;
+}
+
+void Channel::CloseFd() {
+  const int fd = fd_.exchange(-1, std::memory_order_relaxed);
+  if (fd >= 0) ::close(fd);
+}
+
+Result<Channel> Channel::ConnectTcp(const std::string& host, uint16_t port) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return Errno("socket");
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
+    ::close(fd);
+    return Status::InvalidArgument("bad IPv4 address: " + host);
+  }
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    const Status s = Errno("connect " + host + ":" + std::to_string(port));
+    ::close(fd);
+    return s;
+  }
+  // Probe rounds are latency-bound request/response pairs; Nagle would add
+  // a delayed-ack round to every one of them.
+  const int one = 1;
+  ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+  return Channel(fd);
+}
+
+Result<Channel> Channel::ConnectUnix(const std::string& path) {
+  const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (fd < 0) return Errno("socket");
+  sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  if (path.size() >= sizeof(addr.sun_path)) {
+    ::close(fd);
+    return Status::InvalidArgument("unix socket path too long: " + path);
+  }
+  std::strncpy(addr.sun_path, path.c_str(), sizeof(addr.sun_path) - 1);
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    const Status s = Errno("connect " + path);
+    ::close(fd);
+    return s;
+  }
+  return Channel(fd);
+}
+
+Status Channel::WriteAll(int fd, const uint8_t* data, size_t len) {
+  size_t off = 0;
+  while (off < len) {
+    const ssize_t n = ::send(fd, data + off, len - off, MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return Errno("send");
+    }
+    off += static_cast<size_t>(n);
+  }
+  return Status::Ok();
+}
+
+Status Channel::ReadAll(int fd, uint8_t* data, size_t len) {
+  size_t off = 0;
+  while (off < len) {
+    const ssize_t n = ::recv(fd, data + off, len - off, 0);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return Errno("recv");
+    }
+    if (n == 0) return Status::IoError("connection closed by peer");
+    off += static_cast<size_t>(n);
+  }
+  return Status::Ok();
+}
+
+Status Channel::Send(const Frame& frame) {
+  const int fd = this->fd();
+  if (fd < 0) return Status::IoError("send on closed channel");
+  if (frame.payload.size() > kMaxFramePayload) {
+    return Status::InvalidArgument("frame payload exceeds cap");
+  }
+  uint8_t header[kFrameHeaderBytes];
+  EncodeFrameHeader(frame.type, frame.corr,
+                    static_cast<uint32_t>(frame.payload.size()), header);
+  const std::lock_guard<std::mutex> lock(send_mu_);
+  PRKB_RETURN_IF_ERROR(WriteAll(fd, header, sizeof(header)));
+  if (!frame.payload.empty()) {
+    PRKB_RETURN_IF_ERROR(
+        WriteAll(fd, frame.payload.data(), frame.payload.size()));
+  }
+  const NetMetrics& m = NetMetrics::Get();
+  m.frames_sent->Add(1);
+  m.bytes_sent->Add(sizeof(header) + frame.payload.size());
+  return Status::Ok();
+}
+
+Status Channel::Recv(Frame* out) {
+  const int fd = this->fd();
+  if (fd < 0) return Status::IoError("recv on closed channel");
+  uint8_t header[kFrameHeaderBytes];
+  PRKB_RETURN_IF_ERROR(ReadAll(fd, header, sizeof(header)));
+  uint32_t payload_len = 0;
+  const Status hs =
+      DecodeFrameHeader(header, &out->type, &out->corr, &payload_len);
+  if (!hs.ok()) {
+    NetMetrics::Get().errors->Add(1);
+    return hs;
+  }
+  out->payload.resize(payload_len);
+  if (payload_len > 0) {
+    PRKB_RETURN_IF_ERROR(ReadAll(fd, out->payload.data(), payload_len));
+  }
+  const NetMetrics& m = NetMetrics::Get();
+  m.frames_recv->Add(1);
+  m.bytes_recv->Add(sizeof(header) + payload_len);
+  return Status::Ok();
+}
+
+void Channel::Shutdown() {
+  const int fd = this->fd();
+  if (fd >= 0) ::shutdown(fd, SHUT_RDWR);
+}
+
+Listener::Listener(Listener&& other) noexcept
+    : fd_(other.fd_.exchange(-1, std::memory_order_relaxed)),
+      port_(other.port_), unix_path_(std::move(other.unix_path_)) {
+  other.unix_path_.clear();
+}
+
+Listener& Listener::operator=(Listener&& other) noexcept {
+  if (this != &other) {
+    Close();
+    fd_.store(other.fd_.exchange(-1, std::memory_order_relaxed),
+              std::memory_order_relaxed);
+    port_ = other.port_;
+    unix_path_ = std::move(other.unix_path_);
+    other.unix_path_.clear();
+  }
+  return *this;
+}
+
+Result<Listener> Listener::ListenTcp(uint16_t port) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return Errno("socket");
+  const int one = 1;
+  ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  if (::bind(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    const Status s = Errno("bind 127.0.0.1:" + std::to_string(port));
+    ::close(fd);
+    return s;
+  }
+  if (::listen(fd, SOMAXCONN) != 0) {
+    const Status s = Errno("listen");
+    ::close(fd);
+    return s;
+  }
+  socklen_t len = sizeof(addr);
+  if (::getsockname(fd, reinterpret_cast<sockaddr*>(&addr), &len) != 0) {
+    const Status s = Errno("getsockname");
+    ::close(fd);
+    return s;
+  }
+  Listener out;
+  out.fd_ = fd;
+  out.port_ = ntohs(addr.sin_port);
+  return out;
+}
+
+Result<Listener> Listener::ListenUnix(const std::string& path) {
+  const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (fd < 0) return Errno("socket");
+  sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  if (path.size() >= sizeof(addr.sun_path)) {
+    ::close(fd);
+    return Status::InvalidArgument("unix socket path too long: " + path);
+  }
+  std::strncpy(addr.sun_path, path.c_str(), sizeof(addr.sun_path) - 1);
+  ::unlink(path.c_str());
+  if (::bind(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    const Status s = Errno("bind " + path);
+    ::close(fd);
+    return s;
+  }
+  if (::listen(fd, SOMAXCONN) != 0) {
+    const Status s = Errno("listen");
+    ::close(fd);
+    return s;
+  }
+  Listener out;
+  out.fd_ = fd;
+  out.unix_path_ = path;
+  return out;
+}
+
+Result<Channel> Listener::Accept() {
+  const int fd = fd_.load(std::memory_order_relaxed);
+  if (fd < 0) return Status::IoError("accept on closed listener");
+  while (true) {
+    const int cfd = ::accept(fd, nullptr, nullptr);
+    if (cfd < 0) {
+      if (errno == EINTR) continue;
+      return Errno("accept");
+    }
+    const int one = 1;
+    ::setsockopt(cfd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+    return Channel(cfd);
+  }
+}
+
+void Listener::Close() {
+  const int fd = fd_.exchange(-1, std::memory_order_relaxed);
+  if (fd >= 0) {
+    // shutdown() first so a thread blocked in accept() wakes with an error
+    // instead of racing the close.
+    ::shutdown(fd, SHUT_RDWR);
+    ::close(fd);
+  }
+  if (!unix_path_.empty()) {
+    ::unlink(unix_path_.c_str());
+    unix_path_.clear();
+  }
+}
+
+}  // namespace prkb::net

@@ -1,0 +1,103 @@
+#ifndef PRKB_NET_CHANNEL_H_
+#define PRKB_NET_CHANNEL_H_
+
+#include <atomic>
+#include <cstdint>
+#include <mutex>
+#include <string>
+
+#include "common/result.h"
+#include "common/status.h"
+#include "net/frame.h"
+
+namespace prkb::net {
+
+/// Blocking, full-duplex, length-prefixed frame stream over a connected
+/// socket (TCP with TCP_NODELAY, or unix-domain). This is the trusted-machine
+/// boundary as an actual wire: every frame that crosses it is a real kernel
+/// round trip, not a SimulatedLatencyNanos spin.
+///
+/// Concurrency contract: Send is internally serialised (many worker threads
+/// may answer on one connection; many client threads may submit on one),
+/// Recv is single-consumer — exactly one reader thread per channel (the
+/// server's per-connection reader, the client's completion thread).
+/// Shutdown() wakes a blocked Recv with an IoError, which is how both sides
+/// unblock their readers on teardown.
+class Channel {
+ public:
+  Channel() = default;
+  /// Takes ownership of a connected socket fd.
+  explicit Channel(int fd) : fd_(fd) {}
+  ~Channel() { CloseFd(); }
+
+  Channel(Channel&& other) noexcept;
+  Channel& operator=(Channel&& other) noexcept;
+  Channel(const Channel&) = delete;
+  Channel& operator=(const Channel&) = delete;
+
+  static Result<Channel> ConnectTcp(const std::string& host, uint16_t port);
+  static Result<Channel> ConnectUnix(const std::string& path);
+
+  bool valid() const { return fd() >= 0; }
+
+  /// Writes one frame (header + payload) atomically with respect to other
+  /// senders on this channel. Counts net.frames_sent / net.bytes_sent.
+  Status Send(const Frame& frame);
+
+  /// Blocks for the next frame. Validates the header (magic, type, payload
+  /// cap) before trusting the length. Returns IoError on EOF/shutdown and
+  /// Corruption on a malformed header — in both cases the channel is dead.
+  Status Recv(Frame* out);
+
+  /// Half-closes both directions, waking a blocked Recv. Idempotent; safe to
+  /// call from any thread while a reader is blocked.
+  void Shutdown();
+
+ private:
+  void CloseFd();
+  static Status WriteAll(int fd, const uint8_t* data, size_t len);
+  static Status ReadAll(int fd, uint8_t* data, size_t len);
+  int fd() const { return fd_.load(std::memory_order_relaxed); }
+
+  // Atomic because Shutdown() (teardown, any thread) races Send/Recv on the
+  // reader and writer threads. The fd itself stays open until the destructor,
+  // so a racing syscall sees a shut-down socket, never a stale fd number.
+  std::atomic<int> fd_{-1};
+  std::mutex send_mu_;
+};
+
+/// Passive socket accepting Channel connections.
+class Listener {
+ public:
+  Listener() = default;
+  ~Listener() { Close(); }
+  Listener(Listener&& other) noexcept;
+  Listener& operator=(Listener&& other) noexcept;
+  Listener(const Listener&) = delete;
+  Listener& operator=(const Listener&) = delete;
+
+  /// Binds 127.0.0.1:`port`; port 0 picks an ephemeral port (see port()).
+  static Result<Listener> ListenTcp(uint16_t port);
+  /// Binds a unix-domain socket at `path` (unlinks a stale one first).
+  static Result<Listener> ListenUnix(const std::string& path);
+
+  uint16_t port() const { return port_; }
+  bool valid() const { return fd_.load(std::memory_order_relaxed) >= 0; }
+
+  /// Blocks for the next connection. IoError once Close() was called.
+  Result<Channel> Accept();
+
+  /// Closes the listening socket, waking a blocked Accept. Safe to call
+  /// from any thread while the accept loop is blocked.
+  void Close();
+
+ private:
+  // Atomic for the same reason as Channel::fd_: Close() races Accept().
+  std::atomic<int> fd_{-1};
+  uint16_t port_ = 0;
+  std::string unix_path_;
+};
+
+}  // namespace prkb::net
+
+#endif  // PRKB_NET_CHANNEL_H_

@@ -115,6 +115,20 @@ class ConcurrentPrkbIndex {
     index_.Delete(tid);
   }
 
+  /// Chain-only halves of Insert/Delete for the sharded router
+  /// (ShardedPrkbIndex), which owns the single store operation itself and
+  /// fans these across shards. Same exclusive locking as Insert/Delete.
+  void PlaceStored(edbms::TupleId tid,
+                   edbms::SelectionStats* stats = nullptr) {
+    const auto lock = LockExclusive(map_mu_);
+    index_.PlaceStored(tid, stats);
+  }
+
+  void EraseFromChains(edbms::TupleId tid) {
+    const auto lock = LockExclusive(map_mu_);
+    index_.EraseFromChains(tid);
+  }
+
   bool IsEnabled(edbms::AttrId attr) const {
     const auto map_lock = LockShared(map_mu_);
     return index_.IsEnabled(attr);

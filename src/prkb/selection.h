@@ -133,11 +133,24 @@ class PrkbIndex {
 
   /// Insertion handling (Sec. 7.1): encrypts/stores the row via the EDBMS
   /// and places the new tuple in every enabled chain with O(lg k) QPF uses.
+  /// Equivalent to db()->Insert(row) followed by PlaceStored(tid).
   edbms::TupleId Insert(const std::vector<edbms::Value>& row,
                         edbms::SelectionStats* stats = nullptr);
 
-  /// Deletion handling (Sec. 7.2).
+  /// The chain half of insertion handling: places an already-stored tuple
+  /// into every enabled chain. Split out for sharded serving
+  /// (ShardedPrkbIndex stores the row once, then fans placement across the
+  /// shards owning the table's attributes).
+  void PlaceStored(edbms::TupleId tid, edbms::SelectionStats* stats = nullptr);
+
+  /// Deletion handling (Sec. 7.2). Equivalent to db()->Delete(tid) followed
+  /// by EraseFromChains(tid).
   void Delete(edbms::TupleId tid);
+
+  /// The chain half of deletion handling: unlinks a tuple from every enabled
+  /// chain without touching the EDBMS store (the sharded router deletes the
+  /// row once, then fans the unlink).
+  void EraseFromChains(edbms::TupleId tid);
 
   /// Index footprint across all enabled attributes (Table 3).
   size_t SizeBytes() const;

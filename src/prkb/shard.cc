@@ -1,0 +1,196 @@
+#include "prkb/shard.h"
+
+#include <algorithm>
+#include <map>
+#include <thread>
+#include <unordered_set>
+#include <utility>
+
+namespace prkb::core {
+
+ShardedPrkbIndex::ShardedPrkbIndex(edbms::Edbms* db, size_t num_shards,
+                                   PrkbOptions options)
+    : db_(db) {
+  if (num_shards < 1) num_shards = 1;
+  shards_.reserve(num_shards);
+  for (size_t i = 0; i < num_shards; ++i) {
+    shards_.push_back(std::make_unique<ConcurrentPrkbIndex>(db, options));
+    shard_selects_.push_back(std::make_unique<std::atomic<uint64_t>>(0));
+    shard_placements_.push_back(std::make_unique<std::atomic<uint64_t>>(0));
+  }
+}
+
+void ShardedPrkbIndex::EnableAttr(edbms::AttrId attr) {
+  Owner(attr).EnableAttr(attr);
+}
+
+bool ShardedPrkbIndex::IsEnabled(edbms::AttrId attr) const {
+  return shards_[ShardOf(attr)]->IsEnabled(attr);
+}
+
+std::vector<edbms::AttrId> ShardedPrkbIndex::EnabledAttrs() const {
+  std::vector<edbms::AttrId> out;
+  for (const auto& shard : shards_) {
+    const auto attrs = shard->EnabledAttrs();
+    out.insert(out.end(), attrs.begin(), attrs.end());
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+std::vector<edbms::TupleId> ShardedPrkbIndex::Select(
+    const edbms::Trapdoor& td, edbms::SelectionStats* stats) {
+  ShardMetrics::Get().selects_routed->Add(1);
+  shard_selects_[ShardOf(td.attr)]->fetch_add(1, std::memory_order_relaxed);
+  return Owner(td.attr).Select(td, stats);
+}
+
+std::vector<edbms::TupleId> ShardedPrkbIndex::SelectRangeMd(
+    const std::vector<edbms::Trapdoor>& tds, edbms::SelectionStats* stats) {
+  if (tds.empty()) return {};
+  // Group the dimensions by owning shard; std::map keeps group order stable
+  // across runs regardless of the hash.
+  std::map<size_t, std::vector<edbms::Trapdoor>> groups;
+  for (const auto& td : tds) groups[ShardOf(td.attr)].push_back(td);
+
+  if (groups.size() == 1) {
+    ShardMetrics::Get().md_colocated->Add(1);
+    return shards_[groups.begin()->first]->SelectRangeMd(tds, stats);
+  }
+
+  // Cross-shard composition: each shard answers its own dimensions (grid
+  // pruning survives within a group), the router intersects. Exact winner
+  // sets; the forgone cross-group pruning is the sharding tax.
+  ShardMetrics::Get().md_composed->Add(1);
+  const edbms::StatsScope scope(db_, stats, "select_md");
+  std::vector<std::vector<edbms::TupleId>> sets;
+  sets.reserve(groups.size());
+  for (auto& [shard, group] : groups) {
+    if (group.size() == 1) {
+      sets.push_back(shards_[shard]->Select(group[0]));
+    } else {
+      sets.push_back(shards_[shard]->SelectRangeMd(group));
+    }
+  }
+  return Intersect(std::move(sets));
+}
+
+std::vector<edbms::TupleId> ShardedPrkbIndex::SelectRangeSdPlus(
+    const std::vector<edbms::Trapdoor>& tds, edbms::SelectionStats* stats) {
+  if (tds.empty()) return {};
+  std::map<size_t, std::vector<edbms::Trapdoor>> groups;
+  for (const auto& td : tds) groups[ShardOf(td.attr)].push_back(td);
+
+  if (groups.size() == 1) {
+    return shards_[groups.begin()->first]->SelectRangeSdPlus(tds, stats);
+  }
+
+  // SD+ is already per-predicate select + intersect, so the cross-shard
+  // composition is semantically identical; only probe-round fusion across
+  // groups is lost.
+  const edbms::StatsScope scope(db_, stats, "select_sdplus");
+  std::vector<std::vector<edbms::TupleId>> sets;
+  sets.reserve(groups.size());
+  for (auto& [shard, group] : groups) {
+    sets.push_back(shards_[shard]->SelectRangeSdPlus(group));
+  }
+  return Intersect(std::move(sets));
+}
+
+edbms::TupleId ShardedPrkbIndex::Insert(const std::vector<edbms::Value>& row,
+                                        edbms::SelectionStats* stats) {
+  const edbms::StatsScope scope(db_, stats, "insert");
+  edbms::TupleId tid = 0;
+  {
+    const std::lock_guard<std::mutex> lock(store_mu_);
+    tid = db_->Insert(row);
+  }
+  // Fan placement across the populated shards. Each shard takes only its own
+  // exclusive lock, so selections on the other shards keep running — this
+  // parallel section is the write-scaling win the sharding exists for.
+  std::vector<size_t> populated;
+  for (size_t i = 0; i < shards_.size(); ++i) {
+    if (!shards_[i]->EnabledAttrs().empty()) populated.push_back(i);
+  }
+  if (populated.empty()) return tid;
+  ShardMetrics::Get().fan_placements->Add(populated.size());
+  for (const size_t i : populated) {
+    shard_placements_[i]->fetch_add(1, std::memory_order_relaxed);
+  }
+  if (populated.size() == 1) {
+    shards_[populated[0]]->PlaceStored(tid);
+    return tid;
+  }
+  // Plain threads, not the shared pool: placement issues QPF rounds that may
+  // themselves lean on the pool, and nesting pool waits can deadlock.
+  std::vector<std::thread> fan;
+  fan.reserve(populated.size() - 1);
+  for (size_t j = 1; j < populated.size(); ++j) {
+    fan.emplace_back(
+        [this, tid, i = populated[j]] { shards_[i]->PlaceStored(tid); });
+  }
+  shards_[populated[0]]->PlaceStored(tid);
+  for (auto& t : fan) t.join();
+  return tid;
+}
+
+void ShardedPrkbIndex::Delete(edbms::TupleId tid) {
+  {
+    const std::lock_guard<std::mutex> lock(store_mu_);
+    db_->Delete(tid);
+  }
+  // Chain unlinking is QPF-free and cheap; sequential fan keeps it simple.
+  ShardMetrics::Get().fan_erases->Add(shards_.size());
+  for (auto& shard : shards_) shard->EraseFromChains(tid);
+}
+
+PrkbIndex::ChainStats ShardedPrkbIndex::StatsFor(edbms::AttrId attr) const {
+  return shards_[ShardOf(attr)]->StatsFor(attr);
+}
+
+size_t ShardedPrkbIndex::SizeBytes() const {
+  size_t total = 0;
+  for (const auto& shard : shards_) total += shard->SizeBytes();
+  return total;
+}
+
+std::vector<ShardedPrkbIndex::ShardReport> ShardedPrkbIndex::Describe() const {
+  std::vector<ShardReport> out;
+  out.reserve(shards_.size());
+  for (size_t i = 0; i < shards_.size(); ++i) {
+    ShardReport r;
+    r.shard = i;
+    r.attrs = shards_[i]->EnabledAttrs();
+    r.chains = r.attrs.size();
+    for (const edbms::AttrId attr : r.attrs) {
+      const auto cs = shards_[i]->StatsFor(attr);
+      r.tuples += cs.tuples;
+      r.bytes += cs.bytes;
+    }
+    r.selects = shard_selects_[i]->load(std::memory_order_relaxed);
+    r.placements = shard_placements_[i]->load(std::memory_order_relaxed);
+    out.push_back(std::move(r));
+  }
+  return out;
+}
+
+std::vector<edbms::TupleId> ShardedPrkbIndex::Intersect(
+    std::vector<std::vector<edbms::TupleId>> sets) {
+  if (sets.empty()) return {};
+  // Start from the smallest set; membership-test against the rest.
+  size_t smallest = 0;
+  for (size_t i = 1; i < sets.size(); ++i) {
+    if (sets[i].size() < sets[smallest].size()) smallest = i;
+  }
+  std::vector<edbms::TupleId> out = std::move(sets[smallest]);
+  for (size_t i = 0; i < sets.size(); ++i) {
+    if (i == smallest || out.empty()) continue;
+    const std::unordered_set<edbms::TupleId> members(sets[i].begin(),
+                                                     sets[i].end());
+    std::erase_if(out,
+                  [&members](edbms::TupleId t) { return !members.contains(t); });
+  }
+  return out;
+}
+
+}  // namespace prkb::core

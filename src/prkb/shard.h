@@ -1,0 +1,135 @@
+#ifndef PRKB_PRKB_SHARD_H_
+#define PRKB_PRKB_SHARD_H_
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "obs/metrics.h"
+#include "prkb/concurrent.h"
+#include "prkb/selection.h"
+
+namespace prkb::core {
+
+/// Routing telemetry for ShardedPrkbIndex (docs/OBSERVABILITY.md).
+struct ShardMetrics {
+  obs::Counter* selects_routed;
+  obs::Counter* md_colocated;
+  obs::Counter* md_composed;
+  obs::Counter* fan_placements;
+  obs::Counter* fan_erases;
+
+  static const ShardMetrics& Get() {
+    static const ShardMetrics m = {
+        obs::MetricsRegistry::Global().GetCounter("shard.selects_routed"),
+        obs::MetricsRegistry::Global().GetCounter("shard.md_colocated"),
+        obs::MetricsRegistry::Global().GetCounter("shard.md_composed"),
+        obs::MetricsRegistry::Global().GetCounter("shard.fan_placements"),
+        obs::MetricsRegistry::Global().GetCounter("shard.fan_erases"),
+    };
+    return m;
+  }
+};
+
+/// Attribute-hash-sharded PRKB serving index.
+///
+/// ConcurrentPrkbIndex already lets repeat-predicate selections on distinct
+/// attributes run concurrently, but every *write* — Insert placement, Delete,
+/// any MD range query — takes its one map lock exclusively and stalls the
+/// whole table. Sharding splits the table's chains across N independent
+/// ConcurrentPrkbIndex instances, routed by a hash of the attribute id, all
+/// over the same Edbms store:
+///
+///   - A single-predicate Select touches only the owning shard; its chain,
+///     cache and locks are bit-identical to the unsharded ones, so winner
+///     sets and QPF uses do not change.
+///   - Insert stores the row once, then fans chain placement across the
+///     populated shards in parallel — an insert busy splitting chains on
+///     shard 2 no longer blocks selections on shards 0, 1, 3.
+///   - An MD range query whose attributes are co-located on one shard routes
+///     whole (grid pruning intact). Otherwise it is composed per shard-group
+///     — each shard answers the sub-query over its own dimensions (MD within
+///     the group, the single-predicate path for singleton groups) and the
+///     router intersects — which preserves exact winner sets but forgoes
+///     cross-shard grid pruning, so it may spend more QPF uses than a
+///     one-shard MD. `shard.md_composed` counts how often that tax is paid.
+///
+/// The Edbms store itself is shared; its mutations (Insert/Delete) are
+/// serialised by a router-level mutex, which is cheap next to placement.
+class ShardedPrkbIndex {
+ public:
+  /// `db` must outlive the index. `num_shards` is clamped to ≥ 1.
+  ShardedPrkbIndex(edbms::Edbms* db, size_t num_shards,
+                   PrkbOptions options = {});
+
+  size_t num_shards() const { return shards_.size(); }
+
+  /// Which shard owns `attr`'s chain. Stable for the life of the index.
+  size_t ShardOf(edbms::AttrId attr) const {
+    // Fibonacci mix so consecutive attr ids spread instead of striping.
+    const uint64_t h = (attr + 1) * 0x9E3779B97F4A7C15ULL;
+    return static_cast<size_t>(h >> 33) % shards_.size();
+  }
+
+  void EnableAttr(edbms::AttrId attr);
+  bool IsEnabled(edbms::AttrId attr) const;
+  std::vector<edbms::AttrId> EnabledAttrs() const;
+
+  std::vector<edbms::TupleId> Select(const edbms::Trapdoor& td,
+                                     edbms::SelectionStats* stats = nullptr);
+
+  /// Exact winner sets always; whole-query grid pruning only when every
+  /// trapdoor's attribute lands on one shard (see class comment).
+  std::vector<edbms::TupleId> SelectRangeMd(
+      const std::vector<edbms::Trapdoor>& tds,
+      edbms::SelectionStats* stats = nullptr);
+
+  std::vector<edbms::TupleId> SelectRangeSdPlus(
+      const std::vector<edbms::Trapdoor>& tds,
+      edbms::SelectionStats* stats = nullptr);
+
+  edbms::TupleId Insert(const std::vector<edbms::Value>& row,
+                        edbms::SelectionStats* stats = nullptr);
+  void Delete(edbms::TupleId tid);
+
+  PrkbIndex::ChainStats StatsFor(edbms::AttrId attr) const;
+  size_t SizeBytes() const;
+
+  /// Direct access for tests and the shell's `.shards` report.
+  ConcurrentPrkbIndex& shard(size_t i) { return *shards_[i]; }
+  const ConcurrentPrkbIndex& shard(size_t i) const { return *shards_[i]; }
+
+  /// Point-in-time per-shard summary for observability surfaces.
+  struct ShardReport {
+    size_t shard = 0;
+    std::vector<edbms::AttrId> attrs;
+    size_t chains = 0;
+    size_t tuples = 0;   // sum over chains (a tuple counts once per chain)
+    size_t bytes = 0;
+    uint64_t selects = 0;     // single-predicate selects routed here
+    uint64_t placements = 0;  // insert placements fanned here
+  };
+  std::vector<ShardReport> Describe() const;
+
+ private:
+  ConcurrentPrkbIndex& Owner(edbms::AttrId attr) { return *shards_[ShardOf(attr)]; }
+
+  /// Unordered intersection of winner sets.
+  static std::vector<edbms::TupleId> Intersect(
+      std::vector<std::vector<edbms::TupleId>> sets);
+
+  edbms::Edbms* db_;
+  std::vector<std::unique_ptr<ConcurrentPrkbIndex>> shards_;
+  /// Serialises raw Edbms store mutations (the store is not internally
+  /// thread-safe; chain work never runs under this).
+  std::mutex store_mu_;
+  /// Per-shard routed-op tallies for Describe().
+  std::vector<std::unique_ptr<std::atomic<uint64_t>>> shard_selects_;
+  std::vector<std::unique_ptr<std::atomic<uint64_t>>> shard_placements_;
+};
+
+}  // namespace prkb::core
+
+#endif  // PRKB_PRKB_SHARD_H_

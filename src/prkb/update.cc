@@ -314,8 +314,22 @@ edbms::TupleId PrkbIndex::Insert(const std::vector<edbms::Value>& row,
   return tid;
 }
 
+void PrkbIndex::PlaceStored(edbms::TupleId tid, edbms::SelectionStats* stats) {
+  // Distinct registry op from "insert" so a sharded insert reads as one
+  // insert plus per-shard placements, not N inserts.
+  edbms::StatsScope scope(db_, stats, "place");
+  for (auto& [attr, pop] : pops_) {
+    (void)pop;
+    PlaceTuple(attr, tid);
+  }
+}
+
 void PrkbIndex::Delete(edbms::TupleId tid) {
   db_->Delete(tid);
+  EraseFromChains(tid);
+}
+
+void PrkbIndex::EraseFromChains(edbms::TupleId tid) {
   for (auto& [attr, pop] : pops_) {
     (void)attr;
     if (pop.partition_of(tid) != Pop::kNoPartition) pop.RemoveTuple(tid);

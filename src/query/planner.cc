@@ -244,6 +244,10 @@ Result<ExecutionResult> Planner::Execute(const SelectStatement& stmt) {
     out.plan = out.physical.summary;
     if (!stmt.explain) {
       out.rows = exec::Executor(index_).Run(&out.physical, &out.stats);
+      // A remote QPF backend that died mid-query answers remaining probes
+      // fail-closed (all-false), which would read as an empty result.
+      // Surface the transport failure as the query's status instead.
+      PRKB_RETURN_IF_ERROR(db_->Health());
     }
     return std::move(out);
   };

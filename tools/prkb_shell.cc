@@ -1,13 +1,18 @@
 // prkb_shell — interactive console over an encrypted demo table.
 //
-//   $ ./tools/prkb_shell [--rows=N] [--attrs=K] [--seed=S]
+//   $ ./tools/prkb_shell [--rows=N] [--attrs=K] [--seed=S] [--shards=N]
+//                        [--remote]
 //
 // Accepts the mini-SQL subset on stdin plus dot-commands:
 //   SELECT * FROM t WHERE c0 < 100 AND c1 BETWEEN 5 AND 9
 //   EXPLAIN SELECT ...  cost-based physical plan with estimates, no execution
 //   .explain          last executed statement's plan with actual QPF costs
 //   .stats            chain shape per attribute
-//   .cache            repeat-predicate fast-path state (entries, hits/misses)
+//   .cache            repeat-predicate fast-path state (entries, hits/misses);
+//                     with --remote, also the net.* transport counters
+//                     fetched from the serving process over the wire
+//   .shards           per-shard chain/op tallies plus lock/queue telemetry
+//                     (requires --shards=N)
 //
 // Note: retyping a SELECT re-issues its trapdoor through the data owner,
 // which seals with a fresh nonce — different bytes, so the fast path misses
@@ -19,19 +24,33 @@
 //   .load <path>      restore a snapshot
 //   .help / .quit
 //
+// Deployment flags:
+//   --shards=N   serve the index as N attribute-hash shards
+//                (ShardedPrkbIndex). EXPLAIN / .explain / .save / .load are
+//                unavailable in sharded mode; SELECTs are routed directly.
+//   --remote     host the QPF behind a loopback QpfServer and evaluate every
+//                Θ over a real socket (RemoteEdbms), as a served deployment
+//                would. Composes with --shards.
+//
 // Useful both as a demo and for poking at the index by hand.
 
 #include <cstdio>
 #include <cstring>
 #include <iostream>
+#include <memory>
 #include <optional>
 #include <sstream>
 #include <string>
 #include <vector>
 
 #include "edbms/cipherbase_qpf.h"
+#include "net/qpf_client.h"
+#include "net/qpf_server.h"
+#include "prkb/concurrent.h"
 #include "prkb/prkb_io.h"
 #include "prkb/selection.h"
+#include "prkb/shard.h"
+#include "query/parser.h"
 #include "query/planner.h"
 #include "workload/synthetic_table.h"
 
@@ -43,6 +62,8 @@ struct ShellOptions {
   size_t rows = 20000;
   size_t attrs = 2;
   uint64_t seed = 42;
+  size_t shards = 0;  // 0 = unsharded planner mode
+  bool remote = false;
 };
 
 ShellOptions ParseOptions(int argc, char** argv) {
@@ -54,19 +75,135 @@ ShellOptions ParseOptions(int argc, char** argv) {
       opt.attrs = std::strtoull(argv[i] + 8, nullptr, 10);
     } else if (std::strncmp(argv[i], "--seed=", 7) == 0) {
       opt.seed = std::strtoull(argv[i] + 7, nullptr, 10);
+    } else if (std::strncmp(argv[i], "--shards=", 9) == 0) {
+      opt.shards = std::strtoull(argv[i] + 9, nullptr, 10);
+    } else if (std::strcmp(argv[i], "--remote") == 0) {
+      opt.remote = true;
     }
   }
   return opt;
 }
 
-void PrintHelp() {
+void PrintHelp(const ShellOptions& opt) {
   std::printf(
       "commands:\n"
       "  SELECT * FROM t WHERE c0 < 100 AND c1 BETWEEN 5 AND 9\n"
       "  EXPLAIN SELECT ...   (plan + cost estimates, no execution)\n"
       "  .explain | .stats | .cache | .insert v0 v1 .. | .delete <tid> |"
       " .save <p> | .load <p>\n"
-      "  .help | .quit\n");
+      "  .shards | .help | .quit\n");
+  if (opt.shards > 0) {
+    std::printf("(sharded mode: EXPLAIN/.explain/.save/.load unavailable)\n");
+  }
+  if (opt.remote) {
+    std::printf("(remote mode: QPF evaluations cross a loopback socket)\n");
+  }
+}
+
+uint64_t CounterValue(const char* name) {
+  return obs::MetricsRegistry::Global().GetCounter(name)->value();
+}
+
+/// net.* / qpf.* rows of the serving process, over the stats RPC — the same
+/// answer a shell attached to a genuinely remote server would get.
+void PrintRemoteCounters(net::QpfClient* client) {
+  auto stats = client->FetchStats();
+  if (!stats.ok()) {
+    std::printf("stats fetch failed: %s\n",
+                stats.status().ToString().c_str());
+    return;
+  }
+  std::printf("serving process counters (over the wire):\n");
+  for (const auto& [name, value] : stats.value()) {
+    if (name.rfind("net.", 0) == 0 || name.rfind("qpf.", 0) == 0) {
+      std::printf("  %-24s %llu\n", name.c_str(),
+                  static_cast<unsigned long long>(value));
+    }
+  }
+  std::printf("  %-24s %lld\n", "net.inflight",
+              static_cast<long long>(
+                  obs::MetricsRegistry::Global().GetGauge("net.inflight")
+                      ->value()));
+}
+
+void PrintShardReport(const core::ShardedPrkbIndex& sharded,
+                      const net::QpfServer* server) {
+  for (const auto& r : sharded.Describe()) {
+    std::printf("shard %zu: %zu chain(s), %zu tuple-slot(s), %zu bytes, "
+                "%llu select(s), %llu placement(s)\n",
+                r.shard, r.chains, r.tuples, r.bytes,
+                static_cast<unsigned long long>(r.selects),
+                static_cast<unsigned long long>(r.placements));
+    for (const edbms::AttrId attr : r.attrs) {
+      const auto cs = sharded.StatsFor(attr);
+      std::printf("  attr %u: k=%zu cuts=%zu tuples=%zu\n", attr, cs.k,
+                  cs.cuts, cs.tuples);
+    }
+  }
+  std::printf("locks: %llu shared, %llu exclusive, %llu select retr(ies)\n",
+              static_cast<unsigned long long>(
+                  CounterValue("prkb.lock.shared_acquisitions")),
+              static_cast<unsigned long long>(
+                  CounterValue("prkb.lock.exclusive_acquisitions")),
+              static_cast<unsigned long long>(
+                  CounterValue("prkb.lock.select_retries")));
+  std::printf(
+      "routing: %llu routed, %llu md co-located, %llu md composed\n",
+      static_cast<unsigned long long>(CounterValue("shard.selects_routed")),
+      static_cast<unsigned long long>(CounterValue("shard.md_colocated")),
+      static_cast<unsigned long long>(CounterValue("shard.md_composed")));
+  if (server != nullptr) {
+    std::printf("queue: %llu frame(s) served, inflight now %lld\n",
+                static_cast<unsigned long long>(server->frames_served()),
+                static_cast<long long>(
+                    obs::MetricsRegistry::Global().GetGauge("net.inflight")
+                        ->value()));
+  }
+}
+
+/// Compiles and routes one parsed statement against the sharded index.
+void RunSharded(const query::SelectStatement& stmt, const query::Catalog& cat,
+                edbms::Edbms* issuer, core::ShardedPrkbIndex* sharded) {
+  if (stmt.explain) {
+    std::printf("error: EXPLAIN is unavailable in sharded mode\n");
+    return;
+  }
+  std::vector<edbms::Trapdoor> tds;
+  for (const query::Condition& cond : stmt.conditions) {
+    const auto attr = cat.ResolveColumn(stmt.table, cond.column);
+    if (!attr.ok()) {
+      std::printf("error: %s\n", attr.status().ToString().c_str());
+      return;
+    }
+    if (cond.kind == query::Condition::Kind::kBetween) {
+      tds.push_back(issuer->MakeBetween(attr.value(), cond.lo, cond.hi));
+    } else {
+      tds.push_back(issuer->MakeComparison(attr.value(), cond.op, cond.lo));
+    }
+  }
+  edbms::SelectionStats stats;
+  std::vector<edbms::TupleId> rows;
+  const char* route = "";
+  if (tds.empty()) {
+    for (edbms::TupleId tid = 0; tid < issuer->num_rows(); ++tid) {
+      if (issuer->IsLive(tid)) rows.push_back(tid);
+    }
+    route = "full-table";
+  } else if (tds.size() == 1) {
+    rows = sharded->Select(tds[0], &stats);
+    route = "shard-select";
+  } else {
+    rows = sharded->SelectRangeMd(tds, &stats);
+    route = "shard-md";
+  }
+  std::printf("%zu rows  [%s, qpf_uses=%llu, %.2f ms]\n", rows.size(), route,
+              static_cast<unsigned long long>(stats.qpf_uses), stats.millis);
+  for (size_t i = 0; i < rows.size() && i < 10; ++i) {
+    std::printf("  tid %u\n", rows[i]);
+  }
+  if (rows.size() > 10) {
+    std::printf("  ... (%zu more)\n", rows.size() - 10);
+  }
 }
 
 }  // namespace
@@ -83,21 +220,61 @@ int main(int argc, char** argv) {
   auto db = edbms::CipherbaseEdbms::FromPlainTable(
       opt.seed, workload::MakeSyntheticTable(spec));
 
-  core::PrkbIndex index(&db, core::PrkbOptions{.seed = opt.seed});
+  // Remote mode: host the local backend behind a loopback server and make
+  // every Θ evaluation a real round trip through the client.
+  std::unique_ptr<net::QpfServer> server;
+  std::unique_ptr<net::QpfClient> client;
+  std::unique_ptr<net::RemoteEdbms> remote;
+  edbms::Edbms* backend = &db;
+  if (opt.remote) {
+    server = std::make_unique<net::QpfServer>(&db);
+    const Status s = server->ServeTcp(0);
+    if (!s.ok()) {
+      std::printf("cannot start QPF server: %s\n", s.ToString().c_str());
+      return 1;
+    }
+    auto conn = net::QpfClient::ConnectTcp("127.0.0.1", server->port());
+    if (!conn.ok()) {
+      std::printf("cannot connect QPF client: %s\n",
+                  conn.status().ToString().c_str());
+      return 1;
+    }
+    client = std::move(conn).value();
+    remote = std::make_unique<net::RemoteEdbms>(&db, client.get());
+    backend = remote.get();
+    std::printf("QPF served on 127.0.0.1:%u\n", server->port());
+  }
+
+  const core::PrkbOptions prkb_opts{.seed = opt.seed};
+  core::PrkbIndex index(backend, prkb_opts);
+  std::unique_ptr<core::ShardedPrkbIndex> sharded;
+  if (opt.shards > 0) {
+    sharded =
+        std::make_unique<core::ShardedPrkbIndex>(backend, opt.shards, prkb_opts);
+  }
   query::Catalog catalog;
   std::vector<std::string> columns;
   for (size_t a = 0; a < opt.attrs; ++a) {
     columns.push_back("c" + std::to_string(a));
-    index.EnableAttr(static_cast<edbms::AttrId>(a));
+    if (sharded != nullptr) {
+      sharded->EnableAttr(static_cast<edbms::AttrId>(a));
+    } else {
+      index.EnableAttr(static_cast<edbms::AttrId>(a));
+    }
   }
   catalog.RegisterTable("t", columns);
-  query::Planner planner(&catalog, &db, &index);
+  query::Planner planner(&catalog, backend, &index);
 
+  std::string deployment;
+  if (opt.shards > 0) {
+    deployment.append(", ").append(std::to_string(opt.shards)).append(
+        " shards");
+  }
   std::printf(
       "prkb_shell: table 't' with %zu encrypted rows, columns c0..c%zu, "
-      "domain [0, 1000000]\n",
-      db.num_rows(), opt.attrs - 1);
-  PrintHelp();
+      "domain [0, 1000000]%s\n",
+      db.num_rows(), opt.attrs - 1, deployment.c_str());
+  PrintHelp(opt);
 
   std::string line;
   std::optional<query::ExecutionResult> last;
@@ -113,9 +290,11 @@ int main(int argc, char** argv) {
       in >> cmd;
       if (cmd == ".quit" || cmd == ".exit") break;
       if (cmd == ".help") {
-        PrintHelp();
+        PrintHelp(opt);
       } else if (cmd == ".explain") {
-        if (!last.has_value()) {
+        if (sharded != nullptr) {
+          std::printf(".explain is unavailable in sharded mode\n");
+        } else if (!last.has_value()) {
           std::printf("no statement executed yet\n");
         } else {
           // Re-render the last plan: after execution each operator also
@@ -123,16 +302,44 @@ int main(int argc, char** argv) {
           std::printf("%s", last->Explain().c_str());
         }
       } else if (cmd == ".stats") {
-        std::printf("%s", index.DescribeStats().c_str());
+        if (sharded != nullptr) {
+          for (const edbms::AttrId attr : sharded->EnabledAttrs()) {
+            const auto cs = sharded->StatsFor(attr);
+            std::printf("attr %u (shard %zu): k=%zu cuts=%zu tuples=%zu\n",
+                        attr, sharded->ShardOf(attr), cs.k, cs.cuts,
+                        cs.tuples);
+          }
+        } else {
+          std::printf("%s", index.DescribeStats().c_str());
+        }
+      } else if (cmd == ".shards") {
+        if (sharded == nullptr) {
+          std::printf("not sharded; start with --shards=N\n");
+        } else {
+          PrintShardReport(*sharded, server.get());
+        }
       } else if (cmd == ".cache") {
-        for (const edbms::AttrId attr : index.EnabledAttrs()) {
-          std::printf("attr %u: %zu cached predicate(s)\n", attr,
-                      index.pop(attr).fast_path_entries());
+        const auto print_entries = [](edbms::AttrId attr, size_t entries) {
+          std::printf("attr %u: %zu cached predicate(s)\n", attr, entries);
+        };
+        if (sharded != nullptr) {
+          for (const edbms::AttrId attr : sharded->EnabledAttrs()) {
+            sharded->shard(sharded->ShardOf(attr))
+                .WithLocked([&](core::PrkbIndex& idx) {
+                  print_entries(attr, idx.pop(attr).fast_path_entries());
+                  return 0;
+                });
+          }
+        } else {
+          for (const edbms::AttrId attr : index.EnabledAttrs()) {
+            print_entries(attr, index.pop(attr).fast_path_entries());
+          }
         }
         const core::CacheMetrics& cm = core::CacheMetrics::Get();
         std::printf("session: %llu hit(s), %llu miss(es)\n",
                     static_cast<unsigned long long>(cm.hits->value()),
                     static_cast<unsigned long long>(cm.misses->value()));
+        if (client != nullptr) PrintRemoteCounters(client.get());
       } else if (cmd == ".insert") {
         std::vector<edbms::Value> row;
         edbms::Value v;
@@ -142,7 +349,8 @@ int main(int argc, char** argv) {
           continue;
         }
         edbms::SelectionStats st;
-        const auto tid = index.Insert(row, &st);
+        const auto tid = sharded != nullptr ? sharded->Insert(row, &st)
+                                            : index.Insert(row, &st);
         std::printf("inserted tuple %u (%llu QPF uses)\n", tid,
                     static_cast<unsigned long long>(st.qpf_uses));
       } else if (cmd == ".delete") {
@@ -151,9 +359,17 @@ int main(int argc, char** argv) {
           std::printf("usage: .delete <tid>\n");
           continue;
         }
-        index.Delete(tid);
+        if (sharded != nullptr) {
+          sharded->Delete(tid);
+        } else {
+          index.Delete(tid);
+        }
         std::printf("tombstoned tuple %u\n", tid);
       } else if (cmd == ".save" || cmd == ".load") {
+        if (sharded != nullptr) {
+          std::printf("%s is unavailable in sharded mode\n", cmd.c_str());
+          continue;
+        }
         std::string path;
         if (!(in >> path)) {
           std::printf("usage: %s <path>\n", cmd.c_str());
@@ -165,6 +381,16 @@ int main(int argc, char** argv) {
       } else {
         std::printf("unknown command %s\n", cmd.c_str());
       }
+      continue;
+    }
+
+    if (sharded != nullptr) {
+      auto stmt = query::Parse(line);
+      if (!stmt.ok()) {
+        std::printf("error: %s\n", stmt.status().ToString().c_str());
+        continue;
+      }
+      RunSharded(stmt.value(), catalog, backend, sharded.get());
       continue;
     }
 
