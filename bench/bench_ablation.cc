@@ -110,9 +110,9 @@ int Main(int argc, char** argv) {
       early.Add(static_cast<double>(db.uses() - before));
       // Scan-both alternative: always pay both partitions in full.
       both.Add(static_cast<double>(
-          index.pop(0).members_at(filter.ns_a).size() +
+          index.pop(0).members_at(filter.ns_a).Size() +
           (filter.ns_b != filter.ns_a
-               ? index.pop(0).members_at(filter.ns_b).size()
+               ? index.pop(0).members_at(filter.ns_b).Size()
                : 0)));
     }
     TablePrinter tp("(b) NS-pair scan cost");

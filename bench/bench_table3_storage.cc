@@ -27,7 +27,7 @@ int Main(int argc, char** argv) {
   JsonBench json("bench_table3_storage", args);
   TablePrinter tp("index storage (MB)");
   tp.SetHeader({"paper rows", "actual rows", "PRKB-250", "PRKB-600",
-                "Log-SRC-i"});
+                "memb raw", "memb compressed", "Log-SRC-i"});
   for (size_t paper_rows : paper_sizes) {
     const size_t rows = ScaledRows(paper_rows, args.scale);
     workload::SyntheticSpec spec;
@@ -46,6 +46,13 @@ int Main(int argc, char** argv) {
       if (q == 250) prkb250 = static_cast<double>(index.SizeBytes()) / 1e6;
     }
     const double prkb600 = static_cast<double>(index.SizeBytes()) / 1e6;
+    // Membership footprint side by side: what the partitions' tuple-id sets
+    // would cost as raw vector<TupleId> vs the compressed MemberSets actually
+    // held (bench_memory_10m isolates this across data shapes).
+    const double memb_raw_mb =
+        static_cast<double>(index.pop(0).RawMembershipBytes()) / 1e6;
+    const double memb_mb =
+        static_cast<double>(index.pop(0).MembershipBytes()) / 1e6;
 
     srci::LogSrcI srci_index(&db, 0, spec.domain_lo, spec.domain_hi);
     if (auto s = srci_index.Build(); !s.ok()) {
@@ -56,12 +63,15 @@ int Main(int argc, char** argv) {
 
     tp.AddRow({std::to_string(paper_rows / 1'000'000) + "M",
                std::to_string(rows), TablePrinter::Fmt(prkb250, 2),
-               TablePrinter::Fmt(prkb600, 2), TablePrinter::Fmt(srci_mb, 1)});
+               TablePrinter::Fmt(prkb600, 2), TablePrinter::Fmt(memb_raw_mb, 2),
+               TablePrinter::Fmt(memb_mb, 3), TablePrinter::Fmt(srci_mb, 1)});
     json.BeginRow();
     json.Field("paper_rows", static_cast<uint64_t>(paper_rows));
     json.Field("rows", static_cast<uint64_t>(rows));
     json.Field("prkb250_mb", prkb250);
     json.Field("prkb600_mb", prkb600);
+    json.Field("membership_raw_mb", memb_raw_mb);
+    json.Field("membership_compressed_mb", memb_mb);
     json.Field("srci_mb", srci_mb);
   }
   tp.Print();

@@ -1,8 +1,27 @@
 #include "common/serial.h"
 
+#include <array>
 #include <cstring>
 
 namespace prkb {
+
+uint32_t Crc32(const uint8_t* data, size_t size) {
+  // Byte-at-a-time table, built once (reflected 0xEDB88320 polynomial).
+  static const auto table = [] {
+    std::array<uint32_t, 256> t{};
+    for (uint32_t i = 0; i < 256; ++i) {
+      uint32_t c = i;
+      for (int k = 0; k < 8; ++k) c = (c & 1) ? 0xEDB88320u ^ (c >> 1) : c >> 1;
+      t[i] = c;
+    }
+    return t;
+  }();
+  uint32_t crc = 0xFFFFFFFFu;
+  for (size_t i = 0; i < size; ++i) {
+    crc = table[(crc ^ data[i]) & 0xFF] ^ (crc >> 8);
+  }
+  return crc ^ 0xFFFFFFFFu;
+}
 
 void Encoder::PutU32(uint32_t v) {
   for (int i = 0; i < 4; ++i) buf_.push_back(static_cast<uint8_t>(v >> (8 * i)));

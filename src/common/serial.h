@@ -28,6 +28,11 @@ class Encoder {
   std::vector<uint8_t> buf_;
 };
 
+/// CRC-32 (IEEE 802.3 polynomial, reflected) over `data[0..size)`. Frames
+/// every WAL record (prkb/wal.h) so torn or bit-flipped tails are detected
+/// on replay.
+uint32_t Crc32(const uint8_t* data, size_t size);
+
 /// Counterpart decoder. All getters return Corruption on truncated input.
 class Decoder {
  public:

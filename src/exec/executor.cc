@@ -18,6 +18,7 @@
 #include "obs/metrics.h"
 #include "obs/trace.h"
 #include "prkb/selection.h"
+#include "prkb/wal.h"
 
 namespace prkb::exec {
 
@@ -143,12 +144,11 @@ std::vector<TupleId> Executor::RunComparison(
   std::vector<TupleId> result;
   size_t win_size = 0;
   for (size_t p = filter.win_begin; p < filter.win_end; ++p) {
-    win_size += pop.members_at(p).size();
+    win_size += pop.members_at(p).Size();
   }
   result.reserve(win_size + scan.winners.size());
   for (size_t p = filter.win_begin; p < filter.win_end; ++p) {
-    const auto& m = pop.members_at(p);
-    result.insert(result.end(), m.begin(), m.end());
+    pop.members_at(p).AppendTo(&result);
   }
   result.insert(result.end(), scan.winners.begin(), scan.winners.end());
 
@@ -336,6 +336,11 @@ std::vector<TupleId> Executor::Run(Plan* plan, SelectionStats* stats) {
     ExecMetrics::Get().est_error_pct->Record(
         static_cast<uint64_t>(err * 100.0));
   }
+  // Group-commit the chain mutations this plan produced. Run() is the one
+  // funnel every selection path shares (PrkbIndex::Select* and the planner's
+  // direct execution), so the WAL's one-fsync-per-logical-op contract holds
+  // regardless of which layer drove the plan.
+  if (core::PrkbWal* wal = index_->wal()) (void)wal->Commit();
   return result;
 }
 

@@ -33,9 +33,10 @@ ExtremeResult FindExtreme(const core::PrkbIndex& index,
     const core::Pop& pop = index.pop(attr);
     // The extreme lives in one of the two end partitions — the SP does not
     // know which end is which, so both are candidates.
-    for (TupleId tid : pop.members_at(0)) consider(tid, &best);
+    pop.members_at(0).ForEach([&](TupleId tid) { consider(tid, &best); });
     if (pop.k() > 1) {
-      for (TupleId tid : pop.members_at(pop.k() - 1)) consider(tid, &best);
+      pop.members_at(pop.k() - 1).ForEach(
+          [&](TupleId tid) { consider(tid, &best); });
     }
   } else {
     for (TupleId tid = 0; tid < db->num_rows(); ++tid) {

@@ -274,8 +274,7 @@ std::vector<TupleId> PrkbIndex::SelectBetween(const Trapdoor& td,
     result.insert(result.end(), sp.t_members.begin(), sp.t_members.end());
   }
   for (size_t p = middle_begin; p < middle_end; ++p) {
-    const auto& m = pop.members_at(p);
-    result.insert(result.end(), m.begin(), m.end());
+    pop.members_at(p).AppendTo(&result);
   }
 
   // ---- Phase 4: updatePRKB. ----
@@ -310,9 +309,8 @@ std::vector<TupleId> PrkbIndex::SelectBetween(const Trapdoor& td,
         s.t_left ? std::move(sp.t_members) : std::move(sp.f_members);
     std::vector<TupleId> right =
         s.t_left ? std::move(sp.f_members) : std::move(sp.t_members);
-    cut_ids.push_back(pop.SplitPartition(s.pid, std::move(left),
-                                         std::move(right), td,
-                                         /*left_label=*/s.t_left));
+    cut_ids.push_back(
+        pop.SplitPartition(s.pid, left, right, td, /*left_label=*/s.t_left));
   }
   if (cut_ids.size() == 2) {
     pop.LinkBetweenCuts(cut_ids[0], cut_ids[1]);

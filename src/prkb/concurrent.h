@@ -2,14 +2,17 @@
 #define PRKB_PRKB_CONCURRENT_H_
 
 #include <array>
+#include <memory>
 #include <mutex>
 #include <shared_mutex>
 #include <string>
 #include <vector>
 
+#include "common/result.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
 #include "prkb/selection.h"
+#include "prkb/wal.h"
 
 namespace prkb::core {
 
@@ -74,6 +77,36 @@ class ConcurrentPrkbIndex {
   void EnableAttr(edbms::AttrId attr) {
     const auto lock = LockExclusive(map_mu_);
     index_.EnableAttr(attr);
+    MaybeCompactWal();
+  }
+
+  /// Durable serving: opens (recovering) a WAL on the inner index, under the
+  /// exclusive lock. auto_compact is forced off — compaction snapshots every
+  /// chain at once, which is only safe under the exclusive map lock, so this
+  /// facade runs deferred compactions itself at its exclusive points.
+  Status OpenWal(const std::string& dir, WalOptions options = {}) {
+    const auto lock = LockExclusive(map_mu_);
+    if (wal_ != nullptr) {
+      return Status::InvalidArgument("WAL already open");
+    }
+    options.auto_compact = false;
+    PRKB_ASSIGN_OR_RETURN(wal_, PrkbWal::Open(&index_, dir, options));
+    return Status::Ok();
+  }
+
+  /// The attached WAL (for `.wal` status lines), or nullptr.
+  PrkbWal* wal() const { return wal_.get(); }
+
+  Status CompactWal() {
+    const auto lock = LockExclusive(map_mu_);
+    if (wal_ == nullptr) return Status::InvalidArgument("no WAL open");
+    return wal_->Compact();
+  }
+
+  /// Detaches and destroys the WAL (committing pending records first).
+  void CloseWal() {
+    const auto lock = LockExclusive(map_mu_);
+    wal_.reset();
   }
 
   std::vector<edbms::TupleId> Select(const edbms::Trapdoor& td,
@@ -94,25 +127,32 @@ class ConcurrentPrkbIndex {
       const std::vector<edbms::Trapdoor>& tds,
       edbms::SelectionStats* stats = nullptr) {
     const auto lock = LockExclusive(map_mu_);
-    return index_.SelectRangeMd(tds, stats);
+    auto out = index_.SelectRangeMd(tds, stats);
+    MaybeCompactWal();
+    return out;
   }
 
   std::vector<edbms::TupleId> SelectRangeSdPlus(
       const std::vector<edbms::Trapdoor>& tds,
       edbms::SelectionStats* stats = nullptr) {
     const auto lock = LockExclusive(map_mu_);
-    return index_.SelectRangeSdPlus(tds, stats);
+    auto out = index_.SelectRangeSdPlus(tds, stats);
+    MaybeCompactWal();
+    return out;
   }
 
   edbms::TupleId Insert(const std::vector<edbms::Value>& row,
                         edbms::SelectionStats* stats = nullptr) {
     const auto lock = LockExclusive(map_mu_);
-    return index_.Insert(row, stats);
+    const auto tid = index_.Insert(row, stats);
+    MaybeCompactWal();
+    return tid;
   }
 
   void Delete(edbms::TupleId tid) {
     const auto lock = LockExclusive(map_mu_);
     index_.Delete(tid);
+    MaybeCompactWal();
   }
 
   /// Chain-only halves of Insert/Delete for the sharded router
@@ -122,11 +162,13 @@ class ConcurrentPrkbIndex {
                    edbms::SelectionStats* stats = nullptr) {
     const auto lock = LockExclusive(map_mu_);
     index_.PlaceStored(tid, stats);
+    MaybeCompactWal();
   }
 
   void EraseFromChains(edbms::TupleId tid) {
     const auto lock = LockExclusive(map_mu_);
     index_.EraseFromChains(tid);
+    MaybeCompactWal();
   }
 
   bool IsEnabled(edbms::AttrId attr) const {
@@ -168,6 +210,12 @@ class ConcurrentPrkbIndex {
  private:
   static constexpr size_t kStripes = 16;
 
+  /// Runs a compaction the stripe-locked Select path had to defer. Caller
+  /// must hold map_mu_ exclusively.
+  void MaybeCompactWal() {
+    if (wal_ != nullptr && wal_->compact_pending()) (void)wal_->Compact();
+  }
+
   std::shared_mutex& StripeFor(edbms::AttrId attr) const {
     return stripes_[attr % kStripes];
   }
@@ -206,6 +254,8 @@ class ConcurrentPrkbIndex {
   mutable std::shared_mutex map_mu_;
   mutable std::array<std::shared_mutex, kStripes> stripes_;
   PrkbIndex index_;
+  /// Declared after index_ so destruction detaches the WAL first.
+  std::unique_ptr<PrkbWal> wal_;
 };
 
 }  // namespace prkb::core

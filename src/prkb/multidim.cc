@@ -223,9 +223,10 @@ std::vector<TupleId> PrkbIndex::RunMd(
   // ---- Step 2: test tuples in the NS bands (Fig. 6b / Fig. 7). ----
   for (PredCtx& owner : preds) {
     for (int i = 0; i < owner.ns_count; ++i) {
-      // Copy: EvalForTuple never reorders members, but be explicit that the
-      // iteration set is the membership at classification time.
-      const auto& members = owner.pop->members(owner.ns[i].pid);
+      // Materialise: the iteration set is the membership at classification
+      // time, in ascending tuple order.
+      const std::vector<TupleId> members =
+          owner.pop->members(owner.ns[i].pid).ToVector();
 
       if (!policy.batched()) {
         // Scalar path: per tuple, cheap classification pass, then undecided
@@ -342,8 +343,8 @@ std::vector<TupleId> PrkbIndex::RunMd(
           (first.NsIndexOf(pid) >= 0 &&
            first.ns[first.NsIndexOf(pid)].known == 1);
       if (!sure_true) continue;
-      for (TupleId tid : first.pop->members(pid)) {
-        if (visited.Get(tid)) continue;
+      first.pop->members(pid).ForEach([&](TupleId tid) {
+        if (visited.Get(tid)) return;
         bool all_true = true;
         for (size_t p = 1; p < preds.size(); ++p) {
           if (ClassifyTuple(preds[p], tid) != 1) {
@@ -352,7 +353,7 @@ std::vector<TupleId> PrkbIndex::RunMd(
           }
         }
         if (all_true) result.push_back(tid);
-      }
+      });
     }
   }
 
@@ -363,7 +364,7 @@ std::vector<TupleId> PrkbIndex::RunMd(
         PredCtx::Ns& ns = pc.ns[i];
         if (ns.known != -1) continue;
         if (!policy.batched()) {
-          for (TupleId tid : pc.pop->members(ns.pid)) {
+          for (TupleId tid : pc.pop->members(ns.pid).ToVector()) {
             if (!ns.outcome.contains(tid)) EvalForTuple(&pc, db_, tid);
             if (ns.known != -1) break;  // partner inference fired
           }
@@ -371,7 +372,8 @@ std::vector<TupleId> PrkbIndex::RunMd(
         }
         // Chunk-granular early stop: the inference check runs between batch
         // round trips instead of between scalar calls.
-        const auto& members = pc.pop->members(ns.pid);
+        const std::vector<TupleId> members =
+            pc.pop->members(ns.pid).ToVector();
         for (size_t base = 0;
              base < members.size() && ns.known == -1;
              base += policy.batch_size) {
@@ -405,7 +407,7 @@ std::vector<TupleId> PrkbIndex::RunMd(
       if (ns.t_count == 0 || ns.f_count == 0) {
         // Homogeneous as far as observed. Record the label only on full
         // coverage (an unscanned remainder could still differ).
-        if (ns.outcome.size() == pc.pop->members(ns.pid).size()) {
+        if (ns.outcome.size() == pc.pop->members(ns.pid).Size()) {
           pc.label_by_pid.emplace(ns.pid, ns.t_count > 0 ? 1 : 0);
         }
         continue;
@@ -426,7 +428,7 @@ std::vector<TupleId> PrkbIndex::RunMd(
       for (auto& [pid, g] : groups) {
         auto& [t_members, f_members] = g;
         if (t_members.size() + f_members.size() !=
-                pc.pop->members(pid).size() ||
+                pc.pop->members(pid).Size() ||
             (!t_members.empty() && !f_members.empty())) {
           continue;
         }
@@ -435,7 +437,7 @@ std::vector<TupleId> PrkbIndex::RunMd(
       for (auto& [pid, g] : groups) {
         auto& [t_members, f_members] = g;
         if (t_members.size() + f_members.size() !=
-            pc.pop->members(pid).size()) {
+            pc.pop->members(pid).Size()) {
           continue;  // incomplete (lazy mode): cannot split safely
         }
         if (t_members.empty() || f_members.empty()) {

@@ -47,19 +47,26 @@ void Pop::InitSingle(const std::vector<TupleId>& tuples) {
   cuts_.clear();
   cut_index_.clear();
   fp_cache_.clear();
+  next_cut_id_ = 1;
   num_tuples_ = tuples.size();
-  if (tuples.empty()) return;  // empty table: empty chain
+  if (tuples.empty()) {
+    // Empty table: empty chain — still announced, so a WAL replays the
+    // enable and recovers an empty-but-enabled attribute.
+    if (listener_ != nullptr) listener_->OnInit(MemberSet());
+    return;
+  }
 
-  const PartitionId pid = NewPartition(tuples);
+  const PartitionId pid = NewPartition(MemberSet::FromTuples(tuples));
   chain_.push_back(pid);
   pos_.resize(1, 0);
   for (TupleId tid : tuples) {
     if (tid >= part_of_.size()) part_of_.resize(tid + 1, kNoPartition);
     part_of_[tid] = pid;
   }
+  if (listener_ != nullptr) listener_->OnInit(slots_[pid].members);
 }
 
-PartitionId Pop::NewPartition(std::vector<TupleId> members) {
+PartitionId Pop::NewPartition(MemberSet members) {
   const PartitionId pid = static_cast<PartitionId>(slots_.size());
   slots_.push_back(Slot{std::move(members), /*live=*/true});
   return pid;
@@ -73,13 +80,21 @@ void Pop::RebuildPositionsFrom(size_t pos) {
 }
 
 uint64_t Pop::SplitPartition(PartitionId pid,
-                             std::vector<TupleId> left_members,
-                             std::vector<TupleId> right_members,
+                             const std::vector<TupleId>& left_members,
+                             const std::vector<TupleId>& right_members,
                              const edbms::Trapdoor& td, bool left_label) {
+  return SplitPartitionSets(pid, MemberSet::FromTuples(left_members),
+                            MemberSet::FromTuples(right_members), td,
+                            left_label);
+}
+
+uint64_t Pop::SplitPartitionSets(PartitionId pid, MemberSet left_members,
+                                 MemberSet right_members,
+                                 const edbms::Trapdoor& td, bool left_label) {
   assert(pid < slots_.size() && slots_[pid].live);
-  assert(!left_members.empty() && !right_members.empty());
-  assert(left_members.size() + right_members.size() ==
-         slots_[pid].members.size());
+  assert(!left_members.Empty() && !right_members.Empty());
+  assert(left_members.Size() + right_members.Size() ==
+         slots_[pid].members.Size());
 
   const size_t pos = pos_[pid];
   // The RIGHT half keeps the old pid so that cuts recorded as "immediately
@@ -88,7 +103,8 @@ uint64_t Pop::SplitPartition(PartitionId pid,
   // left neighbour... (the left half is inserted just before `pid`).
   slots_[pid].members = std::move(right_members);
   const PartitionId left_pid = NewPartition(std::move(left_members));
-  for (TupleId tid : slots_[left_pid].members) part_of_[tid] = left_pid;
+  slots_[left_pid].members.ForEach(
+      [&](TupleId tid) { part_of_[tid] = left_pid; });
 
   chain_.insert(chain_.begin() + static_cast<ptrdiff_t>(pos), left_pid);
   RebuildPositionsFrom(pos);
@@ -103,6 +119,9 @@ uint64_t Pop::SplitPartition(PartitionId pid,
   cuts_.push_back(std::move(cut));
   PopMetrics::Get().splits->Add(1);
   PopMetrics::Get().chain_k_after_split->Record(chain_.size());
+  if (listener_ != nullptr) {
+    listener_->OnSplit(pos, slots_[left_pid].members, td, left_label);
+  }
   return cuts_.back().id;
 }
 
@@ -112,15 +131,17 @@ void Pop::LinkBetweenCuts(uint64_t low_cut, uint64_t high_cut) {
   assert(lo != cut_index_.end() && hi != cut_index_.end());
   cuts_[lo->second].sibling = high_cut;
   cuts_[hi->second].sibling = low_cut;
+  if (listener_ != nullptr) listener_->OnLinkBetween(low_cut, high_cut);
 }
 
 void Pop::AddTuple(PartitionId pid, TupleId tid) {
   assert(pid < slots_.size() && slots_[pid].live);
   if (tid >= part_of_.size()) part_of_.resize(tid + 1, kNoPartition);
   assert(part_of_[tid] == kNoPartition);
-  slots_[pid].members.push_back(tid);
+  slots_[pid].members.Add(tid);
   part_of_[tid] = pid;
   ++num_tuples_;
+  if (listener_ != nullptr) listener_->OnAdd(pos_[pid], tid);
 }
 
 void Pop::DropCut(size_t cut_idx) {
@@ -145,15 +166,15 @@ void Pop::DropCut(size_t cut_idx) {
 void Pop::RemoveTuple(TupleId tid) {
   assert(tid < part_of_.size() && part_of_[tid] != kNoPartition);
   const PartitionId pid = part_of_[tid];
-  auto& members = slots_[pid].members;
-  auto it = std::find(members.begin(), members.end(), tid);
-  assert(it != members.end());
-  *it = members.back();
-  members.pop_back();
+  MemberSet& members = slots_[pid].members;
+  const bool removed = members.Remove(tid);
+  assert(removed);
+  (void)removed;
   part_of_[tid] = kNoPartition;
   --num_tuples_;
+  if (listener_ != nullptr) listener_->OnRemove(tid);
 
-  if (!members.empty()) return;
+  if (!members.Empty()) return;
 
   // The partition emptied: remove it from the chain (POPᶜₖ becomes
   // POPᶜₖ₋₁, Sec. 7.2) and repair cut anchors.
@@ -200,13 +221,11 @@ PartitionId Pop::MergeAt(size_t pos) {
   PopMetrics::Get().merges->Add(1);
   const PartitionId left = chain_[pos];
   const PartitionId right = chain_[pos + 1];
-  auto& lm = slots_[left].members;
-  auto& rm = slots_[right].members;
-  for (TupleId tid : rm) {
-    part_of_[tid] = left;
-    lm.push_back(tid);
-  }
-  rm.clear();
+  MemberSet& lm = slots_[left].members;
+  MemberSet& rm = slots_[right].members;
+  rm.ForEach([&](TupleId tid) { part_of_[tid] = left; });
+  lm.UnionWith(rm);
+  rm.Clear();
   slots_[right].live = false;
   chain_.erase(chain_.begin() + static_cast<ptrdiff_t>(pos) + 1);
   RebuildPositionsFrom(pos);
@@ -225,6 +244,7 @@ PartitionId Pop::MergeAt(size_t pos) {
       cut.left_pid = left;
     }
   }
+  if (listener_ != nullptr) listener_->OnMerge(pos);
   return left;
 }
 
@@ -238,6 +258,7 @@ const Pop::Cut* Pop::FindCut(uint64_t id) const {
 void Pop::RememberComparison(const TrapdoorFp& fp, uint64_t cut_id) {
   assert(FindCut(cut_id) != nullptr && FindCut(cut_id)->fp == fp);
   fp_cache_.insert_or_assign(fp, FastPathEntry{cut_id, kNoCut});
+  if (listener_ != nullptr) listener_->OnRememberComparison(cut_id);
 }
 
 void Pop::RememberBetween(const TrapdoorFp& fp, uint64_t low_cut,
@@ -245,6 +266,7 @@ void Pop::RememberBetween(const TrapdoorFp& fp, uint64_t low_cut,
   assert(FindCut(low_cut) != nullptr && FindCut(low_cut)->fp == fp);
   assert(FindCut(high_cut) != nullptr && FindCut(high_cut)->fp == fp);
   fp_cache_.insert_or_assign(fp, FastPathEntry{low_cut, high_cut});
+  if (listener_ != nullptr) listener_->OnRememberBetween(low_cut, high_cut);
 }
 
 const Pop::FastPathEntry* Pop::LookupFastPath(const TrapdoorFp& fp) const {
@@ -273,20 +295,32 @@ std::vector<TupleId> Pop::AssembleFastPath(const FastPathEntry& e) const {
     end = std::max(a, b);
   }
   size_t n = 0;
-  for (size_t p = begin; p < end; ++p) n += slots_[chain_[p]].members.size();
+  for (size_t p = begin; p < end; ++p) n += slots_[chain_[p]].members.Size();
   std::vector<TupleId> out;
   out.reserve(n);
   for (size_t p = begin; p < end; ++p) {
-    const auto& m = slots_[chain_[p]].members;
-    out.insert(out.end(), m.begin(), m.end());
+    slots_[chain_[p]].members.AppendTo(&out);
   }
   return out;
 }
 
+size_t Pop::MembershipBytes() const {
+  size_t bytes = 0;
+  for (PartitionId pid : chain_) bytes += slots_[pid].members.SizeBytes();
+  return bytes;
+}
+
+size_t Pop::MembershipContainers() const {
+  size_t n = 0;
+  for (PartitionId pid : chain_) n += slots_[pid].members.ContainerCount();
+  return n;
+}
+
 size_t Pop::SizeBytes() const {
   size_t bytes = 0;
-  // Partition membership: the 4 bytes/tuple the paper's Table 3 reports.
-  bytes += num_tuples_ * sizeof(TupleId);
+  // Partition membership, compressed (Table 3 compares this against the
+  // 4 bytes/tuple the raw representation pays; RawMembershipBytes()).
+  bytes += MembershipBytes();
   // Chain order.
   bytes += chain_.size() * sizeof(PartitionId);
   // Retained trapdoors for update handling (the paper's "slight increase").
@@ -307,15 +341,15 @@ Status Pop::Validate() const {
       return Status::Corruption("dead partition in chain");
     }
     if (pos_[pid] != p) return Status::Corruption("pos_ out of sync");
-    if (slots_[pid].members.empty()) {
+    if (slots_[pid].members.Empty()) {
       return Status::Corruption("empty partition in chain");
     }
-    for (TupleId tid : slots_[pid].members) {
-      if (tid >= part_of_.size() || part_of_[tid] != pid) {
-        return Status::Corruption("part_of_ out of sync");
-      }
+    bool in_sync = true;
+    slots_[pid].members.ForEach([&](TupleId tid) {
+      if (tid >= part_of_.size() || part_of_[tid] != pid) in_sync = false;
       ++covered;
-    }
+    });
+    if (!in_sync) return Status::Corruption("part_of_ out of sync");
   }
   if (covered != num_tuples_) {
     return Status::Corruption("num_tuples_ out of sync");
@@ -357,13 +391,16 @@ Status Pop::ValidateAgainstPlain(const std::vector<Value>& plain_of) const {
   for (PartitionId pid : chain_) {
     Value lo = std::numeric_limits<Value>::max();
     Value hi = std::numeric_limits<Value>::min();
-    for (TupleId tid : slots_[pid].members) {
+    bool missing = false;
+    slots_[pid].members.ForEach([&](TupleId tid) {
       if (tid >= plain_of.size()) {
-        return Status::InvalidArgument("missing plain value");
+        missing = true;
+        return;
       }
       lo = std::min(lo, plain_of[tid]);
       hi = std::max(hi, plain_of[tid]);
-    }
+    });
+    if (missing) return Status::InvalidArgument("missing plain value");
     ranges.push_back(Range{lo, hi});
   }
   // The chain must be strictly increasing or strictly decreasing in value

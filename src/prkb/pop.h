@@ -11,12 +11,41 @@
 #include "edbms/encryption.h"
 #include "edbms/types.h"
 #include "prkb/fingerprint.h"
+#include "prkb/memberset.h"
 
 namespace prkb::core {
 
 /// Identifier of a partition. Stable across chain mutations (splits shift
-/// chain *positions*, never ids).
+/// chain *positions*, never ids) but NOT across snapshot round trips —
+/// persistence references partitions by chain position and cuts by id.
 using PartitionId = uint32_t;
+
+/// Observer of chain mutations. The WAL (prkb/wal.h) implements this to turn
+/// every knowledge-changing operation into a log record; replay re-runs the
+/// same operations with the listener detached. Callbacks fire *after* the
+/// mutation, under whatever lock the caller already holds.
+///
+/// The callback arguments are chosen to be replayable: partitions are
+/// identified by chain position (stable across snapshot round trips, exact at
+/// replay time because records apply in order) and cuts by id (persisted
+/// verbatim by the v2 snapshot and reassigned deterministically by
+/// SplitPartition during replay).
+class PopListener {
+ public:
+  virtual ~PopListener() = default;
+  /// InitSingle re-seeded the chain with one partition holding `members`.
+  virtual void OnInit(const MemberSet& members) = 0;
+  /// A split put `left_members` at chain position `left_pos` and the
+  /// remainder at `left_pos`+1, separated by a new cut built from `td`.
+  virtual void OnSplit(size_t left_pos, const MemberSet& left_members,
+                       const edbms::Trapdoor& td, bool left_label) = 0;
+  virtual void OnLinkBetween(uint64_t low_cut, uint64_t high_cut) = 0;
+  virtual void OnAdd(size_t pos, edbms::TupleId tid) = 0;
+  virtual void OnRemove(edbms::TupleId tid) = 0;
+  virtual void OnMerge(size_t pos) = 0;
+  virtual void OnRememberComparison(uint64_t cut_id) = 0;
+  virtual void OnRememberBetween(uint64_t low_cut, uint64_t high_cut) = 0;
+};
 
 /// Partial order partitions POPᶜₖ of one attribute (Def. 4.2): an ordered
 /// chain of disjoint tuple groups P₁ ↦ P₂ ↦ … ↦ Pₖ such that all plain values
@@ -28,6 +57,10 @@ using PartitionId = uint32_t;
 /// Alongside the chain we remember, per known separating point, the trapdoor
 /// that created it (a "cut"). Cuts power insertion handling (Sec. 7.1): an
 /// O(lg k) binary search re-evaluates old trapdoors on the new tuple.
+///
+/// Membership is stored compressed (MemberSet); all iteration is in
+/// ascending tuple-id order, so winner assembly and serialisation are
+/// deterministic functions of the chain state.
 class Pop {
  public:
   static constexpr PartitionId kNoPartition =
@@ -76,10 +109,10 @@ class Pop {
 
   PartitionId pid_at(size_t pos) const { return chain_[pos]; }
   size_t pos_of(PartitionId pid) const { return pos_[pid]; }
-  const std::vector<edbms::TupleId>& members(PartitionId pid) const {
+  const MemberSet& members(PartitionId pid) const {
     return slots_[pid].members;
   }
-  const std::vector<edbms::TupleId>& members_at(size_t pos) const {
+  const MemberSet& members_at(size_t pos) const {
     return members(chain_[pos]);
   }
   /// Partition currently holding `tid`, or kNoPartition.
@@ -95,9 +128,14 @@ class Pop {
   /// comparison trapdoors). Both halves must be non-empty and together equal
   /// the old membership. Returns the new cut's id.
   uint64_t SplitPartition(PartitionId pid,
-                          std::vector<edbms::TupleId> left_members,
-                          std::vector<edbms::TupleId> right_members,
+                          const std::vector<edbms::TupleId>& left_members,
+                          const std::vector<edbms::TupleId>& right_members,
                           const edbms::Trapdoor& td, bool left_label);
+  /// Set-op form: the halves are already compressed (WAL replay ships only
+  /// the left delta and computes right = old \ left).
+  uint64_t SplitPartitionSets(PartitionId pid, MemberSet left_members,
+                              MemberSet right_members,
+                              const edbms::Trapdoor& td, bool left_label);
 
   /// Marks two cuts as the two ends of one BETWEEN trapdoor's region.
   void LinkBetweenCuts(uint64_t low_cut, uint64_t high_cut);
@@ -150,20 +188,37 @@ class Pop {
   /// mutate and are safe under a shared lock.
   const FastPathEntry* LookupFastPath(const TrapdoorFp& fp) const;
   /// Zero-QPF answer: concatenates the members of every partition on the
-  /// satisfied side of the entry's cut(s).
+  /// satisfied side of the entry's cut(s), each in ascending tuple order.
   std::vector<edbms::TupleId> AssembleFastPath(const FastPathEntry& e) const;
   size_t fast_path_entries() const { return fp_cache_.size(); }
 
+  /// --- Persistence hooks ----------------------------------------------------
+
+  /// Attaches (or detaches, with nullptr) a mutation observer. Not part of
+  /// the serialised state; survives moves, not snapshot round trips.
+  void set_listener(PopListener* listener) { listener_ = listener; }
+  PopListener* listener() const { return listener_; }
+
   /// --- Accounting / diagnostics -------------------------------------------
 
-  /// Index footprint (Table 3): partition membership plus retained trapdoors.
+  /// Index footprint (Table 3): compressed partition membership plus chain
+  /// order, retained trapdoors and the fast-path cache.
   size_t SizeBytes() const;
+  /// Compressed membership bytes alone (the MemberSet payloads).
+  size_t MembershipBytes() const;
+  /// What the membership would cost as raw vector<TupleId> storage —
+  /// the pre-compression representation Table 3 originally reported.
+  size_t RawMembershipBytes() const { return num_tuples_ * sizeof(edbms::TupleId); }
+  /// Total MemberSet containers across the chain (memberset.containers).
+  size_t MembershipContainers() const;
 
   /// Structural invariant check (chain/pos/membership consistency).
   Status Validate() const;
 
-  /// Serialises the chain and its cuts (prkb_io.cc). The encoding is
-  /// position-based so ids may differ after a round trip; semantics do not.
+  /// Serialises the chain and its cuts (prkb_io.cc). Deterministic: members
+  /// encode in ascending order, the fast-path cache fingerprint-sorted, and
+  /// cut ids are preserved verbatim — so equal knowledge states encode to
+  /// equal bytes, which is what the crash-recovery differential test checks.
   void EncodeTo(Encoder* enc) const;
   /// Rebuilds the chain from `dec`; returns Corruption on malformed input.
   Status DecodeFrom(Decoder* dec);
@@ -176,11 +231,11 @@ class Pop {
 
  private:
   struct Slot {
-    std::vector<edbms::TupleId> members;
+    MemberSet members;
     bool live = false;
   };
 
-  PartitionId NewPartition(std::vector<edbms::TupleId> members);
+  PartitionId NewPartition(MemberSet members);
   void RebuildPositionsFrom(size_t pos);
   void DropCut(size_t cut_idx);
 
@@ -193,6 +248,7 @@ class Pop {
   std::unordered_map<TrapdoorFp, FastPathEntry, TrapdoorFpHash> fp_cache_;
   uint64_t next_cut_id_ = 1;
   size_t num_tuples_ = 0;
+  PopListener* listener_ = nullptr;
 };
 
 }  // namespace prkb::core

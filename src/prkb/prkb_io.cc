@@ -17,6 +17,8 @@ constexpr uint32_t kMagic = 0x50524B42;  // "PRKB"
 // cache reference cuts by id.
 constexpr uint8_t kVersion = 2;
 
+}  // namespace
+
 void EncodeTrapdoor(Encoder* enc, const edbms::Trapdoor& td) {
   enc->PutU32(td.attr);
   enc->PutU8(static_cast<uint8_t>(td.kind));
@@ -37,14 +39,14 @@ Status DecodeTrapdoor(Decoder* dec, edbms::Trapdoor* td) {
   return Status::Ok();
 }
 
-}  // namespace
-
 void Pop::EncodeTo(Encoder* enc) const {
   enc->PutVarint(chain_.size());
   for (PartitionId pid : chain_) {
-    const auto& m = slots_[pid].members;
-    enc->PutVarint(m.size());
-    for (edbms::TupleId tid : m) enc->PutVarint(tid);
+    const MemberSet& m = slots_[pid].members;
+    enc->PutVarint(m.Size());
+    // Ascending, as MemberSet always iterates — the on-disk member lists are
+    // a deterministic function of the knowledge state.
+    m.ForEach([enc](edbms::TupleId tid) { enc->PutVarint(tid); });
   }
   // Cuts, referenced by chain position of their left partition.
   size_t live_cuts = 0;
@@ -92,14 +94,11 @@ Status Pop::DecodeFrom(Decoder* dec) {
     if (m == 0) return Status::Corruption("empty partition");
     std::vector<edbms::TupleId> members;
     members.reserve(m);
+    const PartitionId pid = static_cast<PartitionId>(slots_.size());
     for (uint64_t i = 0; i < m; ++i) {
       uint64_t tid;
       PRKB_RETURN_IF_ERROR(dec->GetVarint(&tid));
       members.push_back(static_cast<edbms::TupleId>(tid));
-    }
-    const PartitionId pid = NewPartition(std::move(members));
-    chain_.push_back(pid);
-    for (edbms::TupleId tid : slots_[pid].members) {
       if (tid >= part_of_.size()) part_of_.resize(tid + 1, kNoPartition);
       if (part_of_[tid] != kNoPartition) {
         return Status::Corruption("tuple in two partitions");
@@ -107,6 +106,8 @@ Status Pop::DecodeFrom(Decoder* dec) {
       part_of_[tid] = pid;
       ++num_tuples_;
     }
+    NewPartition(MemberSet::FromTuples(members));
+    chain_.push_back(pid);
   }
   RebuildPositionsFrom(0);
 
@@ -167,7 +168,8 @@ Status SavePrkb(const PrkbIndex& index, const std::string& path) {
   return Status::Ok();
 }
 
-Status LoadPrkb(PrkbIndex* index, const std::string& path) {
+Status LoadPrkb(PrkbIndex* index, const std::string& path,
+                std::vector<edbms::AttrId>* loaded) {
   std::FILE* f = std::fopen(path.c_str(), "rb");
   if (f == nullptr) return Status::IoError("cannot open " + path);
   std::fseek(f, 0, SEEK_END);
@@ -193,6 +195,7 @@ Status LoadPrkb(PrkbIndex* index, const std::string& path) {
     Pop pop;
     PRKB_RETURN_IF_ERROR(pop.DecodeFrom(&dec));
     index->InstallPop(attr, std::move(pop));
+    if (loaded != nullptr) loaded->push_back(attr);
   }
   if (!dec.Done()) return Status::Corruption("trailing bytes");
   return Status::Ok();

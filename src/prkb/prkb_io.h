@@ -2,7 +2,9 @@
 #define PRKB_PRKB_PRKB_IO_H_
 
 #include <string>
+#include <vector>
 
+#include "common/serial.h"
 #include "common/status.h"
 #include "prkb/selection.h"
 
@@ -16,7 +18,15 @@ Status SavePrkb(const PrkbIndex& index, const std::string& path);
 
 /// Restores a snapshot written by SavePrkb into `index` (replacing any
 /// enabled attributes). The underlying EDBMS must contain the same tuples.
-Status LoadPrkb(PrkbIndex* index, const std::string& path);
+/// `loaded`, if non-null, receives the attributes the snapshot installed
+/// (the WAL uses this to tell recovered chains from first-attach ones).
+Status LoadPrkb(PrkbIndex* index, const std::string& path,
+                std::vector<edbms::AttrId>* loaded = nullptr);
+
+/// Shared sealed-trapdoor wire format (snapshot cuts and WAL split records
+/// use the same encoding).
+void EncodeTrapdoor(Encoder* enc, const edbms::Trapdoor& td);
+Status DecodeTrapdoor(Decoder* dec, edbms::Trapdoor* td);
 
 }  // namespace prkb::core
 

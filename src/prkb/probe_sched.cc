@@ -234,11 +234,13 @@ class QFilterEngine {
 
   void EnqueueSpec(ProbeRound* round, int source, size_t pos) {
     if (!opts_->speculative || prepaid_ == nullptr) return;
-    const auto& members = pop_->members_at(pos);
-    const size_t n = std::min(opts_->spec_chunk, members.size());
+    const MemberSet& members = pop_->members_at(pos);
+    const size_t n = std::min(opts_->spec_chunk, members.Size());
     for (size_t i = 0; i < n; ++i) {
-      spec_.push_back(
-          SpecLane{pos, members[i], round->Add(*td_, members[i], source)});
+      // Select(i) walks the compressed prefix: the speculative chunk covers
+      // the same member-order prefix ScanPartitionExact consumes.
+      const edbms::TupleId tid = members.Select(i);
+      spec_.push_back(SpecLane{pos, tid, round->Add(*td_, tid, source)});
     }
     ProbeSchedMetrics::Get().speculative->Add(n);
   }

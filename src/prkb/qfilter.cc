@@ -43,9 +43,10 @@ void RecordCall(const QFilterMetrics& metrics, uint64_t probes) {
 }  // namespace
 
 edbms::TupleId SamplePartition(const Pop& pop, size_t pos, Rng* rng) {
-  const auto& members = pop.members_at(pos);
-  assert(!members.empty());
-  return members[rng->UniformInt(0, members.size() - 1)];
+  const MemberSet& members = pop.members_at(pos);
+  assert(!members.Empty());
+  // Rank-select on the compressed set: no materialisation per probe.
+  return members.Select(rng->UniformInt(0, members.Size() - 1));
 }
 
 QFilterResult QFilter(const Pop& pop, const edbms::Trapdoor& td,

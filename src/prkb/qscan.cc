@@ -39,7 +39,9 @@ void ScanPartitionExact(const Pop& pop, size_t pos, const edbms::Trapdoor& td,
                         std::vector<edbms::TupleId>* true_out,
                         std::vector<edbms::TupleId>* false_out,
                         PrepaidScan* prepaid) {
-  const std::vector<edbms::TupleId>& members = pop.members_at(pos);
+  // Materialised once per scanned partition: QScan pays O(n/k) QPF calls on
+  // these tuples anyway, so the decompression is noise next to the oracle.
+  const std::vector<edbms::TupleId> members = pop.members_at(pos).ToVector();
   const QScanMetrics& metrics = QScanMetrics::Get();
   metrics.partitions_scanned->Add(1);
   metrics.tuples_scanned->Add(members.size());
@@ -101,9 +103,7 @@ QScanResult QScan(const Pop& pop, const QFilterResult& filter,
     out.split_true = std::move(a_true);
     out.split_false = std::move(a_false);
     if (filter.ns_b != filter.ns_a && filter.label_last) {
-      const auto& b_members = pop.members_at(filter.ns_b);
-      out.winners.insert(out.winners.end(), b_members.begin(),
-                         b_members.end());
+      pop.members_at(filter.ns_b).AppendTo(&out.winners);
     }
     return out;
   }

@@ -31,7 +31,11 @@ void PrkbIndex::EnableAttr(edbms::AttrId attr) {
   for (TupleId tid = 0; tid < db_->num_rows(); ++tid) {
     if (db_->IsLive(tid)) live.push_back(tid);
   }
-  pops_[attr].InitSingle(live);
+  Pop& pop = pops_[attr];
+  // Hook the chain to the WAL before initPRKB so the bootstrap init record
+  // lands in the log (replay needs it to recreate the chain).
+  if (wal_ != nullptr) WalHookAttr(attr);
+  pop.InitSingle(live);
 }
 
 uint64_t ApplyComparisonSplit(Pop* pop, const QFilterResult& filter,
@@ -63,7 +67,7 @@ uint64_t ApplyComparisonSplit(Pop* pop, const QFilterResult& filter,
   std::vector<TupleId> right = true_half_left ? std::move(scan.split_false)
                                               : std::move(scan.split_true);
   const PartitionId pid = pop->pid_at(s);
-  return pop->SplitPartition(pid, std::move(left), std::move(right), td,
+  return pop->SplitPartition(pid, left, right, td,
                              /*left_label=*/true_half_left);
 }
 
@@ -131,9 +135,9 @@ PrkbIndex::ChainStats PrkbIndex::StatsFor(edbms::AttrId attr) const {
   st.tuples = pop.num_tuples();
   st.bytes = pop.SizeBytes();
   if (pop.k() > 0) {
-    st.min_partition = pop.members_at(0).size();
+    st.min_partition = pop.members_at(0).Size();
     for (size_t p = 0; p < pop.k(); ++p) {
-      const size_t sz = pop.members_at(p).size();
+      const size_t sz = pop.members_at(p).Size();
       st.min_partition = std::min(st.min_partition, sz);
       st.max_partition = std::max(st.max_partition, sz);
     }
@@ -173,8 +177,23 @@ std::vector<edbms::AttrId> PrkbIndex::EnabledAttrs() const {
 }
 
 size_t PrkbIndex::SizeBytes() const {
+  // Publishing the membership gauges here keeps them fresh wherever the
+  // footprint is actually observed (stats reports, Table 3 benches) —
+  // docs/OBSERVABILITY.md `memberset.{containers,bytes}`.
+  static obs::Gauge* g_containers =
+      obs::MetricsRegistry::Global().GetGauge("memberset.containers");
+  static obs::Gauge* g_bytes =
+      obs::MetricsRegistry::Global().GetGauge("memberset.bytes");
   size_t total = 0;
-  for (const auto& [attr, pop] : pops_) total += pop.SizeBytes();
+  size_t containers = 0;
+  size_t member_bytes = 0;
+  for (const auto& [attr, pop] : pops_) {
+    total += pop.SizeBytes();
+    containers += pop.MembershipContainers();
+    member_bytes += pop.MembershipBytes();
+  }
+  g_containers->Set(static_cast<int64_t>(containers));
+  g_bytes->Set(static_cast<int64_t>(member_bytes));
   return total;
 }
 

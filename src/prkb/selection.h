@@ -21,6 +21,8 @@ class Executor;
 
 namespace prkb::core {
 
+class PrkbWal;
+
 /// Extra knobs for PRKB processing.
 struct PrkbOptions {
   /// Seed for the SP-local sampling randomness used by QFilter.
@@ -95,10 +97,14 @@ class PrkbIndex {
   const Pop& pop(edbms::AttrId attr) const { return pops_.at(attr); }
   /// Attributes with a chain, in ascending order.
   std::vector<edbms::AttrId> EnabledAttrs() const;
-  /// Installs a deserialised chain (prkb_io.cc).
-  void InstallPop(edbms::AttrId attr, Pop pop) {
-    pops_[attr] = std::move(pop);
-  }
+  /// Installs a deserialised chain (prkb_io.cc). With a WAL attached this
+  /// re-hooks the chain's mutation listener and schedules a compaction (the
+  /// log cannot describe a wholesale replacement; the next snapshot does).
+  void InstallPop(edbms::AttrId attr, Pop pop);
+
+  /// The write-ahead log observing this index, or nullptr (prkb/wal.h; set
+  /// and cleared by PrkbWal itself, which the caller owns).
+  PrkbWal* wal() const { return wal_; }
 
   /// Selection with one predicate (Sec. 5, and Appendix A for BETWEEN
   /// trapdoors): builds a single-predicate physical plan and runs it through
@@ -179,6 +185,16 @@ class PrkbIndex {
   /// The executor runs plan operators against the private primitives below
   /// (it is the single relocated copy of the legacy selection drivers).
   friend class exec::Executor;
+  /// The WAL attaches/detaches itself and hooks chains as they appear.
+  friend class PrkbWal;
+
+  /// Durability helpers, defined in wal.cc (they need the full PrkbWal):
+  /// hooks `attr`'s chain to the attached WAL's per-attribute sink…
+  void WalHookAttr(edbms::AttrId attr);
+  /// …and makes the records of the finishing operation durable (group
+  /// commit: one write + fsync per public mutating op). No-ops without a
+  /// WAL.
+  void CommitWal();
 
   /// Appendix A driver for BETWEEN trapdoors (between.cc). `fp` non-null
   /// caches the resulting cut pair (if both ends split). `sched` carries the
@@ -206,6 +222,7 @@ class PrkbIndex {
   PrkbOptions options_;
   mutable std::atomic<uint64_t> op_seq_{0};
   std::unordered_map<edbms::AttrId, Pop> pops_;
+  PrkbWal* wal_ = nullptr;
 };
 
 /// `prkb.cache.{hits,misses}` instruments shared by the selection paths

@@ -28,6 +28,19 @@ bool ShardedPrkbIndex::IsEnabled(edbms::AttrId attr) const {
   return shards_[ShardOf(attr)]->IsEnabled(attr);
 }
 
+Status ShardedPrkbIndex::OpenWal(const std::string& dir, WalOptions options) {
+  for (size_t i = 0; i < shards_.size(); ++i) {
+    PRKB_RETURN_IF_ERROR(
+        shards_[i]->OpenWal(dir + "/shard-" + std::to_string(i), options));
+  }
+  return Status::Ok();
+}
+
+Status ShardedPrkbIndex::CompactWal() {
+  for (auto& shard : shards_) PRKB_RETURN_IF_ERROR(shard->CompactWal());
+  return Status::Ok();
+}
+
 std::vector<edbms::AttrId> ShardedPrkbIndex::EnabledAttrs() const {
   std::vector<edbms::AttrId> out;
   for (const auto& shard : shards_) {

@@ -77,6 +77,11 @@ class ShardedPrkbIndex {
   bool IsEnabled(edbms::AttrId attr) const;
   std::vector<edbms::AttrId> EnabledAttrs() const;
 
+  /// Durable serving: one WAL per shard, under `dir/shard-N`. Each shard
+  /// recovers independently on open (docs/PERSISTENCE.md §7).
+  Status OpenWal(const std::string& dir, WalOptions options = {});
+  Status CompactWal();
+
   std::vector<edbms::TupleId> Select(const edbms::Trapdoor& td,
                                      edbms::SelectionStats* stats = nullptr);
 

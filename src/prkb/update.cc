@@ -311,6 +311,7 @@ edbms::TupleId PrkbIndex::Insert(const std::vector<edbms::Value>& row,
     (void)pop;
     PlaceTuple(attr, tid);
   }
+  CommitWal();
   return tid;
 }
 
@@ -322,6 +323,7 @@ void PrkbIndex::PlaceStored(edbms::TupleId tid, edbms::SelectionStats* stats) {
     (void)pop;
     PlaceTuple(attr, tid);
   }
+  CommitWal();
 }
 
 void PrkbIndex::Delete(edbms::TupleId tid) {
@@ -334,6 +336,7 @@ void PrkbIndex::EraseFromChains(edbms::TupleId tid) {
     (void)attr;
     if (pop.partition_of(tid) != Pop::kNoPartition) pop.RemoveTuple(tid);
   }
+  CommitWal();
 }
 
 }  // namespace prkb::core

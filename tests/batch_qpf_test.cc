@@ -46,7 +46,7 @@ const size_t kBatchSizes[] = {1, 7, 64, 4096};
 std::vector<std::vector<TupleId>> ChainShape(const Pop& pop) {
   std::vector<std::vector<TupleId>> shape;
   shape.reserve(pop.k());
-  for (size_t p = 0; p < pop.k(); ++p) shape.push_back(pop.members_at(p));
+  for (size_t p = 0; p < pop.k(); ++p) shape.push_back(pop.members_at(p).ToVector());
   return shape;
 }
 

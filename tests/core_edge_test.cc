@@ -91,7 +91,7 @@ TEST(QFilterEdgeTest, RecursiveCaseWinnersFollowTheTrueSide) {
   // {40,50,60} exactly once QScan resolves; here check the filter's claim.
   size_t win_tuples = 0;
   for (size_t p = f.win_begin; p < f.win_end; ++p) {
-    win_tuples += index.pop(0).members_at(p).size();
+    win_tuples += index.pop(0).members_at(p).Size();
   }
   EXPECT_EQ(win_tuples, 2u);  // {50}, {60}; {40} sits in the NS pair
 }
@@ -112,7 +112,7 @@ TEST(QScanEdgeTest, EarlyStopIncludesWholePartnerWhenTrue) {
   // Determine which chain end holds the small values to build a predicate
   // whose separating point is inside the small-values partition.
   const bool small_first =
-      plain.at(0, pop.members_at(0)[0]) < plain.at(0, pop.members_at(1)[0]);
+      plain.at(0, pop.members_at(0).Select(0)) < plain.at(0, pop.members_at(1).Select(0));
   const auto td = db.MakeComparison(0, CompareOp::kGt, 15);  // {20,30,40}
   Rng rng(3);
   const auto f = QFilter(pop, td, &db, &rng);

@@ -49,7 +49,7 @@ PrkbOptions SequentialBaseline() {
 std::vector<std::vector<TupleId>> ChainShape(const Pop& pop) {
   std::vector<std::vector<TupleId>> shape;
   shape.reserve(pop.k());
-  for (size_t p = 0; p < pop.k(); ++p) shape.push_back(pop.members_at(p));
+  for (size_t p = 0; p < pop.k(); ++p) shape.push_back(pop.members_at(p).ToVector());
   return shape;
 }
 

@@ -1,7 +1,7 @@
 // prkb_shell — interactive console over an encrypted demo table.
 //
 //   $ ./tools/prkb_shell [--rows=N] [--attrs=K] [--seed=S] [--shards=N]
-//                        [--remote]
+//                        [--remote] [--wal-dir=<dir>]
 //
 // Accepts the mini-SQL subset on stdin plus dot-commands:
 //   SELECT * FROM t WHERE c0 < 100 AND c1 BETWEEN 5 AND 9
@@ -13,6 +13,9 @@
 //                     fetched from the serving process over the wire
 //   .shards           per-shard chain/op tallies plus lock/queue telemetry
 //                     (requires --shards=N)
+//   .wal              durability status: log/snapshot sizes, appended and
+//                     replayed record counts, fsyncs, compactions
+//                     (requires --wal-dir)
 //
 // Note: retyping a SELECT re-issues its trapdoor through the data owner,
 // which seals with a fresh nonce — different bytes, so the fast path misses
@@ -31,6 +34,11 @@
 //   --remote     host the QPF behind a loopback QpfServer and evaluate every
 //                Θ over a real socket (RemoteEdbms), as a served deployment
 //                would. Composes with --shards.
+//   --wal-dir=D  make the index durable under D (docs/PERSISTENCE.md):
+//                state recovered on start — chains enabled in a previous
+//                WAL-backed session come back warm, repeats stay zero-QPF —
+//                and every chain mutation is logged from then on. Composes
+//                with --shards (one WAL per shard under D/shard-N).
 //
 // Useful both as a demo and for poking at the index by hand.
 
@@ -50,6 +58,7 @@
 #include "prkb/prkb_io.h"
 #include "prkb/selection.h"
 #include "prkb/shard.h"
+#include "prkb/wal.h"
 #include "query/parser.h"
 #include "query/planner.h"
 #include "workload/synthetic_table.h"
@@ -64,6 +73,7 @@ struct ShellOptions {
   uint64_t seed = 42;
   size_t shards = 0;  // 0 = unsharded planner mode
   bool remote = false;
+  std::string wal_dir;  // empty = not durable
 };
 
 ShellOptions ParseOptions(int argc, char** argv) {
@@ -79,6 +89,8 @@ ShellOptions ParseOptions(int argc, char** argv) {
       opt.shards = std::strtoull(argv[i] + 9, nullptr, 10);
     } else if (std::strcmp(argv[i], "--remote") == 0) {
       opt.remote = true;
+    } else if (std::strncmp(argv[i], "--wal-dir=", 10) == 0) {
+      opt.wal_dir = argv[i] + 10;
     }
   }
   return opt;
@@ -91,12 +103,16 @@ void PrintHelp(const ShellOptions& opt) {
       "  EXPLAIN SELECT ...   (plan + cost estimates, no execution)\n"
       "  .explain | .stats | .cache | .insert v0 v1 .. | .delete <tid> |"
       " .save <p> | .load <p>\n"
-      "  .shards | .help | .quit\n");
+      "  .shards | .wal | .help | .quit\n");
   if (opt.shards > 0) {
     std::printf("(sharded mode: EXPLAIN/.explain/.save/.load unavailable)\n");
   }
   if (opt.remote) {
     std::printf("(remote mode: QPF evaluations cross a loopback socket)\n");
+  }
+  if (!opt.wal_dir.empty()) {
+    std::printf("(durable: chain mutations logged under %s)\n",
+                opt.wal_dir.c_str());
   }
 }
 
@@ -206,6 +222,24 @@ void RunSharded(const query::SelectStatement& stmt, const query::Catalog& cat,
   }
 }
 
+void PrintWalStats(const char* label, const core::PrkbWal& wal) {
+  const core::PrkbWal::Stats s = wal.stats();
+  std::printf(
+      "%s%s: log %llu byte(s) (%llu pending), %llu record(s) appended "
+      "(%llu bytes) over %llu commit(s) / %llu fsync(s); recovery replayed "
+      "%llu record(s); %llu compaction(s)%s\n",
+      label, wal.dir().c_str(),
+      static_cast<unsigned long long>(s.log_bytes),
+      static_cast<unsigned long long>(s.pending_bytes),
+      static_cast<unsigned long long>(s.appended_records),
+      static_cast<unsigned long long>(s.appended_bytes),
+      static_cast<unsigned long long>(s.commits),
+      static_cast<unsigned long long>(s.fsyncs),
+      static_cast<unsigned long long>(s.replayed_records),
+      static_cast<unsigned long long>(s.compactions),
+      wal.compact_pending() ? " [compaction pending]" : "");
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -252,14 +286,43 @@ int main(int argc, char** argv) {
     sharded =
         std::make_unique<core::ShardedPrkbIndex>(backend, opt.shards, prkb_opts);
   }
+  // Durability: open (and recover from) the WAL before enabling attributes,
+  // so chains a previous session already paid for come back instead of
+  // being re-initialised from scratch.
+  std::unique_ptr<core::PrkbWal> wal;  // unsharded mode only
+  if (!opt.wal_dir.empty()) {
+    if (sharded != nullptr) {
+      const Status s = sharded->OpenWal(opt.wal_dir);
+      if (!s.ok()) {
+        std::printf("cannot open WAL: %s\n", s.ToString().c_str());
+        return 1;
+      }
+    } else {
+      auto w = core::PrkbWal::Open(&index, opt.wal_dir);
+      if (!w.ok()) {
+        std::printf("cannot open WAL: %s\n", w.status().ToString().c_str());
+        return 1;
+      }
+      wal = std::move(w).value();
+      if (wal->stats().replayed_records > 0 || index.EnabledAttrs().size() > 0) {
+        std::printf("recovered %zu chain(s) from %s (%llu log record(s) "
+                    "replayed)\n",
+                    index.EnabledAttrs().size(), opt.wal_dir.c_str(),
+                    static_cast<unsigned long long>(
+                        wal->stats().replayed_records));
+      }
+    }
+  }
+
   query::Catalog catalog;
   std::vector<std::string> columns;
   for (size_t a = 0; a < opt.attrs; ++a) {
+    const auto attr = static_cast<edbms::AttrId>(a);
     columns.push_back("c" + std::to_string(a));
     if (sharded != nullptr) {
-      sharded->EnableAttr(static_cast<edbms::AttrId>(a));
-    } else {
-      index.EnableAttr(static_cast<edbms::AttrId>(a));
+      if (!sharded->IsEnabled(attr)) sharded->EnableAttr(attr);
+    } else if (!index.IsEnabled(attr)) {
+      index.EnableAttr(attr);
     }
   }
   catalog.RegisterTable("t", columns);
@@ -317,6 +380,19 @@ int main(int argc, char** argv) {
           std::printf("not sharded; start with --shards=N\n");
         } else {
           PrintShardReport(*sharded, server.get());
+        }
+      } else if (cmd == ".wal") {
+        if (opt.wal_dir.empty()) {
+          std::printf("not durable; start with --wal-dir=<dir>\n");
+        } else if (sharded != nullptr) {
+          for (size_t i = 0; i < sharded->num_shards(); ++i) {
+            const core::PrkbWal* w = sharded->shard(i).wal();
+            if (w == nullptr) continue;
+            std::printf("shard %zu ", i);
+            PrintWalStats("", *w);
+          }
+        } else {
+          PrintWalStats("", *wal);
         }
       } else if (cmd == ".cache") {
         const auto print_entries = [](edbms::AttrId attr, size_t entries) {
