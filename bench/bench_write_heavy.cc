@@ -1,0 +1,219 @@
+// Write-heavy serving: 90/10 open-loop insert/select mix over one chain,
+// eager per-insert placement vs the deferred insert buffer (DESIGN.md §14).
+//
+// Both modes replay the *same* operation stream against identical
+// deployments. Eager mode pays the placement probe rounds on every insert at
+// the simulated trusted-machine latency; buffered mode appends in O(1) and
+// lets the first selection that touches the chain flush the whole buffer via
+// fused m-ary rounds. The interesting numbers are sustained insert
+// throughput, the query latency tail (the flush cost lands on queries), and
+// the latency of the first flush-triggering query specifically.
+//
+// Extra flags beyond the common set (bench_util.h):
+//   --smoke   single tiny configuration (CI schema check; gates skipped)
+// The trusted-machine latency defaults to 300000 ns (the paper's WAN-ish
+// setting) so deferral has a realistic cost to avoid; override with
+// --tmlat=<ns>.
+//
+// Full (non-smoke) runs gate the result: buffered insert throughput must be
+// >= 3x eager, every query must return the same winner set in both modes,
+// and the first flush-triggering query must stay within 2x the eager-mode
+// query p99 (fused rounds keep the flush at ~ceil(log_m k) round trips on
+// top of an ordinary fresh query, not one descent per buffered tuple).
+
+#include <algorithm>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "common/stopwatch.h"
+#include "common/table_printer.h"
+#include "obs/metrics.h"
+#include "prkb/selection.h"
+#include "workload/query_gen.h"
+#include "workload/synthetic_table.h"
+
+namespace prkb::bench {
+namespace {
+
+struct Op {
+  bool is_insert;
+  edbms::Value v;  // inserted value, or the query's comparison constant
+};
+
+struct ModeResult {
+  uint64_t inserts = 0;
+  double insert_tps = 0;
+  double query_p50_us = 0;
+  double query_p99_us = 0;
+  double first_flush_ms = 0;
+  uint64_t flushes = 0;
+  std::vector<std::vector<edbms::TupleId>> answers;
+};
+
+double PercentileUs(std::vector<double> v, double p) {
+  if (v.empty()) return 0;
+  std::sort(v.begin(), v.end());
+  const size_t i = static_cast<size_t>(p / 100.0 * (v.size() - 1) + 0.5);
+  return v[i];
+}
+
+ModeResult RunMode(bool buffered, const BenchArgs& args,
+                   const workload::SyntheticSpec& spec,
+                   const std::vector<Op>& ops, int warm_partitions) {
+  const auto plain = workload::MakeSyntheticTable(spec);
+  auto db = edbms::CipherbaseEdbms::FromPlainTable(args.seed, plain);
+
+  core::PrkbOptions options;
+  options.seed = args.seed;
+  options.buffered_inserts = buffered;
+  options.rt_latency_hint_ns = static_cast<double>(args.tm_latency_ns);
+  core::PrkbIndex index(&db, options);
+  index.EnableAttr(0);
+
+  // Warm the chain at zero latency; only the measured mix pays round trips.
+  workload::QueryGen warm_gen(spec.domain_lo, spec.domain_hi, args.seed + 3);
+  WarmToPartitions(&index, &db, 0, &warm_gen, warm_partitions);
+  db.trusted_machine().set_call_latency_ns(args.tm_latency_ns);
+
+  obs::Counter* flush_counter =
+      obs::MetricsRegistry::Global().GetCounter("update.buffer.flushes");
+  const uint64_t flushes0 = flush_counter->value();
+
+  ModeResult res;
+  double insert_secs = 0;
+  std::vector<double> query_us;
+  for (const Op& op : ops) {
+    if (op.is_insert) {
+      Stopwatch w;
+      index.Insert({op.v});
+      insert_secs += w.ElapsedSeconds();
+      ++res.inserts;
+      continue;
+    }
+    const auto td = db.MakeComparison(0, edbms::CompareOp::kGe, op.v);
+    const uint64_t f0 = flush_counter->value();
+    Stopwatch w;
+    auto winners = index.Select(td);
+    const double ms = w.ElapsedMillis();
+    query_us.push_back(ms * 1000.0);
+    if (res.first_flush_ms == 0 && flush_counter->value() > f0) {
+      res.first_flush_ms = ms;
+    }
+    std::sort(winners.begin(), winners.end());
+    res.answers.push_back(std::move(winners));
+  }
+  res.insert_tps =
+      insert_secs > 0 ? static_cast<double>(res.inserts) / insert_secs : 0;
+  res.query_p50_us = PercentileUs(query_us, 50);
+  res.query_p99_us = PercentileUs(query_us, 99);
+  res.flushes = flush_counter->value() - flushes0;
+  return res;
+}
+
+int Main(int argc, char** argv) {
+  bool smoke = false;
+  bool tmlat_given = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--smoke") == 0) smoke = true;
+    if (std::strncmp(argv[i], "--tmlat=", 8) == 0) tmlat_given = true;
+  }
+  BenchArgs args = BenchArgs::Parse(argc, argv, /*default_scale=*/0.1);
+  if (!tmlat_given) args.tm_latency_ns = 300'000;
+
+  const size_t rows = smoke ? 1'500 : ScaledRows(200'000, args.scale);
+  const int total_ops = args.queries > 0 ? args.queries : (smoke ? 120 : 1000);
+  const int warm_partitions = smoke ? 24 : 128;
+  PrintBanner("Write-heavy 90/10 mix: eager placement vs insert buffer",
+              "beyond-paper update experiment", args,
+              "buffered inserts are O(1) store appends, so sustained insert "
+              "throughput rises >=3x while queries flush the backlog in "
+              "fused rounds and answer identically");
+
+  workload::SyntheticSpec spec;
+  spec.rows = rows;
+  spec.seed = args.seed;
+  const auto plain_domain_lo = spec.domain_lo;
+  const auto plain_domain_hi = spec.domain_hi;
+
+  // One seeded 90/10 stream, replayed verbatim by both modes.
+  std::vector<Op> ops;
+  ops.reserve(static_cast<size_t>(total_ops));
+  Rng oprng(args.seed + 17);
+  for (int i = 0; i < total_ops; ++i) {
+    Op op;
+    op.is_insert = oprng.UniformInt64(1, 100) <= 90;
+    op.v = oprng.UniformInt64(plain_domain_lo, plain_domain_hi);
+    ops.push_back(op);
+  }
+
+  const ModeResult eager = RunMode(/*buffered=*/false, args, spec, ops,
+                                   warm_partitions);
+  const ModeResult buffered = RunMode(/*buffered=*/true, args, spec, ops,
+                                      warm_partitions);
+
+  const bool results_match = eager.answers == buffered.answers;
+  const double speedup =
+      eager.insert_tps > 0 ? buffered.insert_tps / eager.insert_tps : 0;
+
+  JsonBench json("bench_write_heavy", args);
+  json.Config("smoke", smoke ? "true" : "false");
+  json.Config("rows", static_cast<double>(rows));
+  json.Config("total_ops", static_cast<double>(total_ops));
+
+  TablePrinter tp("90/10 open-loop mix, " + std::to_string(total_ops) +
+                  " ops, tmlat=" + std::to_string(args.tm_latency_ns) + "ns");
+  tp.SetHeader({"mode", "insert t/s", "query p50 us", "query p99 us",
+                "first flush ms", "flushes"});
+  for (const bool is_buffered : {false, true}) {
+    const ModeResult& r = is_buffered ? buffered : eager;
+    const std::string mode = is_buffered ? "buffered" : "eager";
+    tp.AddRow({mode, TablePrinter::Fmt(r.insert_tps, 0),
+               TablePrinter::Fmt(r.query_p50_us, 1),
+               TablePrinter::Fmt(r.query_p99_us, 1),
+               TablePrinter::Fmt(r.first_flush_ms, 2),
+               std::to_string(r.flushes)});
+    json.BeginRow();
+    json.Field("mode", mode);
+    json.Field("ops", static_cast<uint64_t>(total_ops));
+    json.Field("inserts", r.inserts);
+    json.Field("insert_tuples_per_s", r.insert_tps);
+    json.Field("query_p50_us", r.query_p50_us);
+    json.Field("query_p99_us", r.query_p99_us);
+    json.Field("first_flush_ms", r.first_flush_ms);
+    json.Field("flushes", r.flushes);
+    json.Field("results_match", static_cast<uint64_t>(results_match ? 1 : 0));
+    json.Field("speedup", is_buffered ? speedup : 1.0);
+  }
+  tp.Print();
+  json.WriteIfRequested(args);
+  std::printf("\nbuffered/eager insert speedup: %.1fx, results %s\n", speedup,
+              results_match ? "match" : "DIVERGE");
+
+  if (!smoke) {
+    if (!results_match) {
+      std::fprintf(stderr, "GATE: buffered winners diverge from eager\n");
+      return 1;
+    }
+    if (speedup < 3.0) {
+      std::fprintf(stderr, "GATE: insert speedup %.2fx < 3x\n", speedup);
+      return 1;
+    }
+    const double flush_bound_ms = 2.0 * eager.query_p99_us / 1000.0;
+    if (buffered.first_flush_ms <= 0 ||
+        buffered.first_flush_ms > flush_bound_ms) {
+      std::fprintf(stderr,
+                   "GATE: first flush-triggering query %.2f ms outside "
+                   "(0, %.2f] (2x eager p99)\n",
+                   buffered.first_flush_ms, flush_bound_ms);
+      return 1;
+    }
+  }
+  return 0;
+}
+
+}  // namespace
+}  // namespace prkb::bench
+
+int main(int argc, char** argv) { return prkb::bench::Main(argc, argv); }

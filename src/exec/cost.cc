@@ -104,4 +104,26 @@ CostEstimate EstimateMdGrid(const std::vector<MdDim>& dims,
   return est;
 }
 
+CostEstimate EstimateBufferScan(size_t buffered, const CostConstants& c) {
+  CostEstimate est;
+  est.scans = static_cast<double>(buffered);
+  est.round_trips = std::ceil(est.scans / ScanBatch(c));
+  return est;
+}
+
+CostEstimate EstimateBufferFlush(size_t buffered, size_t k,
+                                 const CostConstants& c) {
+  if (buffered == 0) return {};
+  const double m = Fanout(c);
+  const double per_tuple =
+      std::min(static_cast<double>(k), (m - 1.0) * CeilLogM(k, m));
+  CostEstimate est;
+  // Every tuple pays its own m-ary search probes (Sec. 7.1), but the
+  // lock-step rounds ship the whole batch together: ~⌈log_m k⌉ trips total,
+  // not per tuple — the entire point of deferring placement.
+  est.probes = static_cast<double>(buffered) * per_tuple;
+  est.round_trips = CeilLogM(k, m);
+  return est;
+}
+
 }  // namespace prkb::exec

@@ -63,6 +63,11 @@ struct CostConstants {
   double round_trip_latency_ns = 0.0;
   /// Assumed compute cost of one QPF evaluation, in ns.
   double eval_ns = 1000.0;
+  /// Deferred-insert routing bias (PrkbOptions::buffer_flush_horizon): flush
+  /// the buffer when its one-off price is within this factor of a single
+  /// buffered scan — the flush pays once, the scan recurs on every query
+  /// until someone flushes (docs/COST_MODEL.md).
+  double buffer_flush_horizon = 8.0;
 
   static const CostConstants& Defaults();
 };
@@ -105,6 +110,19 @@ struct MdDim {
 /// pays the max — not the sum — of the per-dimension trip counts.
 CostEstimate EstimateMdGrid(const std::vector<MdDim>& dims,
                             const CostConstants& c = CostConstants::Defaults());
+
+/// Exact-answer fallback over `buffered` deferred inserts: one scan
+/// evaluation per buffered tuple, chunked like every scan path. Paid by
+/// every query until the buffer is flushed.
+CostEstimate EstimateBufferScan(size_t buffered,
+                                const CostConstants& c = CostConstants::Defaults());
+
+/// One lock-step batched placement of `buffered` deferred inserts against a
+/// chain of k partitions: each tuple re-pays the m-ary search probes of
+/// Sec. 7.1, but the rounds ship together, so the whole batch costs
+/// ~⌈log_m k⌉ trips. Paid once; later queries see an empty buffer.
+CostEstimate EstimateBufferFlush(size_t buffered, size_t k,
+                                 const CostConstants& c = CostConstants::Defaults());
 
 }  // namespace prkb::exec
 

@@ -15,6 +15,7 @@
 #include <cmath>
 
 #include "common/bitvector.h"
+#include "edbms/batch_scan.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
 #include "prkb/selection.h"
@@ -32,9 +33,12 @@ namespace {
 /// One `exec.<op>` counter per operator kind (docs/OBSERVABILITY.md), plus
 /// the plan-level estimate-quality histogram.
 struct ExecMetrics {
-  obs::Counter* op[10];
+  obs::Counter* op[12];
   obs::Counter* plan_runs;
   obs::LatencyHistogram* est_error_pct;
+  /// Queries that paid the exact-answer batch scan over a pending insert
+  /// buffer instead of flushing it (docs/OBSERVABILITY.md, update.buffer.*).
+  obs::Counter* buffered_scans;
 
   static const ExecMetrics& Get() {
     auto& reg = obs::MetricsRegistry::Global();
@@ -50,9 +54,12 @@ struct ExecMetrics {
             reg.GetCounter("exec.apply_split"),
             reg.GetCounter("exec.grid_prune"),
             reg.GetCounter("exec.intersect"),
+            reg.GetCounter("exec.buffer_scan"),
+            reg.GetCounter("exec.buffer_flush"),
         },
         reg.GetCounter("exec.plan_runs"),
         reg.GetHistogram("exec.est_error_pct"),
+        reg.GetCounter("update.buffer.buffered_scans"),
     };
     return m;
   }
@@ -103,6 +110,7 @@ CostConstants ConstantsFor(const core::PrkbOptions& options,
   c.scan_batch =
       static_cast<double>(options.batch_size < 1 ? 1 : options.batch_size);
   c.round_trip_latency_ns = options.rt_latency_hint_ns;
+  c.buffer_flush_horizon = options.buffer_flush_horizon;
   return c;
 }
 
@@ -211,6 +219,14 @@ std::vector<TupleId> Executor::RunPredicateBody(Plan* plan, PlanNode* node) {
   }
   assert(node->op == PlanOp::kPredicateSelect);
   const Trapdoor& td = plan->td(node->td_index);
+  // Deferred inserts, flush route (DESIGN.md §14): place the whole buffer
+  // before the probes run, so the chain the QFilter walks already covers
+  // every tuple and the query needs no merge step.
+  if (PlanNode* flush = node->Child(PlanOp::kBufferFlush)) {
+    const NodeCost flush_cost(index_->db());
+    index_->FlushBuffered(td.attr);
+    flush_cost.Commit(flush);
+  }
   const core::ProbeSchedOptions sopt = SchedFor(*index_, *plan);
   PlanNode* lookup = node->Child(PlanOp::kFastPathLookup);
   if (lookup == nullptr) {
@@ -218,27 +234,42 @@ std::vector<TupleId> Executor::RunPredicateBody(Plan* plan, PlanNode* node) {
     result = td.kind == edbms::PredicateKind::kBetween
                  ? RunBetween(node, td, nullptr, sopt)
                  : RunComparison(node, td, nullptr, sopt);
-    cost.Commit(node);
-    return result;
+  } else {
+    core::Pop& pop = index_->pop(td.attr);
+    const obs::ObsTracer::Span lookup_span("exec.fast_path_lookup");
+    const core::TrapdoorFp fp = core::FingerprintTrapdoor(td);
+    if (const core::Pop::FastPathEntry* e = pop.LookupFastPath(fp)) {
+      // The chain was already cut by this exact trapdoor: the answer is the
+      // satisfied side of its cut(s). Zero QPF uses, no probes, no split.
+      core::CacheMetrics::Get().hits->Add(1);
+      MarkZeroCost(lookup, /*cache_hit=*/true);
+      result = pop.AssembleFastPath(*e);
+      node->actual.cache_hit = true;
+    } else {
+      core::CacheMetrics::Get().misses->Add(1);
+      MarkZeroCost(lookup, /*cache_hit=*/false);
+      result = td.kind == edbms::PredicateKind::kBetween
+                   ? RunBetween(node, td, &fp, sopt)
+                   : RunComparison(node, td, &fp, sopt);
+    }
   }
-  core::Pop& pop = index_->pop(td.attr);
-  const obs::ObsTracer::Span lookup_span("exec.fast_path_lookup");
-  const core::TrapdoorFp fp = core::FingerprintTrapdoor(td);
-  if (const core::Pop::FastPathEntry* e = pop.LookupFastPath(fp)) {
-    // The chain was already cut by this exact trapdoor: the answer is the
-    // satisfied side of its cut(s). Zero QPF uses, no probes, no split.
-    core::CacheMetrics::Get().hits->Add(1);
-    MarkZeroCost(lookup, /*cache_hit=*/true);
-    result = pop.AssembleFastPath(*e);
-    node->actual.cache_hit = true;
-    cost.Commit(node);
-    return result;
+  // Deferred inserts, scan route: the chain's answer misses the buffered
+  // tuples, so the query stays exact by batch-testing the buffer and merging
+  // its winners. Buffered tuples are off-chain by invariant (Pop::Validate),
+  // so the merge can never duplicate a result.
+  if (PlanNode* bscan = node->Child(PlanOp::kBufferScan)) {
+    const NodeCost scan_cost(index_->db());
+    const core::Pop& pop = index_->pop(td.attr);
+    std::vector<TupleId> btids;
+    pop.insert_buffer().AppendTo(&btids);
+    const std::vector<uint8_t> sat = edbms::ScanTuples(
+        index_->db(), td, btids, index_->options().scan_policy());
+    for (size_t j = 0; j < btids.size(); ++j) {
+      if (sat[j] != 0) result.push_back(btids[j]);
+    }
+    scan_cost.Commit(bscan);
+    ExecMetrics::Get().buffered_scans->Add(1);
   }
-  core::CacheMetrics::Get().misses->Add(1);
-  MarkZeroCost(lookup, /*cache_hit=*/false);
-  result = td.kind == edbms::PredicateKind::kBetween
-               ? RunBetween(node, td, &fp, sopt)
-               : RunComparison(node, td, &fp, sopt);
   cost.Commit(node);
   return result;
 }
@@ -275,9 +306,18 @@ std::vector<TupleId> Executor::RunIntersect(Plan* plan, PlanNode* node) {
 }
 
 std::vector<TupleId> Executor::RunGridPrune(Plan* plan, PlanNode* node) {
+  // Buffered dimensions flush before the grid runs: PRKB(MD) classifies by
+  // chain membership, so every queried dimension must cover its tuples.
+  for (PlanNode& child : node->children) {
+    if (child.op != PlanOp::kBufferFlush) continue;
+    const NodeCost flush_cost(index_->db());
+    index_->FlushBuffered(child.attr);
+    flush_cost.Commit(&child);
+  }
   std::vector<const Trapdoor*> tds;
   tds.reserve(node->children.size());
   for (const PlanNode& child : node->children) {
+    if (child.op != PlanOp::kQFilterProbe) continue;
     tds.push_back(&plan->td(child.td_index));
   }
   const NodeCost cost(index_->db());
@@ -359,9 +399,11 @@ bool Executor::TryRunReadOnly(const core::PrkbIndex& index, const Plan& plan,
       return true;
     }
     case PlanOp::kPredicateSelect: {
+      // A planned buffer flush rewrites the chain: exclusive lock only.
+      if (root.Child(PlanOp::kBufferFlush) != nullptr) return false;
       const Trapdoor& td = plan.td(root.td_index);
       const core::Pop& pop = index.pop(td.attr);
-      if (pop.k() == 0) {
+      if (pop.k() == 0 && pop.insert_buffer().Empty()) {
         const obs::ObsTracer::Span span("prkb.select");
         StatsScope scope(index.db_, stats, "select");
         out->clear();
@@ -377,6 +419,19 @@ bool Executor::TryRunReadOnly(const core::PrkbIndex& index, const Plan& plan,
       StatsScope scope(index.db_, stats, "select");
       core::CacheMetrics::Get().hits->Add(1);
       *out = pop.AssembleFastPath(*e);
+      // The scan route mutates nothing: batch-test the buffer and merge, as
+      // the exclusive path would. QPF evaluation is thread-safe.
+      if (root.Child(PlanOp::kBufferScan) != nullptr &&
+          !pop.insert_buffer().Empty()) {
+        std::vector<TupleId> btids;
+        pop.insert_buffer().AppendTo(&btids);
+        const std::vector<uint8_t> sat = edbms::ScanTuples(
+            index.db_, td, btids, index.options().scan_policy());
+        for (size_t j = 0; j < btids.size(); ++j) {
+          if (sat[j] != 0) out->push_back(btids[j]);
+        }
+        ExecMetrics::Get().buffered_scans->Add(1);
+      }
       return true;
     }
     case PlanOp::kFullTable:
@@ -422,6 +477,34 @@ PlanNode BuildPredicateNode(const core::PrkbIndex& index, const Plan& plan,
       cached = true;
       node.detail = "cached";
     }
+  }
+
+  // Deferred-insert routing (DESIGN.md §14, docs/COST_MODEL.md): a pending
+  // buffer must be either flushed onto the chain or batch-scanned for this
+  // query to stay exact. Flush pays its placement probes once; the scan
+  // recurs on every query until someone flushes — so flush wins whenever its
+  // one-off price is within buffer_flush_horizon of a single scan (always at
+  // high transport latency, where the lock-step rounds dominate), and
+  // unconditionally once the buffer hits the synchronous-flush cap.
+  const size_t buffered = index.pop(td.attr).insert_buffer().Size();
+  if (buffered != 0) {
+    const CostEstimate flush_est =
+        EstimateBufferFlush(buffered, index.pop(td.attr).k(), cc);
+    const CostEstimate scan_est = EstimateBufferScan(buffered, cc);
+    const bool cap_hit = index.options().max_buffered_inserts != 0 &&
+                         buffered >= index.options().max_buffered_inserts;
+    const bool flush =
+        cap_hit || PriceNs(flush_est, cc) <=
+                       cc.buffer_flush_horizon * PriceNs(scan_est, cc);
+    PlanNode buf(flush ? PlanOp::kBufferFlush : PlanOp::kBufferScan, td.attr,
+                 i);
+    buf.detail = std::to_string(buffered) + " buffered";
+    if (estimate) {
+      buf.estimated = flush ? flush_est : scan_est;
+      buf.has_estimate = true;
+      full += buf.estimated;
+    }
+    node.children.push_back(std::move(buf));
   }
 
   if (index.options().fast_path) {
@@ -488,6 +571,20 @@ void BuildMdGridPlan(const core::PrkbIndex& index, Plan* plan, bool estimate) {
     const Trapdoor& td = plan->td(static_cast<int>(i));
     assert(td.kind == edbms::PredicateKind::kComparison &&
            index.IsEnabled(td.attr));
+    // A buffered dimension always flushes: the grid classifies by chain
+    // membership, so its tuples must be on the chain before pruning.
+    const size_t buffered = index.pop(td.attr).insert_buffer().Size();
+    if (buffered != 0) {
+      PlanNode flush(PlanOp::kBufferFlush, td.attr, static_cast<int>(i));
+      flush.detail = std::to_string(buffered) + " buffered";
+      if (estimate) {
+        flush.estimated =
+            EstimateBufferFlush(buffered, index.pop(td.attr).k(), cc);
+        flush.has_estimate = true;
+        root.estimated += flush.estimated;
+      }
+      root.children.push_back(std::move(flush));
+    }
     PlanNode child(PlanOp::kQFilterProbe, td.attr, static_cast<int>(i));
     if (estimate) {
       const core::PrkbIndex::ChainStats st = index.StatsFor(td.attr);
@@ -510,7 +607,8 @@ void BuildMdGridPlan(const core::PrkbIndex& index, Plan* plan, bool estimate) {
     root.children.push_back(std::move(child));
   }
   if (estimate) {
-    root.estimated = EstimateMdGrid(dims, cc);
+    // += keeps any buffer-flush children's estimates accumulated above.
+    root.estimated += EstimateMdGrid(dims, cc);
     root.has_estimate = true;
   }
   plan->root = std::move(root);

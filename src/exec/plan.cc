@@ -26,6 +26,10 @@ const char* PlanOpName(PlanOp op) {
       return "GridPrune";
     case PlanOp::kIntersect:
       return "Intersect";
+    case PlanOp::kBufferScan:
+      return "BufferScan";
+    case PlanOp::kBufferFlush:
+      return "BufferFlush";
   }
   return "?";
 }
@@ -54,6 +58,8 @@ bool NodeHasAttr(PlanOp op) {
     case PlanOp::kQFilterProbe:
     case PlanOp::kPartitionScan:
     case PlanOp::kApplySplit:
+    case PlanOp::kBufferScan:
+    case PlanOp::kBufferFlush:
       return true;
     default:
       return false;

@@ -25,6 +25,8 @@ enum class PlanOp : uint8_t {
   kApplySplit,       // updatePRKB: apply the discovered split, zero QPF
   kGridPrune,        // PRKB(MD) grid classification + band testing (Sec. 6.2)
   kIntersect,        // PRKB(SD+): per-predicate selects + bitset intersection
+  kBufferScan,       // batch-scan the deferred-insert buffer, merge winners
+  kBufferFlush,      // place the whole insert buffer (lock-step batch)
 };
 
 const char* PlanOpName(PlanOp op);

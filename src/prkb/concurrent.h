@@ -143,6 +143,33 @@ class ConcurrentPrkbIndex {
 
   edbms::TupleId Insert(const std::vector<edbms::Value>& row,
                         edbms::SelectionStats* stats = nullptr) {
+    // Buffered route (DESIGN.md §14): an insert is one store write plus an
+    // O(1) append per enabled chain — no placement probes. The store append
+    // mutates the encrypted table's column storage, which map-shared
+    // selections read while evaluating QPF, so it must run at a
+    // map-exclusive point like every other store write; it is brief local
+    // work, and the win over the eager path is that no placement rounds
+    // execute under any lock. The chain appends then run map-shared with
+    // stripe-exclusive, serialising against same-attribute selections only.
+    // A cap-triggered flush inside BufferAppendAttr mutates the chain under
+    // exactly the locks the mutating-Select retry path holds.
+    if (index_.options().buffered_inserts) {
+      edbms::StatsScope scope(index_.db(), stats, "insert");
+      edbms::TupleId tid;
+      {
+        const auto map_lock = LockExclusive(map_mu_);
+        tid = index_.db()->Insert(row);
+      }
+      const auto map_lock = LockShared(map_mu_);
+      for (const edbms::AttrId attr : index_.EnabledAttrs()) {
+        const auto stripe_lock = LockExclusive(StripeFor(attr));
+        index_.BufferAppendAttr(attr, tid);
+      }
+      // Group-commit the append records; compaction stays deferred to the
+      // next exclusive point (it snapshots every chain at once).
+      if (wal_ != nullptr) (void)wal_->Commit();
+      return tid;
+    }
     const auto lock = LockExclusive(map_mu_);
     const auto tid = index_.Insert(row, stats);
     MaybeCompactWal();
@@ -160,6 +187,18 @@ class ConcurrentPrkbIndex {
   /// fans these across shards. Same exclusive locking as Insert/Delete.
   void PlaceStored(edbms::TupleId tid,
                    edbms::SelectionStats* stats = nullptr) {
+    // Same buffered route as Insert, minus the store write (the sharded
+    // router already owns that half).
+    if (index_.options().buffered_inserts) {
+      const auto map_lock = LockShared(map_mu_);
+      edbms::StatsScope scope(index_.db(), stats, "place");
+      for (const edbms::AttrId attr : index_.EnabledAttrs()) {
+        const auto stripe_lock = LockExclusive(StripeFor(attr));
+        index_.BufferAppendAttr(attr, tid);
+      }
+      if (wal_ != nullptr) (void)wal_->Commit();
+      return;
+    }
     const auto lock = LockExclusive(map_mu_);
     index_.PlaceStored(tid, stats);
     MaybeCompactWal();

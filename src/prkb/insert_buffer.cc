@@ -1,0 +1,58 @@
+#include "prkb/insert_buffer.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace prkb::core {
+
+void InsertBuffer::Append(edbms::TupleId tid) {
+  assert(!set_.contains(tid));
+  order_.push_back(tid);
+  set_.insert(tid);
+}
+
+bool InsertBuffer::Remove(edbms::TupleId tid) {
+  if (set_.erase(tid) == 0) return false;
+  // Buffers are bounded (PrkbOptions::max_buffered_inserts) and removals are
+  // either a full drain in append order (flush: pops the front repeatedly) or
+  // a rare mid-buffer delete, so the linear erase is fine.
+  order_.erase(std::find(order_.begin(), order_.end(), tid));
+  return true;
+}
+
+void InsertBuffer::Clear() {
+  order_.clear();
+  set_.clear();
+}
+
+void InsertBuffer::AppendTo(std::vector<edbms::TupleId>* out) const {
+  out->insert(out->end(), order_.begin(), order_.end());
+}
+
+size_t InsertBuffer::SizeBytes() const {
+  return order_.size() * (sizeof(edbms::TupleId) + sizeof(edbms::TupleId));
+}
+
+void InsertBuffer::EncodeTo(Encoder* enc) const {
+  enc->PutVarint(order_.size());
+  for (edbms::TupleId tid : order_) enc->PutVarint(tid);
+}
+
+Status InsertBuffer::DecodeFrom(Decoder* dec) {
+  Clear();
+  uint64_t n = 0;
+  PRKB_RETURN_IF_ERROR(dec->GetVarint(&n));
+  order_.reserve(n);
+  for (uint64_t i = 0; i < n; ++i) {
+    uint64_t tid = 0;
+    PRKB_RETURN_IF_ERROR(dec->GetVarint(&tid));
+    if (set_.contains(static_cast<edbms::TupleId>(tid))) {
+      return Status::Corruption("tuple buffered twice");
+    }
+    order_.push_back(static_cast<edbms::TupleId>(tid));
+    set_.insert(static_cast<edbms::TupleId>(tid));
+  }
+  return Status::Ok();
+}
+
+}  // namespace prkb::core

@@ -1,0 +1,57 @@
+#ifndef PRKB_PRKB_INSERT_BUFFER_H_
+#define PRKB_PRKB_INSERT_BUFFER_H_
+
+#include <cstddef>
+#include <unordered_set>
+#include <vector>
+
+#include "common/serial.h"
+#include "common/status.h"
+#include "edbms/types.h"
+
+namespace prkb::core {
+
+/// Per-chain unsorted insert buffer (DESIGN.md §14, after POPE): tuples whose
+/// rows are stored in the EDBMS but whose chain placement is deferred until a
+/// selection actually touches the attribute. Appends are O(1) and spend zero
+/// QPF; a query either batch-scans the buffer (exactness) or flushes it
+/// through one lock-step m-ary placement (amortised round trips).
+///
+/// Order matters: tuples are kept in append order, which is the order the
+/// deferred placement replays them in — so a flush is byte-identical to the
+/// eager placement sequence, and the WAL can reproduce the buffer verbatim
+/// from its append records.
+class InsertBuffer {
+ public:
+  /// Appends `tid`. Must not already be buffered.
+  void Append(edbms::TupleId tid);
+
+  /// Removes `tid` if buffered; returns whether it was. Append order of the
+  /// remaining tuples is preserved.
+  bool Remove(edbms::TupleId tid);
+
+  bool Contains(edbms::TupleId tid) const { return set_.contains(tid); }
+  size_t Size() const { return order_.size(); }
+  bool Empty() const { return order_.empty(); }
+  void Clear();
+
+  /// Buffered tuples in append order.
+  const std::vector<edbms::TupleId>& order() const { return order_; }
+  void AppendTo(std::vector<edbms::TupleId>* out) const;
+
+  /// Footprint for Pop::SizeBytes (Table 3 accounting).
+  size_t SizeBytes() const;
+
+  /// Deterministic: tuples encode in append order, which is part of the
+  /// knowledge state (it fixes the deferred placement sequence).
+  void EncodeTo(Encoder* enc) const;
+  Status DecodeFrom(Decoder* dec);
+
+ private:
+  std::vector<edbms::TupleId> order_;
+  std::unordered_set<edbms::TupleId> set_;
+};
+
+}  // namespace prkb::core
+
+#endif  // PRKB_PRKB_INSERT_BUFFER_H_

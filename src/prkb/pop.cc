@@ -49,6 +49,11 @@ void Pop::InitSingle(const std::vector<TupleId>& tuples) {
   fp_cache_.clear();
   next_cut_id_ = 1;
   num_tuples_ = tuples.size();
+  // The insert buffer survives a re-init minus the tuples the new chain
+  // covers: a flush seeding an empty chain inits with the first buffered
+  // tuple and must not lose the rest, while a full re-enable covers every
+  // live tuple and so drains the buffer completely.
+  for (TupleId tid : tuples) buffer_.Remove(tid);
   if (tuples.empty()) {
     // Empty table: empty chain — still announced, so a WAL replays the
     // enable and recovers an empty-but-enabled attribute.
@@ -136,6 +141,10 @@ void Pop::LinkBetweenCuts(uint64_t low_cut, uint64_t high_cut) {
 
 void Pop::AddTuple(PartitionId pid, TupleId tid) {
   assert(pid < slots_.size() && slots_[pid].live);
+  // Placing a buffered tuple drains it from the buffer. WAL replay relies on
+  // this: a flush logs plain kAdd records, and replaying them leaves exactly
+  // the not-yet-placed suffix buffered — no per-tuple flush record needed.
+  buffer_.Remove(tid);
   if (tid >= part_of_.size()) part_of_.resize(tid + 1, kNoPartition);
   assert(part_of_[tid] == kNoPartition);
   slots_[pid].members.Add(tid);
@@ -164,6 +173,12 @@ void Pop::DropCut(size_t cut_idx) {
 }
 
 void Pop::RemoveTuple(TupleId tid) {
+  // A still-buffered tuple never reached the chain: dropping it changes no
+  // chain knowledge, only the pending work set.
+  if (buffer_.Remove(tid)) {
+    if (listener_ != nullptr) listener_->OnRemove(tid);
+    return;
+  }
   assert(tid < part_of_.size() && part_of_[tid] != kNoPartition);
   const PartitionId pid = part_of_[tid];
   MemberSet& members = slots_[pid].members;
@@ -248,6 +263,17 @@ PartitionId Pop::MergeAt(size_t pos) {
   return left;
 }
 
+void Pop::BufferAppend(TupleId tid) {
+  assert(partition_of(tid) == kNoPartition);
+  buffer_.Append(tid);
+  if (listener_ != nullptr) listener_->OnBufferAppend(tid);
+}
+
+void Pop::NoteBufferFlushed(size_t placed) {
+  assert(buffer_.Empty());
+  if (listener_ != nullptr) listener_->OnBufferFlush(placed);
+}
+
 const Pop::Cut* Pop::FindCut(uint64_t id) const {
   auto it = cut_index_.find(id);
   if (it == cut_index_.end()) return nullptr;
@@ -330,6 +356,8 @@ size_t Pop::SizeBytes() const {
   }
   // Repeat-predicate fast-path cache.
   bytes += fp_cache_.size() * (sizeof(TrapdoorFp) + sizeof(FastPathEntry));
+  // Pending (buffered, not yet placed) inserts.
+  bytes += buffer_.SizeBytes();
   return bytes;
 }
 
@@ -374,6 +402,13 @@ Status Pop::Validate() const {
       if (cut2 == nullptr || !(cut2->fp == fp)) {
         return Status::Corruption("fast-path entry with dead or alien anchor");
       }
+    }
+  }
+  // Buffered tuples are pending, not covered: a tuple on both sides would be
+  // double-counted by selections (scan + partition result).
+  for (TupleId tid : buffer_.order()) {
+    if (partition_of(tid) != kNoPartition) {
+      return Status::Corruption("buffered tuple also on chain");
     }
   }
   return Status::Ok();

@@ -11,6 +11,7 @@
 #include "edbms/encryption.h"
 #include "edbms/types.h"
 #include "prkb/fingerprint.h"
+#include "prkb/insert_buffer.h"
 #include "prkb/memberset.h"
 
 namespace prkb::core {
@@ -45,6 +46,11 @@ class PopListener {
   virtual void OnMerge(size_t pos) = 0;
   virtual void OnRememberComparison(uint64_t cut_id) = 0;
   virtual void OnRememberBetween(uint64_t low_cut, uint64_t high_cut) = 0;
+  /// A tuple was appended to the insert buffer (deferred placement).
+  virtual void OnBufferAppend(edbms::TupleId tid) = 0;
+  /// A buffer flush completed: `placed` tuples left the buffer for the chain
+  /// (the individual placements were reported via OnAdd/OnInit/OnSplit).
+  virtual void OnBufferFlush(size_t placed) = 0;
 };
 
 /// Partial order partitions POPᶜₖ of one attribute (Def. 4.2): an ordered
@@ -141,12 +147,29 @@ class Pop {
   void LinkBetweenCuts(uint64_t low_cut, uint64_t high_cut);
 
   /// Inserts a tuple into an existing partition (insertion handling decides
-  /// which one).
+  /// which one). If the tuple is currently buffered it is drained from the
+  /// buffer first — this single rule makes live flushes and WAL replay agree
+  /// on the buffer state without a dedicated per-tuple flush record.
   void AddTuple(PartitionId pid, edbms::TupleId tid);
 
   /// Deletion handling (Sec. 7.2): drops the tuple; an emptied partition is
-  /// removed from the chain and redundant cuts are retired.
+  /// removed from the chain and redundant cuts are retired. A tuple that is
+  /// still buffered is simply dropped from the buffer (it never reached the
+  /// chain, so no chain knowledge changes).
   void RemoveTuple(edbms::TupleId tid);
+
+  /// --- Deferred inserts (DESIGN.md §14) -------------------------------------
+
+  /// Appends a tuple to the insert buffer: O(1), zero QPF, no chain change.
+  /// The tuple must not be covered by the chain or already buffered.
+  void BufferAppend(edbms::TupleId tid);
+
+  /// Records that a flush drained `placed` tuples (fires OnBufferFlush so the
+  /// WAL can mark the flush boundary). The placements themselves must already
+  /// have happened via AddTuple/InitSingle/SplitPartition.
+  void NoteBufferFlushed(size_t placed);
+
+  const InsertBuffer& insert_buffer() const { return buffer_; }
 
   /// Merges the partitions at chain positions `pos` and `pos+1` (knowledge
   /// coarsening; used when an insertion cannot side a tuple between two
@@ -246,6 +269,7 @@ class Pop {
   std::vector<Cut> cuts_;
   std::unordered_map<uint64_t, size_t> cut_index_;  // cut id -> index
   std::unordered_map<TrapdoorFp, FastPathEntry, TrapdoorFpHash> fp_cache_;
+  InsertBuffer buffer_;  // tuples stored but not yet placed on the chain
   uint64_t next_cut_id_ = 1;
   size_t num_tuples_ = 0;
   PopListener* listener_ = nullptr;

@@ -15,7 +15,9 @@ constexpr uint32_t kMagic = 0x50524B42;  // "PRKB"
 // v2 appends the repeat-predicate fast-path cache to each chain. Cut ids are
 // preserved across a round trip (they always were), which is what lets the
 // cache reference cuts by id.
-constexpr uint8_t kVersion = 2;
+// v3 appends the deferred-insert buffer (append order preserved — the order
+// is knowledge state: it fixes the flush placement sequence).
+constexpr uint8_t kVersion = 3;
 
 }  // namespace
 
@@ -74,6 +76,7 @@ void Pop::EncodeTo(Encoder* enc) const {
     enc->PutU64(e.cut_id);
     enc->PutU64(e.cut_id2);
   }
+  buffer_.EncodeTo(enc);
 }
 
 Status Pop::DecodeFrom(Decoder* dec) {
@@ -84,6 +87,7 @@ Status Pop::DecodeFrom(Decoder* dec) {
   cuts_.clear();
   cut_index_.clear();
   fp_cache_.clear();
+  buffer_.Clear();
   num_tuples_ = 0;
 
   uint64_t k;
@@ -143,8 +147,10 @@ Status Pop::DecodeFrom(Decoder* dec) {
     PRKB_RETURN_IF_ERROR(dec->GetU64(&e.cut_id2));
     fp_cache_.insert_or_assign(fp, e);
   }
+  PRKB_RETURN_IF_ERROR(buffer_.DecodeFrom(dec));
   // Validate() rejects entries whose anchors are missing or whose
-  // fingerprint does not match the anchor cut's trapdoor.
+  // fingerprint does not match the anchor cut's trapdoor, and buffered
+  // tuples that also appear on the chain.
   return Validate();
 }
 

@@ -64,6 +64,20 @@ struct PrkbOptions {
   /// keeps the paper's pure QPF-use costing; > 0 makes the planner price
   /// routes as round_trips × latency + evals × unit_cost and pick m.
   double rt_latency_hint_ns = 0.0;
+  /// POPE-style deferred inserts (DESIGN.md §14): Insert appends the tuple
+  /// to a per-chain unsorted buffer in O(1) with zero QPF; placement waits
+  /// until a selection touches the chain, which either batch-scans the
+  /// buffer or flushes it through one lock-step m-ary placement — whichever
+  /// the cost model prices cheaper. `false` keeps eager per-tuple placement
+  /// (the paper's Sec. 7.1 behaviour).
+  bool buffered_inserts = false;
+  /// Hard cap on buffered tuples per chain; an append that reaches the cap
+  /// flushes synchronously. 0 disables the cap.
+  size_t max_buffered_inserts = 4096;
+  /// Flush-vs-scan pricing bias: flush when its one-off cost is within this
+  /// factor of a single buffered scan (the flush pays once, the scan on
+  /// every query until someone flushes — see COST_MODEL.md).
+  double buffer_flush_horizon = 8.0;
 
   edbms::BatchPolicy scan_policy() const {
     return edbms::BatchPolicy{batch_size, scan_workers};
@@ -158,6 +172,19 @@ class PrkbIndex {
   /// row once, then fans the unlink).
   void EraseFromChains(edbms::TupleId tid);
 
+  /// Appends an already-stored tuple to `attr`'s insert buffer (zero QPF)
+  /// and flushes synchronously if that reaches max_buffered_inserts. Used by
+  /// the buffered Insert/PlaceStored paths and by ConcurrentPrkbIndex, which
+  /// calls it per attribute under that attribute's stripe lock.
+  void BufferAppendAttr(edbms::AttrId attr, edbms::TupleId tid);
+
+  /// Places every buffered tuple of `attr` on the chain via one lock-step
+  /// batched m-ary placement (update.cc), amortising the ~log_m k probe
+  /// round trips over the whole batch. Byte-identical to placing the tuples
+  /// eagerly in append order. No-op when the buffer is empty. Does not
+  /// commit the WAL (the surrounding public operation does).
+  void FlushBuffered(edbms::AttrId attr);
+
   /// Index footprint across all enabled attributes (Table 3).
   size_t SizeBytes() const;
 
@@ -204,6 +231,10 @@ class PrkbIndex {
                                             const ProbeSchedOptions& sched);
   /// Places an already-stored tuple into the chain of `attr` (update.cc).
   void PlaceTuple(edbms::AttrId attr, edbms::TupleId tid);
+  /// Places a batch of stored tuples into `attr`'s chain with lock-step
+  /// m-ary searches sharing probe rounds (update.cc). Equivalent to calling
+  /// PlaceTuple per tuple in order, with the round trips collapsed.
+  void BatchPlace(edbms::AttrId attr, const std::vector<edbms::TupleId>& tids);
 
   /// PRKB(MD) implementation detail (multidim.cc).
   std::vector<edbms::TupleId> RunMd(

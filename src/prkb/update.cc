@@ -3,6 +3,7 @@
 
 #include "obs/metrics.h"
 #include "obs/trace.h"
+#include "prkb/probe_sched.h"
 #include "prkb/selection.h"
 
 namespace prkb::core {
@@ -12,12 +13,16 @@ using edbms::TupleId;
 
 /// Insertion-handling telemetry: evals is the O(lg k) re-evaluation budget of
 /// Sec. 7.1; coarsen_merges count the fallback that trades knowledge for
-/// placeability (docs/COST_MODEL.md).
+/// placeability; the update.buffer.* family tracks the deferred-insert path
+/// (docs/COST_MODEL.md, docs/OBSERVABILITY.md).
 struct UpdateMetrics {
   obs::Counter* placements;
   obs::Counter* evals;
   obs::Counter* coarsen_merges;
   obs::Counter* memo_hits;
+  obs::Counter* buffer_appends;
+  obs::Counter* buffer_flushes;
+  obs::LatencyHistogram* flush_batch_size;
 
   static const UpdateMetrics& Get() {
     static const UpdateMetrics m = {
@@ -25,6 +30,10 @@ struct UpdateMetrics {
         obs::MetricsRegistry::Global().GetCounter("update.evals"),
         obs::MetricsRegistry::Global().GetCounter("update.coarsen_merges"),
         obs::MetricsRegistry::Global().GetCounter("update.memo_hits"),
+        obs::MetricsRegistry::Global().GetCounter("update.buffer.appends"),
+        obs::MetricsRegistry::Global().GetCounter("update.buffer.flushes"),
+        obs::MetricsRegistry::Global().GetHistogram(
+            "update.buffer.flush_batch_size"),
     };
     return m;
   }
@@ -93,6 +102,106 @@ size_t CountClip(const std::vector<Interval>& ivs, size_t b, size_t e) {
   return n;
 }
 
+/// The fixed search geometry of one placement batch: usable cuts with their
+/// region semantics, plus the sorted comparison-cut index for the
+/// O(lg k)-per-step quantile pick. Positions never change during a search
+/// (only AddTuple happens before the coarsen fallback), so one geometry
+/// serves every tuple of a batch — which is what makes the lock-step flush
+/// evaluate exactly the per-tuple (cut, tuple) pairs the eager sequential
+/// placement would have.
+struct PlacementGeometry {
+  size_t k;
+  std::vector<CutRegion> regions;
+  std::vector<std::pair<size_t, const CutRegion*>> cmp_by_pos;
+
+  explicit PlacementGeometry(const Pop& pop) : k(pop.k()) {
+    for (const Pop::Cut& cut : pop.cuts()) {
+      if (!cut.UsableForInsert()) continue;
+      if (cut.trapdoor.kind == edbms::PredicateKind::kComparison) {
+        const size_t c = pop.CutPos(cut);
+        // Θ == left_label selects positions [0, c-1].
+        regions.push_back(CutRegion{&cut, 0, c - 1, cut.left_label});
+      } else {
+        // BETWEEN with both ends known: Θ == 1 selects the inside positions.
+        const Pop::Cut* sib = pop.FindCut(cut.sibling);
+        if (sib == nullptr) continue;
+        const size_t c1 = pop.CutPos(cut);
+        const size_t c2 = pop.CutPos(*sib);
+        if (c1 >= c2) continue;  // handled once, from the low end
+        regions.push_back(CutRegion{&cut, c1, c2 - 1, true});
+      }
+    }
+    cmp_by_pos.reserve(regions.size());
+    for (const CutRegion& r : regions) {
+      if (r.cut->trapdoor.kind == edbms::PredicateKind::kComparison) {
+        cmp_by_pos.emplace_back(r.region_e + 1, &r);  // cut position
+      }
+    }
+    std::sort(cmp_by_pos.begin(), cmp_by_pos.end());
+  }
+
+  /// Nearest usable comparison cut to `target`, constrained to (b, e] so it
+  /// properly splits the interval [b, e]. Ties go to the upper cut.
+  const CutRegion* NearestCmp(size_t b, size_t e, size_t target) const {
+    auto it = std::lower_bound(
+        cmp_by_pos.begin(), cmp_by_pos.end(), target,
+        [](const auto& pr, size_t m) { return pr.first < m; });
+    const CutRegion* cut_up =
+        (it != cmp_by_pos.end() && it->first <= e) ? it->second : nullptr;
+    const CutRegion* cut_down =
+        (it != cmp_by_pos.begin() && std::prev(it)->first > b)
+            ? std::prev(it)->second
+            : nullptr;
+    if (cut_up != nullptr && cut_down != nullptr) {
+      return (it->first - target <= target - std::prev(it)->first) ? cut_up
+                                                                   : cut_down;
+    }
+    return cut_up != nullptr ? cut_up : cut_down;
+  }
+
+  /// One round's greedy picks for `cand`: up to `npicks` cuts — the quantile
+  /// comparison cuts of a single surviving interval, or the best worst-case
+  /// separators in general. Empty when no usable cut can narrow further.
+  void ComputePicks(const std::vector<Interval>& cand, size_t fanout,
+                    size_t npicks, std::vector<const CutRegion*>* picks) const {
+    picks->clear();
+    if (cand.size() == 1) {
+      // Fast path: comparison cuts nearest the m-quantiles of [b, e] (the
+      // single midpoint when m = 2), each found by binary search.
+      const size_t b = cand[0].b, e = cand[0].e;
+      const size_t width = e - b + 1;
+      for (size_t j = 1; j < fanout && picks->size() < npicks; ++j) {
+        const size_t off = j * width / fanout;
+        if (off == 0) continue;  // degenerate quantile; a later j covers it
+        const CutRegion* r = NearestCmp(b, e, b + off);
+        if (r == nullptr) continue;
+        if (std::find(picks->begin(), picks->end(), r) == picks->end()) {
+          picks->push_back(r);
+        }
+      }
+    }
+    if (picks->empty()) {
+      // General path: any usable cuts (including BETWEEN pairs) minimising
+      // the worst-case surviving count; only proper separators qualify.
+      const size_t total = Total(cand);
+      std::vector<std::pair<size_t, const CutRegion*>> scored;
+      for (const CutRegion& r : regions) {
+        const size_t in_region = CountClip(cand, r.region_b, r.region_e);
+        const size_t worst = std::max(in_region, total - in_region);
+        if (worst < total) scored.emplace_back(worst, &r);
+      }
+      std::stable_sort(
+          scored.begin(), scored.end(),
+          [](const auto& x, const auto& y) { return x.first < y.first; });
+      for (const auto& [worst, r] : scored) {
+        (void)worst;
+        if (picks->size() >= npicks) break;
+        picks->push_back(r);
+      }
+    }
+  }
+};
+
 }  // namespace
 
 void PrkbIndex::PlaceTuple(edbms::AttrId attr, TupleId tid) {
@@ -108,41 +217,9 @@ void PrkbIndex::PlaceTuple(edbms::AttrId attr, TupleId tid) {
     return;
   }
 
-  const size_t k = pop.k();
+  const PlacementGeometry geo(pop);
+  const size_t k = geo.k;
   std::vector<Interval> cand = {Interval{0, k - 1}};
-
-  // Collect the usable cuts and their region semantics once; positions do
-  // not change during the search (no splits happen here).
-  std::vector<CutRegion> regions;
-  for (const Pop::Cut& cut : pop.cuts()) {
-    if (!cut.UsableForInsert()) continue;
-    if (cut.trapdoor.kind == edbms::PredicateKind::kComparison) {
-      const size_t c = pop.CutPos(cut);
-      // Θ == left_label selects positions [0, c-1].
-      regions.push_back(CutRegion{&cut, 0, c - 1, cut.left_label});
-    } else {
-      // BETWEEN with both ends known: Θ == 1 selects the inside positions.
-      const Pop::Cut* sib = pop.FindCut(cut.sibling);
-      if (sib == nullptr) continue;
-      const size_t c1 = pop.CutPos(cut);
-      const size_t c2 = pop.CutPos(*sib);
-      if (c1 >= c2) continue;  // handled once, from the low end
-      regions.push_back(CutRegion{&cut, c1, c2 - 1, true});
-    }
-  }
-
-  // Sorted comparison-cut positions for the O(lg k)-per-step fast path:
-  // while the candidate set is one interval [b, e], the best comparison cut
-  // is simply the one with position nearest its midpoint, found by binary
-  // search instead of scanning every cut.
-  std::vector<std::pair<size_t, const CutRegion*>> cmp_by_pos;
-  cmp_by_pos.reserve(regions.size());
-  for (const CutRegion& r : regions) {
-    if (r.cut->trapdoor.kind == edbms::PredicateKind::kComparison) {
-      cmp_by_pos.emplace_back(r.region_e + 1, &r);  // cut position
-    }
-  }
-  std::sort(cmp_by_pos.begin(), cmp_by_pos.end());
 
   // Θ(trapdoor, tid) outcomes already paid for during this placement, keyed
   // by trapdoor fingerprint: distinct cuts can share one trapdoor (BETWEEN
@@ -150,32 +227,10 @@ void PrkbIndex::PlaceTuple(edbms::AttrId attr, TupleId tid) {
   // pay the backend twice for the same predicate.
   std::unordered_map<TrapdoorFp, bool, TrapdoorFpHash> memo;
 
-  // Nearest usable comparison cut to `target`, constrained to (b, e] so it
-  // properly splits the interval [b, e]. Ties go to the upper cut.
-  auto nearest_cmp = [&cmp_by_pos](size_t b, size_t e,
-                                   size_t target) -> const CutRegion* {
-    auto it = std::lower_bound(
-        cmp_by_pos.begin(), cmp_by_pos.end(), target,
-        [](const auto& pr, size_t m) { return pr.first < m; });
-    const CutRegion* cut_up =
-        (it != cmp_by_pos.end() && it->first <= e) ? it->second : nullptr;
-    const CutRegion* cut_down =
-        (it != cmp_by_pos.begin() && std::prev(it)->first > b)
-            ? std::prev(it)->second
-            : nullptr;
-    if (cut_up != nullptr && cut_down != nullptr) {
-      return (it->first - target <= target - std::prev(it)->first) ? cut_up
-                                                                   : cut_down;
-    }
-    return cut_up != nullptr ? cut_up : cut_down;
-  };
-
-  // Greedy search, batched: each round picks up to m−1 cuts — the quantile
-  // cuts of a single surviving interval, or the best worst-case separators
-  // in general — and evaluates them in one QPF round trip, cutting the
-  // ~⌈lg k⌉ serial trips of Sec. 7.1 to ~⌈log_m k⌉. m = 2 (and the
-  // sequential-probes ablation) reproduce the paper's one-cut-per-trip
-  // binary placement exactly.
+  // Greedy search, batched: each round picks up to m−1 cuts and evaluates
+  // them in one QPF round trip, cutting the ~⌈lg k⌉ serial trips of
+  // Sec. 7.1 to ~⌈log_m k⌉. m = 2 (and the sequential-probes ablation)
+  // reproduce the paper's one-cut-per-trip binary placement exactly.
   const bool sequential = options_.sequential_probes;
   const size_t fanout =
       sequential ? 2 : (options_.probe_fanout < 2 ? 2 : options_.probe_fanout);
@@ -183,42 +238,7 @@ void PrkbIndex::PlaceTuple(edbms::AttrId attr, TupleId tid) {
   ProbeRound probe_round(db_);
   std::vector<const CutRegion*> picks;
   while (Total(cand) > 1) {
-    picks.clear();
-
-    if (cand.size() == 1) {
-      // Fast path: comparison cuts nearest the m-quantiles of [b, e] (the
-      // single midpoint when m = 2), each found by binary search.
-      const size_t b = cand[0].b, e = cand[0].e;
-      const size_t width = e - b + 1;
-      for (size_t j = 1; j < fanout && picks.size() < npicks; ++j) {
-        const size_t off = j * width / fanout;
-        if (off == 0) continue;  // degenerate quantile; a later j covers it
-        const CutRegion* r = nearest_cmp(b, e, b + off);
-        if (r == nullptr) continue;
-        if (std::find(picks.begin(), picks.end(), r) == picks.end()) {
-          picks.push_back(r);
-        }
-      }
-    }
-    if (picks.empty()) {
-      // General path: any usable cuts (including BETWEEN pairs) minimising
-      // the worst-case surviving count; only proper separators qualify.
-      const size_t total = Total(cand);
-      std::vector<std::pair<size_t, const CutRegion*>> scored;
-      for (const CutRegion& r : regions) {
-        const size_t in_region = CountClip(cand, r.region_b, r.region_e);
-        const size_t worst = std::max(in_region, total - in_region);
-        if (worst < total) scored.emplace_back(worst, &r);
-      }
-      std::stable_sort(
-          scored.begin(), scored.end(),
-          [](const auto& x, const auto& y) { return x.first < y.first; });
-      for (const auto& [worst, r] : scored) {
-        (void)worst;
-        if (picks.size() >= npicks) break;
-        picks.push_back(r);
-      }
-    }
+    geo.ComputePicks(cand, fanout, npicks, &picks);
     if (picks.empty()) break;  // no cut can narrow further
 
     if (sequential) {
@@ -301,6 +321,151 @@ void PrkbIndex::PlaceTuple(edbms::AttrId attr, TupleId tid) {
   pop.AddTuple(pop.pid_at(span_b), tid);
 }
 
+void PrkbIndex::BatchPlace(edbms::AttrId attr,
+                           const std::vector<TupleId>& tids) {
+  if (tids.empty()) return;
+  if (tids.size() == 1 || options_.sequential_probes) {
+    // Lock-step buys nothing for one tuple, and the sequential-probes
+    // ablation wants one blocking trip per probe anyway.
+    for (TupleId tid : tids) PlaceTuple(attr, tid);
+    return;
+  }
+  const obs::ObsTracer::Span span("update.batch_place");
+  Pop& pop = pops_.at(attr);
+  size_t start = 0;
+  if (pop.k() == 0) {
+    UpdateMetrics::Get().placements->Add(1);
+    pop.InitSingle(std::vector<TupleId>{tids[0]});
+    start = 1;
+  }
+  if (pop.k() == 1) {
+    // No cuts to search: every tuple lands in the sole partition, exactly
+    // as the eager sequence would have placed it.
+    for (size_t i = start; i < tids.size(); ++i) {
+      UpdateMetrics::Get().placements->Add(1);
+      pop.AddTuple(pop.pid_at(0), tids[i]);
+    }
+    return;
+  }
+
+  const PlacementGeometry geo(pop);
+  const size_t k = geo.k;
+  const size_t fanout = options_.probe_fanout < 2 ? 2 : options_.probe_fanout;
+  const size_t npicks = fanout - 1;
+
+  struct Search {
+    TupleId tid;
+    std::vector<Interval> cand;
+    std::unordered_map<TrapdoorFp, bool, TrapdoorFpHash> memo;
+    bool searching = true;
+  };
+  std::vector<Search> searches;
+  searches.reserve(tids.size());
+  for (TupleId tid : tids) {
+    searches.push_back(Search{tid, {Interval{0, k - 1}}, {}, true});
+  }
+
+  // Lock-step rounds: every still-narrowing tuple contributes its round's
+  // picks to ONE shared probe round. The geometry is fixed and each tuple's
+  // picks depend only on its own candidate set, so the per-tuple
+  // (cut, tuple) evaluations are exactly the eager sequential placement's —
+  // only the round trips collapse (the ≥3× of BENCH_write_heavy.json).
+  struct Decision {
+    Search* s;
+    const CutRegion* r;
+    bool memoized;
+    bool value;   // when memoized
+    size_t lane;  // when not
+  };
+  ProbeRound probe_round(db_);
+  std::vector<const CutRegion*> picks;
+  std::vector<Decision> decisions;
+  std::unordered_map<TrapdoorFp, size_t, TrapdoorFpHash> lane_by_fp;
+  for (;;) {
+    decisions.clear();
+    for (Search& s : searches) {
+      if (!s.searching) continue;
+      if (Total(s.cand) <= 1) {
+        s.searching = false;
+        continue;
+      }
+      geo.ComputePicks(s.cand, fanout, npicks, &picks);
+      if (picks.empty()) {
+        s.searching = false;  // coarsen fallback, handled after the loop
+        continue;
+      }
+      lane_by_fp.clear();  // lanes dedupe per (tuple, round), as in PlaceTuple
+      for (const CutRegion* r : picks) {
+        if (const auto it = s.memo.find(r->cut->fp);
+            options_.fast_path && it != s.memo.end()) {
+          UpdateMetrics::Get().memo_hits->Add(1);
+          decisions.push_back(Decision{&s, r, true, it->second, 0});
+          continue;
+        }
+        const auto [lit, inserted] = lane_by_fp.try_emplace(r->cut->fp, 0);
+        if (inserted) {
+          lit->second = probe_round.Add(r->cut->trapdoor, s.tid);
+          UpdateMetrics::Get().evals->Add(1);
+        }
+        decisions.push_back(Decision{&s, r, false, false, lit->second});
+      }
+    }
+    if (decisions.empty()) break;
+    probe_round.Flush();
+    for (const Decision& d : decisions) {
+      const bool output = d.memoized ? d.value : probe_round.ResultOf(d.lane);
+      if (!d.memoized) d.s->memo.emplace(d.r->cut->fp, output);
+      if (output == d.r->label_for_region) {
+        d.s->cand = Clip(d.s->cand, d.r->region_b, d.r->region_e);
+      } else {
+        d.s->cand = ClipComplement(d.s->cand, d.r->region_b, d.r->region_e, k);
+      }
+      assert(!d.s->cand.empty());
+    }
+  }
+
+  // Resolved tuples land first, in append order. AddTuple never moves cuts
+  // or positions, so every resolved position stays valid throughout.
+  std::vector<TupleId> unresolved;
+  for (Search& s : searches) {
+    if (Total(s.cand) == 1) {
+      UpdateMetrics::Get().placements->Add(1);
+      pop.AddTuple(pop.pid_at(s.cand[0].b), s.tid);
+    } else {
+      unresolved.push_back(s.tid);
+    }
+  }
+  // The rare coarsen cases (sibling-less BETWEEN cuts guarding the boundary)
+  // re-run the scalar placement, which merges the blocked span against the
+  // *current* chain — simpler and safer than patching candidate positions
+  // through earlier tuples' merges, at the price of re-paying those few
+  // tuples' probes.
+  for (TupleId tid : unresolved) PlaceTuple(attr, tid);
+}
+
+void PrkbIndex::FlushBuffered(edbms::AttrId attr) {
+  Pop& pop = pops_.at(attr);
+  if (pop.insert_buffer().Empty()) return;
+  const obs::ObsTracer::Span span("update.buffer_flush");
+  std::vector<TupleId> tids;
+  tids.reserve(pop.insert_buffer().Size());
+  pop.insert_buffer().AppendTo(&tids);
+  BatchPlace(attr, tids);  // AddTuple/InitSingle drain the buffer as they go
+  UpdateMetrics::Get().buffer_flushes->Add(1);
+  UpdateMetrics::Get().flush_batch_size->Record(tids.size());
+  pop.NoteBufferFlushed(tids.size());
+}
+
+void PrkbIndex::BufferAppendAttr(edbms::AttrId attr, TupleId tid) {
+  Pop& pop = pops_.at(attr);
+  pop.BufferAppend(tid);
+  UpdateMetrics::Get().buffer_appends->Add(1);
+  if (options_.max_buffered_inserts > 0 &&
+      pop.insert_buffer().Size() >= options_.max_buffered_inserts) {
+    FlushBuffered(attr);
+  }
+}
+
 edbms::TupleId PrkbIndex::Insert(const std::vector<edbms::Value>& row,
                                  edbms::SelectionStats* stats) {
   // StatsScope fills every field (the old manual fill left qpf_batches
@@ -309,7 +474,11 @@ edbms::TupleId PrkbIndex::Insert(const std::vector<edbms::Value>& row,
   const TupleId tid = db_->Insert(row);
   for (auto& [attr, pop] : pops_) {
     (void)pop;
-    PlaceTuple(attr, tid);
+    if (options_.buffered_inserts) {
+      BufferAppendAttr(attr, tid);
+    } else {
+      PlaceTuple(attr, tid);
+    }
   }
   CommitWal();
   return tid;
@@ -321,7 +490,11 @@ void PrkbIndex::PlaceStored(edbms::TupleId tid, edbms::SelectionStats* stats) {
   edbms::StatsScope scope(db_, stats, "place");
   for (auto& [attr, pop] : pops_) {
     (void)pop;
-    PlaceTuple(attr, tid);
+    if (options_.buffered_inserts) {
+      BufferAppendAttr(attr, tid);
+    } else {
+      PlaceTuple(attr, tid);
+    }
   }
   CommitWal();
 }
@@ -334,7 +507,10 @@ void PrkbIndex::Delete(edbms::TupleId tid) {
 void PrkbIndex::EraseFromChains(edbms::TupleId tid) {
   for (auto& [attr, pop] : pops_) {
     (void)attr;
-    if (pop.partition_of(tid) != Pop::kNoPartition) pop.RemoveTuple(tid);
+    if (pop.partition_of(tid) != Pop::kNoPartition ||
+        pop.insert_buffer().Contains(tid)) {
+      pop.RemoveTuple(tid);
+    }
   }
   CommitWal();
 }

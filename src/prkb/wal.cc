@@ -29,6 +29,11 @@ enum RecordType : uint8_t {
   kMerge = 6,            // body: varint pos
   kRememberCmp = 7,      // body: varint cut_id
   kRememberBetween = 8,  // body: varint low_cut, varint high_cut
+  kBufAppend = 9,        // body: varint tid (deferred-insert buffer append)
+  kBufFlush = 10,        // body: varint count (flush boundary marker; the
+                         //       kAdd/kInit/kSplit records of the flush
+                         //       precede it, so a torn tail mid-flush leaves
+                         //       the unplaced suffix validly buffered)
 };
 
 // Upper bound on one record's framed payload; anything larger on disk is
@@ -145,6 +150,20 @@ class PrkbWal::AttrSink : public PopListener {
     Head(&enc, kRememberBetween);
     enc.PutVarint(low_cut);
     enc.PutVarint(high_cut);
+    wal_->Append(enc.buffer());
+  }
+
+  void OnBufferAppend(edbms::TupleId tid) override {
+    Encoder enc;
+    Head(&enc, kBufAppend);
+    enc.PutVarint(tid);
+    wal_->Append(enc.buffer());
+  }
+
+  void OnBufferFlush(size_t placed) override {
+    Encoder enc;
+    Head(&enc, kBufFlush);
+    enc.PutVarint(placed);
     wal_->Append(enc.buffer());
   }
 
@@ -268,11 +287,12 @@ Status PrkbWal::ApplyRecord(const uint8_t* payload, size_t size) {
     MemberSet ms;
     PRKB_RETURN_IF_ERROR(ms.DecodeFrom(&dec));
     if (!dec.Done()) return Status::Corruption("trailing bytes in init");
-    // Re-run initPRKB from scratch (listener not yet attached — Recover runs
-    // before AttachAll — so replay emits no records).
-    Pop fresh;
-    index_->InstallPop(attr, std::move(fresh));
-    index_->pop(attr).InitSingle(ms.ToVector());
+    // Re-run initPRKB in place (listener not yet attached — Recover runs
+    // before AttachAll — so replay emits no records). InitSingle resets the
+    // chain but keeps the not-covered part of the insert buffer, matching
+    // the live operation — a flush seeding an empty chain inits with just
+    // the first buffered tuple.
+    index_->pops_[attr].InitSingle(ms.ToVector());
     recovered_attrs_.insert(attr);
     return Status::Ok();
   }
@@ -333,7 +353,8 @@ Status PrkbWal::ApplyRecord(const uint8_t* payload, size_t size) {
       PRKB_RETURN_IF_ERROR(dec.GetVarint(&tid));
       if (!dec.Done()) return Status::Corruption("trailing bytes in remove");
       if (pop.partition_of(static_cast<edbms::TupleId>(tid)) ==
-          Pop::kNoPartition) {
+              Pop::kNoPartition &&
+          !pop.insert_buffer().Contains(static_cast<edbms::TupleId>(tid))) {
         return Status::Corruption("remove of uncovered tuple");
       }
       pop.RemoveTuple(static_cast<edbms::TupleId>(tid));
@@ -367,6 +388,31 @@ Status PrkbWal::ApplyRecord(const uint8_t* payload, size_t size) {
         return Status::Corruption("remember unknown cut");
       }
       pop.RememberBetween(cut->fp, low, high);
+      return Status::Ok();
+    }
+    case kBufAppend: {
+      uint64_t tid = 0;
+      PRKB_RETURN_IF_ERROR(dec.GetVarint(&tid));
+      if (!dec.Done()) return Status::Corruption("trailing bytes in buf-app");
+      const auto t = static_cast<edbms::TupleId>(tid);
+      if (pop.partition_of(t) != Pop::kNoPartition ||
+          pop.insert_buffer().Contains(t)) {
+        return Status::Corruption("buffer append of covered/buffered tuple");
+      }
+      pop.BufferAppend(t);
+      return Status::Ok();
+    }
+    case kBufFlush: {
+      uint64_t count = 0;
+      PRKB_RETURN_IF_ERROR(dec.GetVarint(&count));
+      if (!dec.Done()) return Status::Corruption("trailing bytes in buf-fl");
+      // Every placement record of the flush precedes this marker, and
+      // AddTuple/InitSingle drain the buffer as they replay — so reaching
+      // the marker with tuples still buffered means the log is inconsistent.
+      if (!pop.insert_buffer().Empty()) {
+        return Status::Corruption("flush marker with non-empty buffer");
+      }
+      pop.NoteBufferFlushed(count);
       return Status::Ok();
     }
     default:
