@@ -1,0 +1,218 @@
+// Adaptive routing under mid-run drift: one deployment, one planner, no
+// restarts — the workload's selectivity and the TM's transport latency both
+// shift underneath it, and the online calibrator (src/exec/calibrate.h) must
+// re-fit the cost constants until the arbitration lands back on the right
+// route.
+//
+// Four phases over the same PrkbIndex + SrciRoute pair, attribute c0. Every
+// query is a one-sided comparison `c0 <= X`: comparisons always split the
+// mixed boundary partition, so the chain keeps developing and the PRKB
+// estimate tracks its actuals (a pure-BETWEEN workload would freeze the
+// chain — an interior (F,T,F) band never satisfies updatePRKB's split rule).
+//   P1 wide      sel ~55%, loopback TM  -> prkb   (SRC-i confirms ~half the
+//                                                  table one decrypt each)
+//   P2 narrow    sel ~0.2%, loopback TM -> srci   (PRKB still scans windows)
+//   P3 remote    sel ~0.2%, TM lat L    -> prkb   (SRC-i pays a scalar round
+//                                                  trip per candidate; PRKB
+//                                                  batches and opens fanout)
+//   P4 recovery  sel ~0.2%, loopback TM -> srci   (the latency fit must decay
+//                                                  back down without restart)
+//
+// Every query is also answered by a plaintext oracle; the chosen route's
+// winner set must be byte-identical throughout (winner_mismatches == 0).
+// Per phase the bench gates `converged_at` — the first query index from
+// which the planner's route stays on the expected winner — against a bound,
+// and the final query of each phase must be on the expected route. Any
+// violation exits 1, so the committed BENCH_adaptive_drift.json certifies
+// convergence within the bounds.
+//
+// Extra flags beyond the common set (bench_util.h):
+//   --smoke   shorter phases, milder shift (CI schema check)
+//   --tmlat=N override the P3 transport shift, ns
+
+#include <algorithm>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "common/stopwatch.h"
+#include "common/table_printer.h"
+#include "query/alt_routes.h"
+#include "query/planner.h"
+#include "workload/query_gen.h"
+#include "workload/synthetic_table.h"
+
+namespace prkb::bench {
+namespace {
+
+using edbms::TupleId;
+using edbms::Value;
+
+struct Phase {
+  const char* name;
+  bool narrow;           // narrow band near domain_lo vs wide mid-domain cut
+  uint64_t tm_latency_ns;
+  const char* expect;    // route that must win once the fits catch up
+  int bound;             // converged_at must be <= this (1-based)
+};
+
+int Main(int argc, char** argv) {
+  bool smoke = false;
+  bool tmlat_given = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--smoke") == 0) smoke = true;
+    if (std::strncmp(argv[i], "--tmlat=", 8) == 0) tmlat_given = true;
+  }
+  BenchArgs args = BenchArgs::Parse(argc, argv, /*default_scale=*/0.0008);
+  if (!tmlat_given) args.tm_latency_ns = smoke ? 100'000 : 300'000;
+
+  const size_t rows = ScaledRows(10'000'000, args.scale);
+  const int phase_len = args.queries > 0 ? args.queries : (smoke ? 12 : 16);
+
+  PrintBanner("Adaptive routing under mid-run drift",
+              "selectivity + TM latency shift; no restart", args,
+              "one planner and one calibrator live through all four phases; "
+              "SRC-i is pre-built while the TM is on loopback");
+
+  workload::SyntheticSpec spec;
+  spec.rows = rows;
+  spec.attrs = 1;
+  spec.seed = args.seed;
+  const auto plain = workload::MakeSyntheticTable(spec);
+  const std::vector<Value>& col = plain.column(0);
+  const double span = static_cast<double>(spec.domain_hi - spec.domain_lo);
+
+  auto db = edbms::CipherbaseEdbms::FromPlainTable(args.seed, plain);
+  core::PrkbIndex index(
+      &db, core::PrkbOptions{.seed = args.seed, .batch_size = 64});
+  index.EnableAttr(0);
+  query::Catalog catalog;
+  catalog.RegisterTable("t", {"c0"});
+  query::Planner planner(&catalog, &db, &index);
+  query::SrciRoute srci(&db, 0, spec.domain_lo, spec.domain_hi);
+  // Build the SRC-i index up front: a lazy build during a remote phase would
+  // pay one scalar TM entry per row at the shifted latency.
+  if (Status s = srci.EnsureBuilt(); !s.ok()) {
+    std::fprintf(stderr, "FATAL: srci build: %s\n", s.ToString().c_str());
+    return 1;
+  }
+  planner.RegisterAltRoute(&srci);
+
+  // Develop the chain before arbitration starts: with k partitions the PRKB
+  // comparison estimate scales as n/k, so an undeveloped chain would price
+  // PRKB as a near-full scan in every phase and the wide/remote phases could
+  // never flip to it.
+  workload::QueryGen warm_gen(spec.domain_lo, spec.domain_hi, args.seed + 5);
+  const int warm_queries = WarmToPartitions(&index, &db, 0, &warm_gen, 32, 200);
+
+  // P4's bound is the interesting one: the latency fit decays by kFitAlpha
+  // per query, so recovery needs ~log(L_shift / L_flip) / log(1/(1-alpha))
+  // queries. The other phases flip within a couple of queries.
+  const std::vector<Phase> phases =
+      smoke ? std::vector<Phase>{{"wide", false, 0, "prkb", 3},
+                                 {"narrow", true, 0, "srci", 3},
+                                 {"remote", true, args.tm_latency_ns, "prkb",
+                                  4},
+                                 {"recovery", true, 0, "srci", 11}}
+            : std::vector<Phase>{{"wide", false, 0, "prkb", 3},
+                                 {"narrow", true, 0, "srci", 3},
+                                 {"remote", true, args.tm_latency_ns, "prkb",
+                                  4},
+                                 {"recovery", true, 0, "srci", 15}};
+
+  JsonBench json("bench_adaptive_drift", args);
+  json.Config("rows", static_cast<double>(rows));
+  json.Config("phase_len", static_cast<double>(phase_len));
+  json.Config("warm_queries", static_cast<double>(warm_queries));
+  json.Config("smoke", smoke ? "true" : "false");
+
+  TablePrinter tp("drift phases, " + std::to_string(rows) + " rows, " +
+                  std::to_string(phase_len) + " queries/phase");
+  tp.SetHeader({"phase", "tmlat us", "sel %", "converged@", "bound", "route",
+                "mismatch", "millis"});
+
+  Rng rng(args.seed + 7);
+  int failures = 0;
+  for (const Phase& ph : phases) {
+    db.trusted_machine().set_call_latency_ns(ph.tm_latency_ns);
+    int last_off_route = 0;
+    int winner_mismatches = 0;
+    double sel_sum = 0.0;
+    std::string final_route;
+    Stopwatch watch;
+    for (int q = 1; q <= phase_len; ++q) {
+      const double u = rng.UniformDouble();
+      // Wide cuts land mid-domain (sel ~50-60%); narrow ones hug domain_lo
+      // (sel ~0.1-0.2%) so SRC-i's candidate block stays small.
+      const double frac =
+          ph.narrow ? 0.002 * (0.5 + u) : 0.50 + 0.10 * u;
+      const Value x =
+          spec.domain_lo + static_cast<Value>(frac * span);
+      char sql[96];
+      std::snprintf(sql, sizeof(sql), "SELECT * FROM t WHERE c0 <= %lld",
+                    static_cast<long long>(x));
+      auto r = planner.ExecuteSql(sql);
+      if (!r.ok()) {
+        std::fprintf(stderr, "FATAL: planner: %s\n",
+                     r.status().ToString().c_str());
+        return 1;
+      }
+      std::vector<TupleId> got = std::move(r->rows);
+      std::sort(got.begin(), got.end());
+      std::vector<TupleId> want;
+      for (TupleId tid = 0; tid < col.size(); ++tid) {
+        if (col[tid] <= x) want.push_back(tid);
+      }
+      if (got != want) ++winner_mismatches;
+      sel_sum += static_cast<double>(want.size()) /
+                 static_cast<double>(col.size());
+      final_route = r->physical.route;
+      if (final_route != ph.expect) last_off_route = q;
+    }
+    const double millis = watch.ElapsedMillis();
+    const int converged_at = last_off_route + 1;
+    const double sel_pct = 100.0 * sel_sum / phase_len;
+
+    tp.AddRow({ph.name, TablePrinter::Fmt(ph.tm_latency_ns / 1e3, 0),
+               TablePrinter::Fmt(sel_pct, 2), std::to_string(converged_at),
+               std::to_string(ph.bound), final_route,
+               std::to_string(winner_mismatches),
+               TablePrinter::Fmt(millis, 1)});
+    json.BeginRow();
+    json.Field("phase", std::string(ph.name));
+    json.Field("tmlat_ns", static_cast<uint64_t>(ph.tm_latency_ns));
+    json.Field("target_pct", sel_pct);
+    json.Field("queries", static_cast<uint64_t>(phase_len));
+    json.Field("converged_at", static_cast<uint64_t>(converged_at));
+    json.Field("converge_bound", static_cast<uint64_t>(ph.bound));
+    json.Field("route", final_route);
+    json.Field("winner_mismatches",
+               static_cast<uint64_t>(winner_mismatches));
+
+    if (winner_mismatches != 0) {
+      std::fprintf(stderr, "FATAL: phase %s: %d winner-set mismatch(es)\n",
+                   ph.name, winner_mismatches);
+      ++failures;
+    }
+    if (final_route != ph.expect) {
+      std::fprintf(stderr, "FATAL: phase %s ended on route %s, expected %s\n",
+                   ph.name, final_route.c_str(), ph.expect);
+      ++failures;
+    } else if (converged_at > ph.bound) {
+      std::fprintf(stderr,
+                   "FATAL: phase %s converged at query %d, bound %d\n",
+                   ph.name, converged_at, ph.bound);
+      ++failures;
+    }
+  }
+
+  tp.Print();
+  json.WriteIfRequested(args);
+  return failures == 0 ? 0 : 1;
+}
+
+}  // namespace
+}  // namespace prkb::bench
+
+int main(int argc, char** argv) { return prkb::bench::Main(argc, argv); }

@@ -203,6 +203,19 @@ int Main(int argc, char** argv) {
                    contra_pct);
       return 1;
     }
+    // Gate: the calibrated cost-based planner must match or beat the best
+    // static route on every cold-box workload — identical answers for less
+    // (or equal) QPF. A regression here means a costing change made the
+    // planner pick a worse physical route than the old fixed rule.
+    if (cost.qpf_uses > fixed.qpf_uses) {
+      std::fprintf(stderr,
+                   "FATAL: cost-based spent %llu QPF uses vs fixed-md %llu "
+                   "(contra %d%%)\n",
+                   static_cast<unsigned long long>(cost.qpf_uses),
+                   static_cast<unsigned long long>(fixed.qpf_uses),
+                   contra_pct);
+      return 1;
+    }
   }
 
   tp.Print();

@@ -1,0 +1,64 @@
+#ifndef PRKB_EXEC_ALT_ROUTE_H_
+#define PRKB_EXEC_ALT_ROUTE_H_
+
+#include <vector>
+
+#include "edbms/service_provider.h"
+#include "edbms/types.h"
+#include "exec/cost.h"
+
+namespace prkb::exec {
+
+/// Measured execution costs of an alternative route, in the calibrator's
+/// units: `evals` is whatever the route pays per-element work on (TM value
+/// decrypts for SRC-i, code comparisons for OPE) and `round_trips` is the
+/// number of backend entries that each charged a transport latency.
+struct AltActuals {
+  uint64_t evals = 0;
+  uint64_t round_trips = 0;
+};
+
+/// An alternative single-attribute range-selection strategy competing with
+/// the PRKB physical plans inside query::Planner (DESIGN.md, Enc²DB-style
+/// hybrid arbitration). Implementations live above the exec layer (e.g.
+/// query::SrciRoute over src/srci/, query::OpeRoute over src/edbms/ope.*);
+/// the executor only needs this surface to run a chosen one.
+///
+/// Estimate() must be pure arithmetic — it prices EXPLAIN output, which is
+/// pinned to spend zero QPF.
+class AltRoute {
+ public:
+  virtual ~AltRoute() = default;
+
+  /// Stable route name used for EXPLAIN alternatives, calibrator feedback
+  /// keys, and cal.route.* accounting.
+  virtual const char* name() const = 0;
+
+  /// Whether this route can answer a range on `attr` right now. Routes with
+  /// a build-time snapshot should return false once the table drifted past
+  /// what they indexed.
+  virtual bool Handles(edbms::AttrId attr) const = 0;
+
+  /// Policy gate: an inadmissible route is still costed and rendered in
+  /// EXPLAIN (so its price is visible) but never chosen — e.g. OPE's
+  /// order-leaking codes kept out of the default leakage budget.
+  virtual bool Admissible() const = 0;
+
+  /// Priced cost of answering `attr IN [lo, hi]` (inclusive, already
+  /// clamped to be non-empty) under the calibrated constants. Pure.
+  virtual CostEstimate Estimate(edbms::AttrId attr, edbms::Value lo,
+                                edbms::Value hi,
+                                const CostConstants& c) const = 0;
+
+  /// Executes the range, returning the exact winner set (dead tuples
+  /// filtered). Fills `*stats` like every other selection path and reports
+  /// measured work in `*actuals` for calibrator feedback.
+  virtual std::vector<edbms::TupleId> Execute(edbms::AttrId attr,
+                                              edbms::Value lo, edbms::Value hi,
+                                              edbms::SelectionStats* stats,
+                                              AltActuals* actuals) = 0;
+};
+
+}  // namespace prkb::exec
+
+#endif  // PRKB_EXEC_ALT_ROUTE_H_

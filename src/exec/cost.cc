@@ -126,4 +126,25 @@ CostEstimate EstimateBufferFlush(size_t buffered, size_t k,
   return est;
 }
 
+CostEstimate EstimateSrciRange(size_t n, double sel, const CostConstants& c) {
+  const double nn = static_cast<double>(n);
+  const double s = std::clamp(sel, 0.0, 1.0);
+  // TDAG best-cover candidates: at most a 2x superset of the true range,
+  // floored at one posting block (pow2 position nodes).
+  const double cand = std::min(nn, std::max(c.srci_candidate_floor, 2.0 * s * nn));
+  CostEstimate est;
+  // One scalar TM confirm decrypt per candidate — priced as a probe (one
+  // backend evaluation) and, unbatchable, as one round trip each.
+  est.probes = cand;
+  est.scans = c.srci_posting_eval_factor * cand;
+  est.round_trips = cand;
+  return est;
+}
+
+CostEstimate EstimateOpeRange(size_t n, const CostConstants& c) {
+  CostEstimate est;
+  est.scans = c.ope_code_eval_factor * static_cast<double>(n);
+  return est;
+}
+
 }  // namespace prkb::exec

@@ -68,6 +68,17 @@ struct CostConstants {
   /// buffered scan — the flush pays once, the scan recurs on every query
   /// until someone flushes (docs/COST_MODEL.md).
   double buffer_flush_horizon = 8.0;
+  /// SSE posting-list work per SRC-i candidate, as a fraction of one QPF
+  /// evaluation: the two-level TDAG retrieval decrypts and dedups roughly
+  /// one posting per candidate before the TM confirms it.
+  double srci_posting_eval_factor = 0.5;
+  /// Cost of one OPE code comparison as a fraction of a QPF evaluation —
+  /// plain integer compares on the SP, no crypto per tuple.
+  double ope_code_eval_factor = 0.01;
+  /// Smallest SRC-i candidate set a range retrieval produces: TDAG posting
+  /// nodes are power-of-two position blocks, so even a range matching a
+  /// handful of tuples retrieves (and confirm-decrypts) a whole block.
+  double srci_candidate_floor = 64.0;
 
   static const CostConstants& Defaults();
 };
@@ -123,6 +134,22 @@ CostEstimate EstimateBufferScan(size_t buffered,
 /// ~⌈log_m k⌉ trips. Paid once; later queries see an empty buffer.
 CostEstimate EstimateBufferFlush(size_t buffered, size_t k,
                                  const CostConstants& c = CostConstants::Defaults());
+
+/// Logarithmic-SRC-i range over n rows at fractional selectivity `sel`
+/// (clamped to [0, 1]): the TDAG cover yields at most a 2x candidate
+/// superset (never below srci_candidate_floor — posting blocks are
+/// power-of-two sized), each candidate pays one SSE posting retrieval (scans, at
+/// srci_posting_eval_factor) and one scalar TM confirm decrypt — which is
+/// also one unbatchable round trip each, making SRC-i latency-bound on slow
+/// transports.
+CostEstimate EstimateSrciRange(size_t n, double sel,
+                               const CostConstants& c = CostConstants::Defaults());
+
+/// OPE-column range: one plain code comparison per row on the SP (scans at
+/// ope_code_eval_factor), zero probes, zero round trips. Cheap but
+/// order-leaking — admissibility is a policy question, not a cost one.
+CostEstimate EstimateOpeRange(size_t n,
+                              const CostConstants& c = CostConstants::Defaults());
 
 }  // namespace prkb::exec
 

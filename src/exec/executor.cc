@@ -16,6 +16,8 @@
 
 #include "common/bitvector.h"
 #include "edbms/batch_scan.h"
+#include "exec/alt_route.h"
+#include "exec/calibrate.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
 #include "prkb/selection.h"
@@ -33,7 +35,7 @@ namespace {
 /// One `exec.<op>` counter per operator kind (docs/OBSERVABILITY.md), plus
 /// the plan-level estimate-quality histogram.
 struct ExecMetrics {
-  obs::Counter* op[12];
+  obs::Counter* op[13];
   obs::Counter* plan_runs;
   obs::LatencyHistogram* est_error_pct;
   /// Queries that paid the exact-answer batch scan over a pending insert
@@ -56,6 +58,7 @@ struct ExecMetrics {
             reg.GetCounter("exec.intersect"),
             reg.GetCounter("exec.buffer_scan"),
             reg.GetCounter("exec.buffer_flush"),
+            reg.GetCounter("exec.alt_select"),
         },
         reg.GetCounter("exec.plan_runs"),
         reg.GetHistogram("exec.est_error_pct"),
@@ -111,6 +114,15 @@ CostConstants ConstantsFor(const core::PrkbOptions& options,
       static_cast<double>(options.batch_size < 1 ? 1 : options.batch_size);
   c.round_trip_latency_ns = options.rt_latency_hint_ns;
   c.buffer_flush_horizon = options.buffer_flush_horizon;
+  return c;
+}
+
+CostConstants ConstantsFor(const core::PrkbIndex& index,
+                           size_t probe_fanout_override) {
+  CostConstants c = ConstantsFor(index.options(), probe_fanout_override);
+  const CostCalibrator& cal = index.calibrator();
+  c.eval_ns = cal.eval_ns();
+  c.round_trip_latency_ns = cal.rt_latency_ns();
   return c;
 }
 
@@ -327,9 +339,19 @@ std::vector<TupleId> Executor::RunGridPrune(Plan* plan, PlanNode* node) {
 }
 
 std::vector<TupleId> Executor::Run(Plan* plan, SelectionStats* stats) {
+  static obs::LatencyHistogram* const qpf_rt_ns =
+      obs::MetricsRegistry::Global().GetHistogram("qpf.round_trip_ns");
   PlanNode* root = &plan->root;
   ExecMetrics::Get().plan_runs->Add(1);
   const NodeCost plan_cost(index_->db());
+  // Calibration signal: this run's share of the qpf.round_trip_ns histogram
+  // gives the measured per-trip latency; the residual wall clock after that
+  // share gives the per-eval cost. Concurrent executors smear each other's
+  // deltas — acceptable for an EWMA of the same deployment-wide transport.
+  const uint64_t rt_count0 = qpf_rt_ns->count();
+  const uint64_t rt_sum0 = qpf_rt_ns->sum();
+  const uint64_t t0 = obs::ObsTracer::NowNs();
+  AltActuals alt_actuals;
   std::vector<TupleId> result;
   switch (root->op) {
     case PlanOp::kFullTable: {
@@ -364,9 +386,39 @@ std::vector<TupleId> Executor::Run(Plan* plan, SelectionStats* stats) {
       result = RunGridPrune(plan, root);
       break;
     }
+    case PlanOp::kAltSelect: {
+      // An alternative route won the arbitration: it executes outside the
+      // PRKB machinery and reports its own measured work. The StatsScope
+      // inside the route (or the zero-fill below) keeps stats semantics.
+      assert(plan->alt_route != nullptr);
+      const obs::ObsTracer::Span span("exec.alt_select");
+      result = plan->alt_route->Execute(root->attr, plan->alt_lo,
+                                        plan->alt_hi, stats, &alt_actuals);
+      root->actual.executed = true;
+      root->actual.qpf_uses = alt_actuals.evals;
+      root->actual.qpf_round_trips = alt_actuals.round_trips;
+      ExecMetrics::Get().op[static_cast<size_t>(root->op)]->Add(1);
+      break;
+    }
     default:
       assert(false && "not a plan root");
       break;
+  }
+  const uint64_t wall_ns = obs::ObsTracer::NowNs() - t0;
+  CostCalibrator& cal = index_->calibrator();
+  if (root->op == PlanOp::kAltSelect) {
+    // The route's own trip count against the whole wall clock, with its
+    // per-candidate decrypts charged to the eval rate. No eval fit — the
+    // route's evals are not QPF evaluations.
+    cal.ObserveRoundTrips(alt_actuals.round_trips, wall_ns,
+                          static_cast<double>(alt_actuals.evals));
+  } else {
+    const uint64_t trips = qpf_rt_ns->count() - rt_count0;
+    const uint64_t trip_ns = qpf_rt_ns->sum() - rt_sum0;
+    cal.ObserveRoundTrips(trips, trip_ns,
+                          static_cast<double>(plan_cost.uses()));
+    cal.ObservePlan(static_cast<double>(plan_cost.uses()),
+                    static_cast<double>(plan_cost.round_trips()), wall_ns);
   }
   if (root->has_estimate) {
     const double est = root->estimated.Total();
@@ -450,7 +502,7 @@ namespace {
 PlanNode BuildPredicateNode(const core::PrkbIndex& index, const Plan& plan,
                             int i, bool estimate) {
   const Trapdoor& td = plan.td(i);
-  const CostConstants cc = ConstantsFor(index.options(), plan.probe_fanout);
+  const CostConstants cc = ConstantsFor(index, plan.probe_fanout);
   if (!index.IsEnabled(td.attr)) {
     PlanNode node(PlanOp::kLinearScan, td.attr, i);
     if (estimate) {
@@ -565,7 +617,7 @@ void BuildSdPlusPlan(const core::PrkbIndex& index, Plan* plan, bool estimate) {
 void BuildMdGridPlan(const core::PrkbIndex& index, Plan* plan, bool estimate) {
   PlanNode root(PlanOp::kGridPrune, 0, -1);
   root.children.reserve(plan->num_trapdoors());
-  const CostConstants cc = ConstantsFor(index.options(), plan->probe_fanout);
+  const CostConstants cc = ConstantsFor(index, plan->probe_fanout);
   std::vector<MdDim> dims;
   for (size_t i = 0; i < plan->num_trapdoors(); ++i) {
     const Trapdoor& td = plan->td(static_cast<int>(i));

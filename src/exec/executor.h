@@ -60,8 +60,17 @@ class Executor {
 /// Cost constants matching the runtime the options configure: the scheduler
 /// m, the scan batch size and the planner's transport-latency hint.
 /// `probe_fanout_override` (nonzero) substitutes a candidate m — the
-/// planner's per-route m search and Plan::probe_fanout use this.
+/// planner's per-route m search and Plan::probe_fanout use this. This is the
+/// configured-only builder; query paths use the index overload below.
 CostConstants ConstantsFor(const core::PrkbOptions& options,
+                           size_t probe_fanout_override = 0);
+
+/// Calibrated cost constants for pricing against `index`: the configured
+/// shape above with `eval_ns` and `round_trip_latency_ns` replaced by the
+/// index's CostCalibrator fits (docs/COST_MODEL.md, "Calibrated vs
+/// configured"). The single funnel every query-path price goes through —
+/// nothing on a query path reads CostConstants::Defaults() directly.
+CostConstants ConstantsFor(const core::PrkbIndex& index,
                            size_t probe_fanout_override = 0);
 
 /// The runtime scheduler knobs a plan executes under: the index options'

@@ -30,6 +30,8 @@ const char* PlanOpName(PlanOp op) {
       return "BufferScan";
     case PlanOp::kBufferFlush:
       return "BufferFlush";
+    case PlanOp::kAltSelect:
+      return "AltSelect";
   }
   return "?";
 }
@@ -60,6 +62,7 @@ bool NodeHasAttr(PlanOp op) {
     case PlanOp::kApplySplit:
     case PlanOp::kBufferScan:
     case PlanOp::kBufferFlush:
+    case PlanOp::kAltSelect:
       return true;
     default:
       return false;
@@ -118,6 +121,24 @@ std::string Plan::Render() const {
     out.append("\n");
   }
   RenderNode(root, 0, &out);
+  // Route arbitration: every competitor considered, priced under the same
+  // calibrated constants. "(est " keeps these lines inside the golden
+  // snapshot's capture (scripts/check_explain.sh).
+  for (const Alternative& alt : alternatives) {
+    char fanout[24] = "";
+    if (alt.fanout != 0) {
+      std::snprintf(fanout, sizeof(fanout), " m=%zu", alt.fanout);
+    }
+    char buf[192];
+    std::snprintf(buf, sizeof(buf),
+                  "alternative %s%s  (est %.1f probes + %.1f scans, "
+                  "%.1f trips)  price %.3f ms%s%s\n",
+                  alt.name.c_str(), fanout, alt.estimated.probes,
+                  alt.estimated.scans, alt.estimated.round_trips,
+                  alt.price_ns / 1e6, alt.chosen ? " [chosen]" : "",
+                  alt.admissible ? "" : " [inadmissible]");
+    out.append(buf);
+  }
   return out;
 }
 

@@ -27,6 +27,7 @@ enum class PlanOp : uint8_t {
   kIntersect,        // PRKB(SD+): per-predicate selects + bitset intersection
   kBufferScan,       // batch-scan the deferred-insert buffer, merge winners
   kBufferFlush,      // place the whole insert buffer (lock-step batch)
+  kAltSelect,        // an alternative route (SRC-i / OPE) won the arbitration
 };
 
 const char* PlanOpName(PlanOp op);
@@ -63,6 +64,8 @@ struct PlanNode {
   PlanNode* Child(PlanOp o);
   const PlanNode* Child(PlanOp o) const;
 };
+
+class AltRoute;
 
 /// A complete physical plan: the operator tree plus the trapdoors it binds.
 /// Trapdoors are referenced by index; the plan either borrows them from the
@@ -101,6 +104,31 @@ class Plan {
   /// Probe-scheduler m chosen for this plan by the planner's latency-aware
   /// costing (0 = use the index's PrkbOptions::probe_fanout unchanged).
   size_t probe_fanout = 0;
+
+  /// One competitor considered by the planner's route arbitration. Only
+  /// populated when alternative routes are registered — classic planner
+  /// output is unchanged otherwise.
+  struct Alternative {
+    std::string name;
+    CostEstimate estimated;
+    /// Probe fanout the estimate was priced under (PRKB routes only).
+    size_t fanout = 0;
+    /// Penalized plan-time price (PriceNs x calibrator route penalty).
+    double price_ns = 0.0;
+    bool chosen = false;
+    bool admissible = true;
+  };
+  std::vector<Alternative> alternatives;
+
+  /// Calibrator feedback key of the winning route ("prkb", "srci", ...).
+  std::string route;
+
+  /// When an alternative route won: the route to run and its clamped
+  /// inclusive range. The route object is owned by whoever registered it
+  /// with the planner and must outlive the plan.
+  AltRoute* alt_route = nullptr;
+  edbms::Value alt_lo = 0;
+  edbms::Value alt_hi = 0;
 
  private:
   std::vector<const edbms::Trapdoor*> tds_;

@@ -226,6 +226,12 @@ class ConcurrentPrkbIndex {
     return index_.EnabledAttrs();
   }
 
+  /// The inner index's online cost calibrator. Internally synchronised —
+  /// shared-lock selections feed it concurrently — so no map or stripe lock
+  /// is taken here. Per facade instance: each shard of a ShardedPrkbIndex
+  /// calibrates its own transport latency.
+  exec::CostCalibrator& calibrator() const { return index_.calibrator(); }
+
   size_t SizeBytes() const {
     const auto map_lock = LockShared(map_mu_);
     const auto stripe_locks = LockAllStripesShared();

@@ -23,7 +23,12 @@ const CacheMetrics& CacheMetrics::Get() {
 }
 
 PrkbIndex::PrkbIndex(edbms::Edbms* db, PrkbOptions options)
-    : db_(db), options_(options) {}
+    : db_(db),
+      options_(options),
+      // Configured starting points; the executor's feedback takes over after
+      // the warmup floor (not a query path — ConstantsFor(index) is).
+      calibrator_(exec::CostConstants::Defaults().eval_ns,
+                  options.rt_latency_hint_ns) {}
 
 void PrkbIndex::EnableAttr(edbms::AttrId attr) {
   std::vector<TupleId> live;

@@ -9,6 +9,7 @@
 #include "common/rng.h"
 #include "edbms/edbms.h"
 #include "edbms/service_provider.h"
+#include "exec/calibrate.h"
 #include "obs/metrics.h"
 #include "prkb/pop.h"
 #include "prkb/probe_sched.h"
@@ -208,6 +209,14 @@ class PrkbIndex {
   const edbms::Edbms* db() const { return db_; }
   const PrkbOptions& options() const { return options_; }
 
+  /// This index's online cost calibrator (exec/calibrate.h): fed by the
+  /// executor after every plan run, consulted by exec::ConstantsFor on every
+  /// query-path price. Per-index on purpose — each shard of a
+  /// ShardedPrkbIndex measures its own transport latency, so m calibrates
+  /// per shard rather than globally. Internally synchronised; mutable so the
+  /// shared-lock selection paths can feed it.
+  exec::CostCalibrator& calibrator() const { return calibrator_; }
+
  private:
   /// The executor runs plan operators against the private primitives below
   /// (it is the single relocated copy of the legacy selection drivers).
@@ -251,6 +260,7 @@ class PrkbIndex {
 
   edbms::Edbms* db_;
   PrkbOptions options_;
+  mutable exec::CostCalibrator calibrator_;
   mutable std::atomic<uint64_t> op_seq_{0};
   std::unordered_map<edbms::AttrId, Pop> pops_;
   PrkbWal* wal_ = nullptr;

@@ -182,6 +182,11 @@ std::vector<ShardedPrkbIndex::ShardReport> ShardedPrkbIndex::Describe() const {
     }
     r.selects = shard_selects_[i]->load(std::memory_order_relaxed);
     r.placements = shard_placements_[i]->load(std::memory_order_relaxed);
+    const exec::CostCalibrator::Snapshot cal =
+        shards_[i]->calibrator().snapshot();
+    r.cal_rt_latency_ns = cal.rt_latency_ns;
+    r.cal_eval_ns = cal.eval_ns;
+    r.cal_rt_samples = cal.rt_samples;
     out.push_back(std::move(r));
   }
   return out;

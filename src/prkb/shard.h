@@ -115,6 +115,13 @@ class ShardedPrkbIndex {
     size_t bytes = 0;
     uint64_t selects = 0;     // single-predicate selects routed here
     uint64_t placements = 0;  // insert placements fanned here
+    /// This shard's calibrated constants (exec/calibrate.h): each shard
+    /// measures its own transport round-trip latency — the PR 6 socket path
+    /// gives different shards genuinely different L — so the probe fanout m
+    /// calibrates per shard rather than globally.
+    double cal_rt_latency_ns = 0.0;
+    double cal_eval_ns = 0.0;
+    uint64_t cal_rt_samples = 0;
   };
   std::vector<ShardReport> Describe() const;
 

@@ -1,0 +1,117 @@
+#include "query/alt_routes.h"
+
+#include <algorithm>
+#include <utility>
+
+namespace prkb::query {
+
+using edbms::SelectionStats;
+using edbms::TupleId;
+using edbms::Value;
+
+SrciRoute::SrciRoute(edbms::CipherbaseEdbms* db, edbms::AttrId attr,
+                     Value domain_lo, Value domain_hi)
+    : db_(db),
+      attr_(attr),
+      domain_lo_(domain_lo),
+      domain_hi_(domain_hi),
+      srci_(db, attr, domain_lo, domain_hi) {}
+
+Status SrciRoute::EnsureBuilt() {
+  if (built_) return Status::Ok();
+  const Status s = srci_.Build();
+  if (!s.ok()) {
+    broken_ = true;  // never offer a half-built index to the planner
+    return s;
+  }
+  built_ = true;
+  built_rows_ = db_->num_rows();
+  return Status::Ok();
+}
+
+bool SrciRoute::Handles(edbms::AttrId attr) const {
+  if (attr != attr_ || broken_) return false;
+  // Build-time snapshot only: winner-set identity over staleness.
+  return !built_ || db_->num_rows() == built_rows_;
+}
+
+exec::CostEstimate SrciRoute::Estimate(edbms::AttrId /*attr*/, Value lo,
+                                       Value hi,
+                                       const exec::CostConstants& c) const {
+  const Value qlo = std::max(lo, domain_lo_);
+  const Value qhi = std::min(hi, domain_hi_);
+  const double span =
+      static_cast<double>(domain_hi_) - static_cast<double>(domain_lo_) + 1.0;
+  const double width = qlo > qhi ? 0.0
+                                 : static_cast<double>(qhi) -
+                                       static_cast<double>(qlo) + 1.0;
+  return exec::EstimateSrciRange(db_->num_rows(), width / span, c);
+}
+
+std::vector<TupleId> SrciRoute::Execute(edbms::AttrId /*attr*/, Value lo,
+                                        Value hi, SelectionStats* stats,
+                                        exec::AltActuals* actuals) {
+  const Value qlo = std::max(lo, domain_lo_);
+  const Value qhi = std::min(hi, domain_hi_);
+  if (qlo > qhi) return {};
+  if (!EnsureBuilt().ok()) return {};
+  // Snapshot the TM counters after the (possibly lazy) build so the
+  // calibrator only sees the query's own confirmation work.
+  edbms::TrustedMachine& tm = db_->trusted_machine();
+  const uint64_t decrypts0 = tm.value_decrypts();
+  const uint64_t trips0 = tm.round_trips();
+  std::vector<TupleId> rows = srci_.Query(qlo, qhi, stats);
+  if (actuals != nullptr) {
+    actuals->evals = tm.value_decrypts() - decrypts0;
+    actuals->round_trips = tm.round_trips() - trips0;
+  }
+  return rows;
+}
+
+OpeRoute::OpeRoute(edbms::CipherbaseEdbms* db, edbms::AttrId attr,
+                   std::vector<Value> plain_column, uint64_t key,
+                   bool admissible)
+    : db_(db),
+      attr_(attr),
+      column_(std::move(plain_column)),
+      key_(key),
+      admissible_(admissible) {}
+
+bool OpeRoute::Handles(edbms::AttrId attr) const {
+  // The code column is positional (one code per tuple id) — any growth past
+  // the snapshot invalidates it.
+  return attr == attr_ && !column_.empty() &&
+         db_->num_rows() == column_.size();
+}
+
+exec::CostEstimate OpeRoute::Estimate(edbms::AttrId /*attr*/, Value /*lo*/,
+                                      Value /*hi*/,
+                                      const exec::CostConstants& c) const {
+  return exec::EstimateOpeRange(column_.size(), c);
+}
+
+std::vector<TupleId> OpeRoute::Execute(edbms::AttrId /*attr*/, Value lo,
+                                       Value hi, SelectionStats* stats,
+                                       exec::AltActuals* actuals) {
+  const edbms::StatsScope scope(db_, stats, "ope.scan");
+  if (!built_) {
+    codes_ = edbms::OpeColumn::Build(column_, key_);
+    built_ = true;
+  }
+  std::vector<TupleId> rows;
+  if (codes_.size() == 0) return rows;  // EncodeProbe needs a dictionary
+  const uint64_t clo = codes_.EncodeProbe(lo);
+  const uint64_t chi = codes_.EncodeProbe(hi);
+  for (TupleId tid = 0; tid < codes_.size(); ++tid) {
+    if (!db_->IsLive(tid)) continue;
+    const uint64_t code = codes_.code_at(tid);
+    if (code >= clo && code <= chi) rows.push_back(tid);
+  }
+  if (actuals != nullptr) {
+    actuals->evals = codes_.size();  // one code comparison per tuple
+    actuals->round_trips = 0;        // the whole point of OPE
+  }
+  return rows;
+}
+
+}  // namespace prkb::query

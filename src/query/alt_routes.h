@@ -1,0 +1,96 @@
+#ifndef PRKB_QUERY_ALT_ROUTES_H_
+#define PRKB_QUERY_ALT_ROUTES_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "edbms/cipherbase_qpf.h"
+#include "edbms/ope.h"
+#include "exec/alt_route.h"
+#include "srci/srci.h"
+
+namespace prkb::query {
+
+/// Logarithmic-SRC-i (src/srci/) as a costed planner alternative. Strong
+/// where PRKB is weak: a narrow range touches O(sel·n) candidates regardless
+/// of how young the chain is, while PRKB's first queries pay near-full
+/// scans. Weak where PRKB is strong: confirmation decrypts each candidate
+/// with a scalar (unbatchable) TM entry, so every candidate pays a full
+/// round trip — at remote latencies wide ranges are ruinous.
+class SrciRoute : public exec::AltRoute {
+ public:
+  /// `db` must outlive the route; the index covers `attr` over the inclusive
+  /// value domain [domain_lo, domain_hi].
+  SrciRoute(edbms::CipherbaseEdbms* db, edbms::AttrId attr,
+            edbms::Value domain_lo, edbms::Value domain_hi);
+
+  /// Bulk-builds the underlying index from the current table (TM decrypts
+  /// the whole column). Execute() calls this lazily on first use, but
+  /// callers should pre-build while TM latency is cheap — the build is n
+  /// scalar TM entries.
+  Status EnsureBuilt();
+
+  const char* name() const override { return "srci"; }
+  /// False for other attributes, after a failed build, and once the table
+  /// has grown past the build-time snapshot (the index is not maintained
+  /// here — stale answers would break winner-set identity).
+  bool Handles(edbms::AttrId attr) const override;
+  bool Admissible() const override { return true; }
+  exec::CostEstimate Estimate(edbms::AttrId attr, edbms::Value lo,
+                              edbms::Value hi,
+                              const exec::CostConstants& c) const override;
+  std::vector<edbms::TupleId> Execute(edbms::AttrId attr, edbms::Value lo,
+                                      edbms::Value hi,
+                                      edbms::SelectionStats* stats,
+                                      exec::AltActuals* actuals) override;
+
+ private:
+  edbms::CipherbaseEdbms* db_;
+  edbms::AttrId attr_;
+  edbms::Value domain_lo_, domain_hi_;
+  srci::LogSrcI srci_;
+  bool built_ = false;
+  bool broken_ = false;
+  size_t built_rows_ = 0;
+};
+
+/// Order-preserving encoding (src/edbms/ope.*) as a costed planner
+/// alternative: the SP compares codes like plaintext, so a range is one
+/// cache-friendly scan with zero TM round trips — by far the cheapest price
+/// in every EXPLAIN. It is rendered precisely to make that temptation
+/// visible, but ships inadmissible by default: the codes publish the total
+/// order before a single query runs (RPOI = 100%, see attack_test.cc), which
+/// is outside the leakage budget PRKB exists to protect.
+class OpeRoute : public exec::AltRoute {
+ public:
+  /// `plain_column` is the DO-side plaintext of `attr` (the DO builds the
+  /// code dictionary; the SP never sees plaintext). `db` must outlive the
+  /// route and is used only for liveness filtering.
+  OpeRoute(edbms::CipherbaseEdbms* db, edbms::AttrId attr,
+           std::vector<edbms::Value> plain_column, uint64_t key,
+           bool admissible = false);
+
+  const char* name() const override { return "ope"; }
+  bool Handles(edbms::AttrId attr) const override;
+  bool Admissible() const override { return admissible_; }
+  exec::CostEstimate Estimate(edbms::AttrId attr, edbms::Value lo,
+                              edbms::Value hi,
+                              const exec::CostConstants& c) const override;
+  std::vector<edbms::TupleId> Execute(edbms::AttrId attr, edbms::Value lo,
+                                      edbms::Value hi,
+                                      edbms::SelectionStats* stats,
+                                      exec::AltActuals* actuals) override;
+
+ private:
+  edbms::CipherbaseEdbms* db_;
+  edbms::AttrId attr_;
+  std::vector<edbms::Value> column_;
+  uint64_t key_;
+  bool admissible_;
+  edbms::OpeColumn codes_;
+  bool built_ = false;
+};
+
+}  // namespace prkb::query
+
+#endif  // PRKB_QUERY_ALT_ROUTES_H_

@@ -6,6 +6,7 @@
 #include <vector>
 
 #include "common/result.h"
+#include "exec/alt_route.h"
 #include "exec/plan.h"
 #include "prkb/selection.h"
 #include "query/ast.h"
@@ -71,10 +72,25 @@ class Planner {
   /// Executes an already-parsed statement.
   Result<ExecutionResult> Execute(const SelectStatement& stmt);
 
+  /// Registers an alternative single-attribute route (SRC-i, OPE) as a
+  /// costed competitor on the single-predicate path. The route must outlive
+  /// the planner and every plan it wins. With no routes registered the
+  /// planner's output and behaviour are exactly the classic PRKB ones.
+  ///
+  /// Arbitration (docs/COST_MODEL.md): every admissible competitor is priced
+  /// under the same calibrated constants, multiplied by the calibrator's
+  /// per-route penalty — an EWMA of past actual/estimate ratios — so a route
+  /// whose actuals keep losing to the runner-up's estimate is demoted until
+  /// its estimates earn trust back (cal.route.{wins,losses,regret_ns}).
+  void RegisterAltRoute(exec::AltRoute* route) {
+    alt_routes_.push_back(route);
+  }
+
  private:
   const Catalog* catalog_;
   edbms::Edbms* db_;
   core::PrkbIndex* index_;
+  std::vector<exec::AltRoute*> alt_routes_;
 };
 
 }  // namespace prkb::query

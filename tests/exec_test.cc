@@ -91,6 +91,41 @@ TEST(CostModelTest, CostsShrinkAsChainsDevelop) {
             EstimateMdGrid({MdDim{4, 2000}, MdDim{4, 2000}}).Total());
 }
 
+TEST(CostModelTest, DegenerateChainShapes) {
+  // k = 0 (attribute never enabled): the estimators return the zero
+  // estimate rather than dividing by the partition count.
+  EXPECT_DOUBLE_EQ(EstimateComparison(0, 1000).Total(), 0.0);
+  EXPECT_DOUBLE_EQ(EstimateComparison(0, 1000).round_trips, 0.0);
+  EXPECT_DOUBLE_EQ(EstimateBetween(0, 1000).Total(), 0.0);
+  EXPECT_DOUBLE_EQ(EstimateBufferFlush(0, 16).Total(), 0.0);
+  EXPECT_DOUBLE_EQ(EstimateBufferFlush(8, 0).probes, 0.0);
+
+  // Empty table on a bootstrapped chain: nothing to probe or scan beyond
+  // the capped bounds, and never a negative or NaN component.
+  const CostEstimate empty = EstimateComparison(1, 0);
+  EXPECT_DOUBLE_EQ(empty.scans, 0.0);
+  EXPECT_DOUBLE_EQ(empty.probes, 1.0);
+  EXPECT_DOUBLE_EQ(EstimateBetween(1, 0).scans, 0.0);
+}
+
+TEST(CostModelTest, FanoutBelowTwoClampsToBinary) {
+  // m = 1 would make every formula's (m−1) term vanish and log_m diverge;
+  // the model clamps to the paper's binary search instead.
+  CostConstants c = CostConstants::Defaults();
+  c.probe_fanout = 1.0;
+  const CostEstimate one = EstimateComparison(16, 1600, c);
+  c.probe_fanout = 2.0;
+  const CostEstimate two = EstimateComparison(16, 1600, c);
+  EXPECT_DOUBLE_EQ(one.probes, two.probes);
+  EXPECT_DOUBLE_EQ(one.round_trips, two.round_trips);
+  EXPECT_DOUBLE_EQ(EstimateBufferFlush(8, 16, c).round_trips,
+                   CeilLogM(16, 2.0));
+
+  EXPECT_DOUBLE_EQ(CeilLogM(0, 1.0), 0.0);
+  EXPECT_DOUBLE_EQ(CeilLogM(1, 1.0), 0.0);
+  EXPECT_DOUBLE_EQ(CeilLogM(16, 1.0), 4.0);
+}
+
 // ----------------------------------------------------------- Plan render
 
 TEST(PlanRenderTest, ShowsEstimatesAndActuals) {

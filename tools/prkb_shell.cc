@@ -11,6 +11,9 @@
 //   .cache            repeat-predicate fast-path state (entries, hits/misses);
 //                     with --remote, also the net.* transport counters
 //                     fetched from the serving process over the wire
+//   .cost             calibrated cost-model state: fitted eval/latency
+//                     constants and per-route win/loss/error telemetry
+//                     (per shard with --shards=N)
 //   .shards           per-shard chain/op tallies plus lock/queue telemetry
 //                     (requires --shards=N)
 //   .wal              durability status: log/snapshot sizes, appended and
@@ -59,6 +62,7 @@
 #include "prkb/selection.h"
 #include "prkb/shard.h"
 #include "prkb/wal.h"
+#include "query/alt_routes.h"
 #include "query/parser.h"
 #include "query/planner.h"
 #include "workload/synthetic_table.h"
@@ -101,8 +105,8 @@ void PrintHelp(const ShellOptions& opt) {
       "commands:\n"
       "  SELECT * FROM t WHERE c0 < 100 AND c1 BETWEEN 5 AND 9\n"
       "  EXPLAIN SELECT ...   (plan + cost estimates, no execution)\n"
-      "  .explain | .stats | .cache | .insert v0 v1 .. | .delete <tid> |"
-      " .save <p> | .load <p>\n"
+      "  .explain | .stats | .cache | .cost | .insert v0 v1 .. |"
+      " .delete <tid> | .save <p> | .load <p>\n"
       "  .shards | .wal | .help | .quit\n");
   if (opt.shards > 0) {
     std::printf("(sharded mode: EXPLAIN/.explain/.save/.load unavailable)\n");
@@ -251,8 +255,8 @@ int main(int argc, char** argv) {
   spec.domain_lo = 0;
   spec.domain_hi = 1'000'000;
   spec.seed = opt.seed;
-  auto db = edbms::CipherbaseEdbms::FromPlainTable(
-      opt.seed, workload::MakeSyntheticTable(spec));
+  const edbms::PlainTable plain = workload::MakeSyntheticTable(spec);
+  auto db = edbms::CipherbaseEdbms::FromPlainTable(opt.seed, plain);
 
   // Remote mode: host the local backend behind a loopback server and make
   // every Θ evaluation a real round trip through the client.
@@ -328,6 +332,21 @@ int main(int argc, char** argv) {
   catalog.RegisterTable("t", columns);
   query::Planner planner(&catalog, backend, &index);
 
+  // Alternative routes on c0 (local unsharded mode only — SRC-i confirmation
+  // enters the TM directly, which a remote deployment routes differently):
+  // SRC-i competes for real, OPE is costed-but-inadmissible so EXPLAIN shows
+  // what the leakage budget is paying (docs/COST_MODEL.md).
+  std::unique_ptr<query::SrciRoute> srci_route;
+  std::unique_ptr<query::OpeRoute> ope_route;
+  if (!opt.remote && sharded == nullptr && opt.attrs > 0) {
+    srci_route = std::make_unique<query::SrciRoute>(
+        &db, /*attr=*/0, spec.domain_lo, spec.domain_hi);
+    ope_route = std::make_unique<query::OpeRoute>(
+        &db, /*attr=*/0, plain.column(0), /*key=*/opt.seed ^ 0x09e5u);
+    planner.RegisterAltRoute(srci_route.get());
+    planner.RegisterAltRoute(ope_route.get());
+  }
+
   std::string deployment;
   if (opt.shards > 0) {
     deployment.append(", ").append(std::to_string(opt.shards)).append(
@@ -374,6 +393,15 @@ int main(int argc, char** argv) {
           }
         } else {
           std::printf("%s", index.DescribeStats().c_str());
+        }
+      } else if (cmd == ".cost") {
+        if (sharded != nullptr) {
+          for (size_t i = 0; i < sharded->num_shards(); ++i) {
+            std::printf("shard %zu:\n%s", i,
+                        sharded->shard(i).calibrator().Describe().c_str());
+          }
+        } else {
+          std::printf("%s", index.calibrator().Describe().c_str());
         }
       } else if (cmd == ".shards") {
         if (sharded == nullptr) {
