@@ -23,11 +23,19 @@
 // the server's worker pool or the per-attribute chain locks saturate, while
 // p50 latency stays near the serial value — overlap, not batching.
 //
+// After each closed-loop configuration, the same deployment shape is rerun
+// OPEN-LOOP: arrivals follow a precomputed Poisson schedule at 80% of the
+// closed-loop QPS just measured, and latency is measured from the *scheduled*
+// arrival — so queueing delay a closed loop self-throttles away from shows up
+// in the tail. Open rows carry mode="open" and offered_qps; closed rows carry
+// offered_qps=0.
+//
 // Extra flags beyond the common set (bench_util.h):
 //   --smoke   single tiny configuration (CI schema check)
 
 #include <algorithm>
 #include <chrono>
+#include <cmath>
 #include <cstring>
 #include <string>
 #include <thread>
@@ -98,6 +106,129 @@ struct RunResult {
   bool results_match = true;
 };
 
+/// One measured run on a fresh deployment (chains, caches, counters and the
+/// socket pair must not leak across runs). `offered_qps <= 0` is the closed
+/// loop: cfg.inflight threads issue back-to-back. Positive `offered_qps` is
+/// the open loop: each thread round-robins its owned streams against a
+/// precomputed exponential inter-arrival schedule at its share of the
+/// offered rate, and each op's latency runs from its scheduled arrival —
+/// late dispatch is queueing delay, not excused.
+RunResult RunOne(const RunConfig& cfg, const edbms::PlainTable& plain,
+                 const BenchArgs& args, double offered_qps) {
+  auto db = edbms::CipherbaseEdbms::FromPlainTable(args.seed, plain);
+  db.trusted_machine().set_call_latency_ns(args.tm_latency_ns);
+  net::QpfServerOptions sopts;
+  sopts.workers = 16;
+  net::QpfServer server(&db, sopts);
+  if (!server.ServeTcp(0).ok()) {
+    std::fprintf(stderr, "cannot start loopback server\n");
+    std::exit(1);
+  }
+  auto conn = net::QpfClient::ConnectTcp("127.0.0.1", server.port());
+  if (!conn.ok()) {
+    std::fprintf(stderr, "cannot connect: %s\n",
+                 conn.status().ToString().c_str());
+    std::exit(1);
+  }
+  auto client = std::move(conn).value();
+  net::RemoteEdbms remote(&db, client.get());
+
+  core::PrkbOptions options;
+  options.seed = args.seed;
+  // Serving config, not the paper-literal scalar model: scans ride the
+  // batched wire entry so a round trip carries many tuples. Every
+  // (trapdoor, tuple) pair still evaluates identically.
+  options.batch_size = 256;
+  core::ShardedPrkbIndex index(&remote, cfg.shards, options);
+  for (size_t a = 0; a < kAttrs; ++a) {
+    index.EnableAttr(static_cast<edbms::AttrId>(a));
+  }
+  const auto streams =
+      MakeStreams(cfg.ops_per_stream, plain, &remote, args.seed + 7);
+
+  RunResult res;
+  res.total_ops = kAttrs * static_cast<uint64_t>(cfg.ops_per_stream);
+  const uint64_t uses0 = remote.uses();
+  // Round trips from the process-global counter: per-op SelectionStats
+  // windows overlap under concurrency and would double-count.
+  obs::Counter* trip_counter =
+      obs::MetricsRegistry::Global().GetCounter("qpf.round_trips");
+  const uint64_t trips0 = trip_counter->value();
+  std::vector<std::vector<double>> lat(kAttrs);
+  std::vector<std::vector<std::vector<TupleId>>> got(kAttrs);
+  for (size_t s = 0; s < kAttrs; ++s) {
+    lat[s].resize(static_cast<size_t>(cfg.ops_per_stream));
+    got[s].resize(static_cast<size_t>(cfg.ops_per_stream));
+  }
+  Stopwatch watch;
+  const auto start = std::chrono::steady_clock::now();
+  std::vector<std::thread> workers;
+  // Thread t owns streams {t, t+inflight, ...}; within a stream ops run in
+  // order, so every attribute sees the identical carve sequence at every
+  // depth — only cross-stream overlap changes.
+  for (int t = 0; t < cfg.inflight; ++t) {
+    workers.emplace_back([&, t] {
+      std::vector<size_t> owned;
+      for (size_t s = t; s < kAttrs; s += cfg.inflight) owned.push_back(s);
+      if (owned.empty()) return;
+      if (offered_qps <= 0) {
+        for (const size_t s : owned) {
+          for (int i = 0; i < cfg.ops_per_stream; ++i) {
+            const auto op0 = std::chrono::steady_clock::now();
+            auto winners = index.Select(streams[s].tds[i]);
+            const auto op1 = std::chrono::steady_clock::now();
+            lat[s][i] =
+                std::chrono::duration<double, std::milli>(op1 - op0).count();
+            got[s][i] = std::move(winners);
+          }
+        }
+        return;
+      }
+      // Open loop: this thread's share of the offered rate, Poisson
+      // arrivals precomputed before the first dispatch.
+      const size_t thread_ops = owned.size() * cfg.ops_per_stream;
+      const double rate =
+          offered_qps * static_cast<double>(thread_ops) / res.total_ops;
+      Rng rng(args.seed + 97 * (t + 1));
+      std::vector<double> arrival_s(thread_ops);
+      double at = 0;
+      for (size_t k = 0; k < thread_ops; ++k) {
+        // Exponential inter-arrival; 1-U keeps the log argument off zero.
+        at += -std::log(1.0 - rng.UniformDouble()) / rate;
+        arrival_s[k] = at;
+      }
+      for (size_t k = 0; k < thread_ops; ++k) {
+        // Round-robin over owned streams preserves in-stream op order.
+        const size_t s = owned[k % owned.size()];
+        const int i = static_cast<int>(k / owned.size());
+        const auto sched =
+            start + std::chrono::duration_cast<
+                        std::chrono::steady_clock::duration>(
+                        std::chrono::duration<double>(arrival_s[k]));
+        std::this_thread::sleep_until(sched);
+        auto winners = index.Select(streams[s].tds[i]);
+        const auto done = std::chrono::steady_clock::now();
+        lat[s][i] =
+            std::chrono::duration<double, std::milli>(done - sched).count();
+        got[s][i] = std::move(winners);
+      }
+    });
+  }
+  for (auto& w : workers) w.join();
+  res.millis = watch.ElapsedMillis();
+  res.qpf_uses = remote.uses() - uses0;
+  res.round_trips = trip_counter->value() - trips0;
+  for (size_t s = 0; s < kAttrs; ++s) {
+    for (const double ms : lat[s]) res.latency_ms.Add(ms);
+    for (int i = 0; i < cfg.ops_per_stream; ++i) {
+      std::sort(got[s][i].begin(), got[s][i].end());
+      if (got[s][i] != streams[s].expected[i]) res.results_match = false;
+    }
+  }
+  server.Stop();
+  return res;
+}
+
 int Main(int argc, char** argv) {
   bool smoke = false;
   bool tmlat_given = false;
@@ -143,108 +274,31 @@ int Main(int argc, char** argv) {
 
   TablePrinter tp("loopback serving, " + std::to_string(rows) +
                   " rows, tmlat " + std::to_string(args.tm_latency_ns) + "ns");
-  tp.SetHeader({"shards", "in-flight", "QPS", "p50 ms", "p99 ms", "QPF uses",
-                "round trips", "match", "vs serial"});
+  tp.SetHeader({"mode", "shards", "in-flight", "offered", "QPS", "p50 ms",
+                "p99 ms", "QPF uses", "round trips", "match", "vs serial"});
 
   // QPS of the serial (in-flight 1) run, keyed by shard count.
   std::vector<double> serial_qps(64, 0.0);
   bool all_match = true;
   bool gate_4x = true;
 
-  for (const RunConfig& cfg : configs) {
-    // Fresh deployment per configuration: chains, caches, counters and the
-    // socket pair must not leak across runs.
-    auto db = edbms::CipherbaseEdbms::FromPlainTable(args.seed, plain);
-    db.trusted_machine().set_call_latency_ns(args.tm_latency_ns);
-    net::QpfServerOptions sopts;
-    sopts.workers = 16;
-    net::QpfServer server(&db, sopts);
-    if (!server.ServeTcp(0).ok()) {
-      std::fprintf(stderr, "cannot start loopback server\n");
-      return 1;
-    }
-    auto conn = net::QpfClient::ConnectTcp("127.0.0.1", server.port());
-    if (!conn.ok()) {
-      std::fprintf(stderr, "cannot connect: %s\n",
-                   conn.status().ToString().c_str());
-      return 1;
-    }
-    auto client = std::move(conn).value();
-    net::RemoteEdbms remote(&db, client.get());
-
-    core::PrkbOptions options;
-    options.seed = args.seed;
-    // Serving config, not the paper-literal scalar model: scans ride the
-    // batched wire entry so a round trip carries many tuples. Every
-    // (trapdoor, tuple) pair still evaluates identically.
-    options.batch_size = 256;
-    core::ShardedPrkbIndex index(&remote, cfg.shards, options);
-    for (size_t a = 0; a < kAttrs; ++a) {
-      index.EnableAttr(static_cast<edbms::AttrId>(a));
-    }
-    const auto streams =
-        MakeStreams(cfg.ops_per_stream, plain, &remote, args.seed + 7);
-
-    RunResult res;
-    res.total_ops = kAttrs * static_cast<uint64_t>(cfg.ops_per_stream);
-    const uint64_t uses0 = remote.uses();
-    // Round trips from the process-global counter: per-op SelectionStats
-    // windows overlap under concurrency and would double-count.
-    obs::Counter* trip_counter =
-        obs::MetricsRegistry::Global().GetCounter("qpf.round_trips");
-    const uint64_t trips0 = trip_counter->value();
-    std::vector<std::vector<double>> lat(kAttrs);
-    std::vector<std::vector<std::vector<TupleId>>> got(kAttrs);
-    Stopwatch watch;
-    std::vector<std::thread> workers;
-    // Thread t owns streams {t, t+inflight, ...}; within a stream ops run in
-    // order, so every attribute sees the identical carve sequence at every
-    // depth — only cross-stream overlap changes.
-    for (int t = 0; t < cfg.inflight; ++t) {
-      workers.emplace_back([&, t] {
-        for (size_t s = t; s < kAttrs; s += cfg.inflight) {
-          for (int i = 0; i < cfg.ops_per_stream; ++i) {
-            const auto op0 = std::chrono::steady_clock::now();
-            auto winners = index.Select(streams[s].tds[i]);
-            const auto op1 = std::chrono::steady_clock::now();
-            lat[s].push_back(
-                std::chrono::duration<double, std::milli>(op1 - op0).count());
-            got[s].push_back(std::move(winners));
-          }
-        }
-      });
-    }
-    for (auto& w : workers) w.join();
-    res.millis = watch.ElapsedMillis();
-    res.qpf_uses = remote.uses() - uses0;
-    res.round_trips = trip_counter->value() - trips0;
-    for (size_t s = 0; s < kAttrs; ++s) {
-      for (const double ms : lat[s]) res.latency_ms.Add(ms);
-      for (int i = 0; i < cfg.ops_per_stream; ++i) {
-        std::sort(got[s][i].begin(), got[s][i].end());
-        if (got[s][i] != streams[s].expected[i]) res.results_match = false;
-      }
-    }
-    server.Stop();
-
+  const auto emit = [&](const char* mode, const RunConfig& cfg,
+                        const RunResult& res, double offered,
+                        double speedup) {
     const double qps = res.total_ops / (res.millis / 1000.0);
-    if (cfg.inflight == 1) serial_qps[cfg.shards] = qps;
-    const double base = serial_qps[cfg.shards];
-    const double speedup = base > 0 ? qps / base : 0.0;
-    all_match = all_match && res.results_match;
-    if (!smoke && cfg.inflight == 8 && speedup < 4.0) gate_4x = false;
-
-    tp.AddRow({std::to_string(cfg.shards), std::to_string(cfg.inflight),
+    tp.AddRow({mode, std::to_string(cfg.shards), std::to_string(cfg.inflight),
+               offered > 0 ? TablePrinter::Fmt(offered, 0) : "-",
                TablePrinter::Fmt(qps, 0),
                TablePrinter::Fmt(res.latency_ms.Percentile(50), 2),
                TablePrinter::Fmt(res.latency_ms.Percentile(99), 2),
                std::to_string(res.qpf_uses), std::to_string(res.round_trips),
                res.results_match ? "yes" : "NO",
-               TablePrinter::Fmt(speedup, 2) + "x"});
+               speedup > 0 ? TablePrinter::Fmt(speedup, 2) + "x" : "-"});
     json.BeginRow();
-    json.Field("mode", cfg.inflight == 1 ? "serial" : "pipelined");
+    json.Field("mode", mode);
     json.Field("shards", static_cast<uint64_t>(cfg.shards));
     json.Field("inflight", static_cast<uint64_t>(cfg.inflight));
+    json.Field("offered_qps", offered > 0 ? offered : 0.0);
     json.Field("total_ops", res.total_ops);
     json.Field("millis", res.millis);
     json.Field("qps", qps);
@@ -254,6 +308,26 @@ int Main(int argc, char** argv) {
     json.Field("round_trips", res.round_trips);
     json.Field("results_match", res.results_match ? "true" : "false");
     json.Field("speedup_vs_serial", speedup);
+  };
+
+  for (const RunConfig& cfg : configs) {
+    const RunResult res = RunOne(cfg, plain, args, /*offered_qps=*/0);
+    const double qps = res.total_ops / (res.millis / 1000.0);
+    if (cfg.inflight == 1) serial_qps[cfg.shards] = qps;
+    const double base = serial_qps[cfg.shards];
+    const double speedup = base > 0 ? qps / base : 0.0;
+    all_match = all_match && res.results_match;
+    if (!smoke && cfg.inflight == 8 && speedup < 4.0) gate_4x = false;
+    emit(cfg.inflight == 1 ? "serial" : "pipelined", cfg, res, 0, speedup);
+
+    // Open-loop sibling: same deployment shape, arrivals at 80% of the
+    // closed-loop QPS just measured — under the knee, so the queue drains,
+    // but close enough that scheduled-arrival latency exposes queueing the
+    // closed loop self-throttles away.
+    const double offered = 0.8 * qps;
+    const RunResult open = RunOne(cfg, plain, args, offered);
+    all_match = all_match && open.results_match;
+    emit("open", cfg, open, offered, 0);
   }
 
   tp.Print();

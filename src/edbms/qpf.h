@@ -3,7 +3,11 @@
 
 #include <atomic>
 #include <cstdint>
+#include <memory>
+#include <mutex>
 #include <span>
+#include <unordered_map>
+#include <utility>
 
 #include "common/bitvector.h"
 #include "common/status.h"
@@ -45,6 +49,12 @@ struct ProbeRequest {
   const Trapdoor* td;
   TupleId tid;
 };
+
+/// Handle for the split-phase SubmitMany/AwaitMany surface below. Tickets
+/// are per-oracle, never 0 for a non-empty submission, and must be awaited
+/// exactly once (on any thread).
+using ProbeTicket = uint64_t;
+inline constexpr ProbeTicket kEmptyProbeTicket = 0;
 
 /// The query processing function Θ of the paper's EDBMS model (Sec. 3.1):
 /// given an encrypted predicate (trapdoor) and an encrypted tuple, returns
@@ -136,6 +146,54 @@ class QpfOracle {
     return out;
   }
 
+  /// Split-phase EvalMany for the probe scheduler: SubmitMany ships the
+  /// round and returns a ticket; AwaitMany blocks for its bits. All logical
+  /// accounting — |reqs| uses, one round trip, one batch — happens at
+  /// submission, identically to EvalMany, so per-selection SelectionStats
+  /// and the paper's QPF-use metric are byte-for-byte unaffected by *how*
+  /// the round physically travels. The default implementation evaluates
+  /// synchronously at submit and stashes the bits (every backend behaves
+  /// like EvalMany split in two); a coalescing transport (net::RoundBus)
+  /// overrides the Do* hooks to merge concurrently submitted rounds from
+  /// different selections into one backend entry. The pointed-to trapdoors
+  /// must stay alive until AwaitMany returns.
+  ProbeTicket SubmitMany(std::span<const ProbeRequest> reqs) {
+    if (reqs.empty()) return kEmptyProbeTicket;
+    uses_.fetch_add(reqs.size(), std::memory_order_relaxed);
+    round_trips_.fetch_add(1, std::memory_order_relaxed);
+    batches_.fetch_add(1, std::memory_order_relaxed);
+    const QpfMetrics& m = QpfMetrics::Get();
+    m.uses->Add(reqs.size());
+    m.round_trips->Add(1);
+    m.batches->Add(1);
+    m.batch_tuples->Record(reqs.size());
+    const ProbeTicket t = tickets_->Open(obs::ObsTracer::NowNs());
+    DoSubmitMany(t, reqs);
+    return t;
+  }
+
+  /// Blocks until ticket `t`'s round completes and returns its bits (bit i
+  /// is Θ(*reqs[i].td, reqs[i].tid) of the submitted span). Records the
+  /// logical round's qpf.round_trip_ns from submit to completion, so any
+  /// coalescing linger is visible in the histogram the calibrator fits.
+  BitVector AwaitMany(ProbeTicket t) {
+    if (t == kEmptyProbeTicket) return BitVector();
+    BitVector out = DoAwaitMany(t);
+    QpfMetrics::Get().round_trip_ns->Record(obs::ObsTracer::NowNs() -
+                                            tickets_->Close(t));
+    return out;
+  }
+
+  /// Observed logical-rounds-per-backend-entry of a coalescing transport
+  /// (net::RoundBus); 1.0 for direct backends. The executor feeds this into
+  /// CostCalibrator so the planner prices the amortised round latency L/c.
+  virtual double CoalescingFactor() const { return 1.0; }
+
+  /// Push-down of the calibrator's fitted round-trip latency, from which a
+  /// coalescing transport derives its linger window. No-op for direct
+  /// backends.
+  virtual void CalibrateTransport(uint64_t /*rt_latency_ns*/) {}
+
   /// --- Uncounted backend entries for transport shims ----------------------
   ///
   /// net::QpfServer re-enters the backend on behalf of a remote client whose
@@ -198,9 +256,61 @@ class QpfOracle {
     return out;
   }
 
+  /// Backend hooks for the split-phase surface. The defaults evaluate at
+  /// submit time and park the bits in the ticket book, so non-coalescing
+  /// backends need nothing; a coalescing transport overrides both to defer
+  /// the backend entry until its linger window closes.
+  virtual void DoSubmitMany(ProbeTicket t, std::span<const ProbeRequest> reqs) {
+    tickets_->Stash(t, DoEvalMany(reqs));
+  }
+  virtual BitVector DoAwaitMany(ProbeTicket t) { return tickets_->Unstash(t); }
+
+  /// Submit-time bookkeeping shared by all backends: the submit timestamp
+  /// for the round-trip histogram, plus the default implementation's ready
+  /// bits. Held by pointer so the user-defined moves stay trivial — an
+  /// oracle is never moved with tickets in flight (same caller contract as
+  /// moving during Eval).
+  class TicketBook {
+   public:
+    ProbeTicket Open(uint64_t t0_ns) {
+      const std::lock_guard<std::mutex> lock(mu_);
+      const ProbeTicket t = next_++;
+      open_.emplace(t, Entry{t0_ns, BitVector()});
+      return t;
+    }
+    uint64_t Close(ProbeTicket t) {
+      const std::lock_guard<std::mutex> lock(mu_);
+      const auto it = open_.find(t);
+      if (it == open_.end()) return 0;
+      const uint64_t t0 = it->second.t0_ns;
+      open_.erase(it);
+      return t0;
+    }
+    void Stash(ProbeTicket t, BitVector bits) {
+      const std::lock_guard<std::mutex> lock(mu_);
+      const auto it = open_.find(t);
+      if (it != open_.end()) it->second.ready = std::move(bits);
+    }
+    BitVector Unstash(ProbeTicket t) {
+      const std::lock_guard<std::mutex> lock(mu_);
+      const auto it = open_.find(t);
+      return it == open_.end() ? BitVector() : std::move(it->second.ready);
+    }
+
+   private:
+    struct Entry {
+      uint64_t t0_ns;
+      BitVector ready;
+    };
+    std::mutex mu_;
+    ProbeTicket next_ = 1;
+    std::unordered_map<ProbeTicket, Entry> open_;
+  };
+
   std::atomic<uint64_t> uses_{0};
   std::atomic<uint64_t> round_trips_{0};
   std::atomic<uint64_t> batches_{0};
+  std::unique_ptr<TicketBook> tickets_ = std::make_unique<TicketBook>();
 };
 
 }  // namespace prkb::edbms

@@ -17,6 +17,7 @@ struct CalMetrics {
   obs::Counter* route_regret_ns;
   obs::Gauge* eval_ns;
   obs::Gauge* rt_latency_ns;
+  obs::Gauge* coalesce_x1000;
 
   static const CalMetrics& Get() {
     static const CalMetrics m = {
@@ -26,6 +27,7 @@ struct CalMetrics {
         obs::MetricsRegistry::Global().GetCounter("cal.route.regret_ns"),
         obs::MetricsRegistry::Global().GetGauge("cal.eval_ns"),
         obs::MetricsRegistry::Global().GetGauge("cal.rt_latency_ns"),
+        obs::MetricsRegistry::Global().GetGauge("cal.coalesce_x1000"),
     };
     return m;
   }
@@ -80,6 +82,15 @@ void CostCalibrator::ObservePlan(double evals, double trips,
   CalMetrics::Get().eval_ns->Set(static_cast<int64_t>(EvalNsLocked()));
 }
 
+void CostCalibrator::ObserveCoalescing(double factor) {
+  if (!(factor >= 1.0)) factor = 1.0;
+  const std::lock_guard<std::mutex> lock(mu_);
+  coalesce_fit_ = Ewma(coalesce_fit_, coalesce_samples_, factor, kFitAlpha);
+  ++coalesce_samples_;
+  CalMetrics::Get().coalesce_x1000->Set(
+      static_cast<int64_t>(std::max(1.0, coalesce_fit_) * 1000.0));
+}
+
 void CostCalibrator::ObserveRoute(const std::string& route,
                                   double est_price_ns, double actual_ns,
                                   double runner_up_est_ns) {
@@ -125,6 +136,11 @@ double CostCalibrator::rt_latency_ns() const {
   return RtLatencyNsLocked();
 }
 
+double CostCalibrator::coalesce_factor() const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  return coalesce_samples_ == 0 ? 1.0 : std::max(1.0, coalesce_fit_);
+}
+
 double CostCalibrator::RoutePenalty(const std::string& route) const {
   const std::lock_guard<std::mutex> lock(mu_);
   const auto it = routes_.find(route);
@@ -141,6 +157,9 @@ CostCalibrator::Snapshot CostCalibrator::snapshot() const {
   s.rt_latency_hint_ns = rt_latency_hint_ns_;
   s.eval_samples = eval_samples_;
   s.rt_samples = rt_samples_;
+  s.coalesce_factor =
+      coalesce_samples_ == 0 ? 1.0 : std::max(1.0, coalesce_fit_);
+  s.coalesce_samples = coalesce_samples_;
   s.routes.assign(routes_.begin(), routes_.end());
   return s;
 }
@@ -158,6 +177,11 @@ std::string CostCalibrator::Describe() const {
                 "  rt_latency_ns: %.1f (hint %.1f, %llu sample(s))\n",
                 s.rt_latency_ns, s.rt_latency_hint_ns,
                 static_cast<unsigned long long>(s.rt_samples));
+  out += line;
+  std::snprintf(line, sizeof(line),
+                "  coalesce_factor: %.2fx (%llu sample(s))\n",
+                s.coalesce_factor,
+                static_cast<unsigned long long>(s.coalesce_samples));
   out += line;
   if (s.routes.empty()) {
     out += "  routes: none observed\n";

@@ -84,6 +84,12 @@ class CostCalibrator {
   /// made no trips at all).
   void ObservePlan(double evals, double trips, uint64_t wall_ns);
 
+  /// One observation of the transport's coalescing factor c (logical rounds
+  /// per backend entry, QpfOracle::CoalescingFactor). Clamped to ≥ 1 and
+  /// EWMA-fitted like the constants; the planner prices round-trip latency
+  /// as L/c (docs/COST_MODEL.md, "Amortised rounds").
+  void ObserveCoalescing(double factor);
+
   /// One executed planner route choice: the chosen route's estimate
   /// (re-priced at current constants), its measured wall time, and the
   /// runner-up's re-priced estimate (0 when there was no competitor).
@@ -96,6 +102,11 @@ class CostCalibrator {
   /// Fitted round-trip latency once warmed (never below a positive
   /// configured hint), the hint before.
   double rt_latency_ns() const;
+
+  /// Fitted coalescing factor c ≥ 1; exactly 1.0 until observed, so
+  /// non-coalescing deployments (and the golden EXPLAIN snapshots) price
+  /// the full L unchanged.
+  double coalesce_factor() const;
 
   /// Multiplicative plan-time penalty for `route`, in [1, kMaxPenalty].
   /// 1.0 for routes never observed.
@@ -117,6 +128,8 @@ class CostCalibrator {
     double rt_latency_hint_ns = 0.0;
     uint64_t eval_samples = 0;
     uint64_t rt_samples = 0;
+    double coalesce_factor = 1.0;
+    uint64_t coalesce_samples = 0;
     /// Sorted by route name.
     std::vector<std::pair<std::string, RouteStats>> routes;
   };
@@ -135,8 +148,10 @@ class CostCalibrator {
   const double rt_latency_hint_ns_;
   double eval_fit_ = 0.0;
   double rt_fit_ = 0.0;
+  double coalesce_fit_ = 1.0;
   uint64_t eval_samples_ = 0;
   uint64_t rt_samples_ = 0;
+  uint64_t coalesce_samples_ = 0;
   std::map<std::string, RouteStats> routes_;
 };
 

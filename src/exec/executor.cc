@@ -122,7 +122,11 @@ CostConstants ConstantsFor(const core::PrkbIndex& index,
   CostConstants c = ConstantsFor(index.options(), probe_fanout_override);
   const CostCalibrator& cal = index.calibrator();
   c.eval_ns = cal.eval_ns();
-  c.round_trip_latency_ns = cal.rt_latency_ns();
+  // Under a coalescing transport (net::RoundBus) each logical round shares
+  // its backend entry with c−1 concurrent rounds on average, so the planner
+  // prices the amortised L/c. The factor is exactly 1.0 until observed —
+  // direct backends and the golden EXPLAIN snapshots are unchanged.
+  c.round_trip_latency_ns = cal.rt_latency_ns() / cal.coalesce_factor();
   return c;
 }
 
@@ -420,6 +424,14 @@ std::vector<TupleId> Executor::Run(Plan* plan, SelectionStats* stats) {
     cal.ObservePlan(static_cast<double>(plan_cost.uses()),
                     static_cast<double>(plan_cost.round_trips()), wall_ns);
   }
+  // Close the round-bus feedback loop: fold the transport's observed
+  // coalescing factor into the fit the planner prices L/c from, and push
+  // the fitted latency back down so the bus can re-derive its linger
+  // window. Both are no-ops on direct backends (factor 1.0, empty
+  // CalibrateTransport).
+  cal.ObserveCoalescing(index_->db()->CoalescingFactor());
+  index_->db()->CalibrateTransport(
+      static_cast<uint64_t>(std::max(0.0, cal.rt_latency_ns())));
   if (root->has_estimate) {
     const double est = root->estimated.Total();
     const double err =

@@ -1,8 +1,23 @@
 #include "net/qpf_client.h"
 
+#include <cstdio>
 #include <utility>
 
+#include "obs/metrics.h"
+
 namespace prkb::net {
+namespace {
+
+/// Distinct from net.errors: counts calls refused because the client is
+/// sticky-broken — each one surfaces to the caller as fail-closed all-false
+/// bits (docs/OBSERVABILITY.md).
+obs::Counter* FailclosedCounter() {
+  static obs::Counter* const c =
+      obs::MetricsRegistry::Global().GetCounter("net.client.failclosed");
+  return c;
+}
+
+}  // namespace
 
 QpfClient::QpfClient(Channel ch) : ch_(std::move(ch)) {
   completion_ = std::thread([this] { CompletionLoop(); });
@@ -28,7 +43,16 @@ Result<uint64_t> QpfClient::Submit(MsgType type, std::vector<uint8_t> payload) {
   uint64_t corr = 0;
   {
     const std::lock_guard<std::mutex> lock(mu_);
-    if (!broken_.ok()) return broken_;
+    if (!broken_.ok()) {
+      FailclosedCounter()->Add(1);
+      if (!logged_failclosed_.exchange(true, std::memory_order_relaxed)) {
+        std::fprintf(stderr,
+                     "qpf_client: channel is sticky-broken (%s); this and "
+                     "all further calls fail closed with all-false bits\n",
+                     broken_.ToString().c_str());
+      }
+      return broken_;
+    }
     corr = next_corr_++;
     pending_.emplace(corr, Slot{});
   }

@@ -1,6 +1,7 @@
 #ifndef PRKB_NET_QPF_CLIENT_H_
 #define PRKB_NET_QPF_CLIENT_H_
 
+#include <atomic>
 #include <condition_variable>
 #include <cstdint>
 #include <memory>
@@ -85,6 +86,10 @@ class QpfClient {
   std::unordered_map<uint64_t, Slot> pending_;
   uint64_t next_corr_ = 1;
   Status broken_;  // sticky
+  /// First submission against a broken client logs the sticky status once;
+  /// every such call also bumps net.client.failclosed, so fail-closed
+  /// all-false bits are observable rather than silent.
+  std::atomic<bool> logged_failclosed_{false};
 };
 
 /// Client-side QPF backend: Θ over the wire. Plugs into everything that

@@ -13,6 +13,7 @@
 #include "edbms/cipherbase_qpf.h"
 #include "edbms/replay.h"
 #include "gtest/gtest.h"
+#include "net/coalesce.h"
 #include "obs/metrics.h"
 #include "prkb/selection.h"
 #include "workload/query_gen.h"
@@ -74,6 +75,38 @@ TEST(ObsIntegrationTest, ProbeAndScanCountersReconcileWithSelectionStats) {
   // tuples counter covers scheduler-prefetched outcomes QScan consumed
   // instead of re-paying), and prefetches QScan never asked for (the
   // speculation's waste).
+  EXPECT_EQ((after.qfilter_probes - before.qfilter_probes) +
+                (after.qscan_tuples - before.qscan_tuples) +
+                (after.spec_waste - before.spec_waste),
+            stats_uses);
+  EXPECT_EQ(after.qfilter_invocations - before.qfilter_invocations, 120u);
+}
+
+TEST(ObsIntegrationTest, CoalescedTransportReconcilesTheSameWay) {
+  // Same identity through the round bus (net::CoalescedEdbms): coalescing
+  // changes how rounds travel, never the logical QPF accounting, so probes +
+  // scans + speculative waste must still equal the per-selection uses.
+  workload::SyntheticSpec spec;
+  spec.rows = 20000;
+  spec.seed = 43;
+  const auto plain = workload::MakeSyntheticTable(spec);
+  auto db = edbms::CipherbaseEdbms::FromPlainTable(3, plain);
+  net::CoalescedEdbms bus_db(&db);
+
+  core::PrkbIndex index(&bus_db, core::PrkbOptions{.seed = 11});
+  index.EnableAttr(0);
+  workload::QueryGen gen(spec.domain_lo, spec.domain_hi, 47);
+
+  uint64_t stats_uses = 0;
+  const ObsReading before = ObsReading::Now();
+  for (int q = 0; q < 120; ++q) {
+    const auto p = gen.RandomComparison(0);
+    SelectionStats st;
+    index.Select(db.MakeComparison(p.attr, p.op, p.lo), &st);
+    stats_uses += st.qpf_uses;
+  }
+  const ObsReading after = ObsReading::Now();
+
   EXPECT_EQ((after.qfilter_probes - before.qfilter_probes) +
                 (after.qscan_tuples - before.qscan_tuples) +
                 (after.spec_waste - before.spec_waste),

@@ -1,7 +1,7 @@
 // prkb_shell — interactive console over an encrypted demo table.
 //
 //   $ ./tools/prkb_shell [--rows=N] [--attrs=K] [--seed=S] [--shards=N]
-//                        [--remote] [--wal-dir=<dir>]
+//                        [--remote] [--bus] [--wal-dir=<dir>]
 //
 // Accepts the mini-SQL subset on stdin plus dot-commands:
 //   SELECT * FROM t WHERE c0 < 100 AND c1 BETWEEN 5 AND 9
@@ -19,6 +19,12 @@
 //   .wal              durability status: log/snapshot sizes, appended and
 //                     replayed record counts, fsyncs, compactions
 //                     (requires --wal-dir)
+//   .bus              round-bus state: live coalescing factor, linger
+//                     window, rounds/requests carried, backend entries,
+//                     merged rounds, cross-request trapdoor dedups and
+//                     overflow splits (requires --bus); with --remote, also
+//                     the serving process's net.*/qpf.* counters over the
+//                     wire, like .cache
 //
 // Note: retyping a SELECT re-issues its trapdoor through the data owner,
 // which seals with a fresh nonce — different bytes, so the fast path misses
@@ -37,6 +43,11 @@
 //   --remote     host the QPF behind a loopback QpfServer and evaluate every
 //                Θ over a real socket (RemoteEdbms), as a served deployment
 //                would. Composes with --shards.
+//   --bus        ride every Θ round over a round bus (CoalescedEdbms,
+//                DESIGN.md §15), merging concurrent selections' probe
+//                rounds into shared backend entries. Composes with --remote
+//                (the merge point sits in front of the socket) and
+//                --shards.
 //   --wal-dir=D  make the index durable under D (docs/PERSISTENCE.md):
 //                state recovered on start — chains enabled in a previous
 //                WAL-backed session come back warm, repeats stay zero-QPF —
@@ -55,6 +66,7 @@
 #include <vector>
 
 #include "edbms/cipherbase_qpf.h"
+#include "net/coalesce.h"
 #include "net/qpf_client.h"
 #include "net/qpf_server.h"
 #include "prkb/concurrent.h"
@@ -77,6 +89,7 @@ struct ShellOptions {
   uint64_t seed = 42;
   size_t shards = 0;  // 0 = unsharded planner mode
   bool remote = false;
+  bool bus = false;
   std::string wal_dir;  // empty = not durable
 };
 
@@ -93,6 +106,8 @@ ShellOptions ParseOptions(int argc, char** argv) {
       opt.shards = std::strtoull(argv[i] + 9, nullptr, 10);
     } else if (std::strcmp(argv[i], "--remote") == 0) {
       opt.remote = true;
+    } else if (std::strcmp(argv[i], "--bus") == 0) {
+      opt.bus = true;
     } else if (std::strncmp(argv[i], "--wal-dir=", 10) == 0) {
       opt.wal_dir = argv[i] + 10;
     }
@@ -107,12 +122,15 @@ void PrintHelp(const ShellOptions& opt) {
       "  EXPLAIN SELECT ...   (plan + cost estimates, no execution)\n"
       "  .explain | .stats | .cache | .cost | .insert v0 v1 .. |"
       " .delete <tid> | .save <p> | .load <p>\n"
-      "  .shards | .wal | .help | .quit\n");
+      "  .shards | .wal | .bus | .help | .quit\n");
   if (opt.shards > 0) {
     std::printf("(sharded mode: EXPLAIN/.explain/.save/.load unavailable)\n");
   }
   if (opt.remote) {
     std::printf("(remote mode: QPF evaluations cross a loopback socket)\n");
+  }
+  if (opt.bus) {
+    std::printf("(bus mode: probe rounds merge on a shared round bus)\n");
   }
   if (!opt.wal_dir.empty()) {
     std::printf("(durable: chain mutations logged under %s)\n",
@@ -283,6 +301,14 @@ int main(int argc, char** argv) {
     std::printf("QPF served on 127.0.0.1:%u\n", server->port());
   }
 
+  // Bus mode: the merge point sits in front of whatever backend the flags
+  // built — the socket client in remote mode, the local oracle otherwise.
+  std::unique_ptr<net::CoalescedEdbms> bus_db;
+  if (opt.bus) {
+    bus_db = std::make_unique<net::CoalescedEdbms>(backend);
+    backend = bus_db.get();
+  }
+
   const core::PrkbOptions prkb_opts{.seed = opt.seed};
   core::PrkbIndex index(backend, prkb_opts);
   std::unique_ptr<core::ShardedPrkbIndex> sharded;
@@ -421,6 +447,26 @@ int main(int argc, char** argv) {
           }
         } else {
           PrintWalStats("", *wal);
+        }
+      } else if (cmd == ".bus") {
+        if (bus_db == nullptr) {
+          std::printf("no round bus; start with --bus\n");
+        } else {
+          const net::RoundBus::Stats bs = bus_db->bus().stats();
+          std::printf(
+              "round bus: factor %.2fx, linger %llu ns\n"
+              "  %llu round(s) / %llu request(s) over %llu backend "
+              "entr(ies)\n"
+              "  %llu merged round(s), %llu trapdoor dedup(s), %llu "
+              "overflow split(s)\n",
+              bs.factor, static_cast<unsigned long long>(bs.linger_ns),
+              static_cast<unsigned long long>(bs.rounds),
+              static_cast<unsigned long long>(bs.requests),
+              static_cast<unsigned long long>(bs.entries),
+              static_cast<unsigned long long>(bs.merged_rounds),
+              static_cast<unsigned long long>(bs.dedup_tds),
+              static_cast<unsigned long long>(bs.overflow_splits));
+          if (client != nullptr) PrintRemoteCounters(client.get());
         }
       } else if (cmd == ".cache") {
         const auto print_entries = [](edbms::AttrId attr, size_t entries) {
